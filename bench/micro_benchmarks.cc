@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks for the substrate hot paths: the event
+// queue, trace integration, the branch-and-bound critical path, the one-shot
+// planner, piggyback payload construction, and a full end-to-end run.
+#include <benchmark/benchmark.h>
+
+#include "core/bandwidth_resolver.h"
+#include "core/cost_model.h"
+#include "core/one_shot.h"
+#include "exp/experiment.h"
+#include "monitor/bandwidth_cache.h"
+#include "sim/simulation.h"
+#include "trace/generator.h"
+#include "trace/library.h"
+
+namespace {
+
+using namespace wadc;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    long counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(static_cast<double>(i % 97), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_TraceFinishTime(benchmark::State& state) {
+  const trace::TraceGenerator gen(trace::TraceGenParams{}, 7);
+  const auto tr = gen.generate(trace::PairClass::kCrossCountry, 0);
+  double t = 0;
+  for (auto _ : state) {
+    t = tr.finish_time(t, 128.0 * 1024);
+    if (t > tr.duration_seconds()) t = 0;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TraceFinishTime);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const trace::TraceGenerator gen(trace::TraceGenParams{}, 7);
+  std::uint64_t label = 0;
+  for (auto _ : state) {
+    const auto tr = gen.generate(trace::PairClass::kTransatlantic, label++);
+    benchmark::DoNotOptimize(tr.sample_count());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+core::MapResolver full_resolver(int hosts, std::uint64_t seed) {
+  Rng rng(seed);
+  core::MapResolver r;
+  for (int a = 0; a < hosts; ++a) {
+    for (int b = a + 1; b < hosts; ++b) {
+      r.set(a, b, rng.uniform(2e3, 300e3));
+    }
+  }
+  return r;
+}
+
+void BM_CriticalPath(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  const auto tree = core::CombinationTree::complete_binary(servers);
+  const core::CostModel model(tree, core::CostModelParams{});
+  auto resolver = full_resolver(tree.num_hosts(), 11);
+  Rng rng(3);
+  core::Placement p = core::Placement::all_at_client(tree);
+  for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
+    p.set_location(op, static_cast<net::HostId>(
+                           rng.next_below(static_cast<std::uint64_t>(
+                               tree.num_hosts()))));
+  }
+  for (auto _ : state) {
+    const auto cp = model.critical_path(p, resolver);
+    benchmark::DoNotOptimize(cp.cost);
+  }
+}
+BENCHMARK(BM_CriticalPath)->Arg(8)->Arg(32);
+
+void BM_OneShotPlan(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  const auto tree = core::CombinationTree::complete_binary(servers);
+  const core::CostModel model(tree, core::CostModelParams{});
+  const core::OneShotPlanner planner(model);
+  auto resolver = full_resolver(tree.num_hosts(), 11);
+  for (auto _ : state) {
+    const auto outcome = planner.plan_from_scratch(resolver);
+    benchmark::DoNotOptimize(outcome.cost);
+  }
+}
+BENCHMARK(BM_OneShotPlan)->Arg(8)->Arg(32);
+
+void BM_PiggybackPayload(benchmark::State& state) {
+  const int hosts = 33;
+  monitor::BandwidthCache cache(hosts, 40.0);
+  Rng rng(5);
+  for (int a = 0; a < hosts; ++a) {
+    for (int b = a + 1; b < hosts; ++b) {
+      cache.record(a, b, rng.uniform(1e3, 1e5), rng.uniform(0, 39));
+    }
+  }
+  for (auto _ : state) {
+    const auto payload = cache.freshest(40.0, 64);
+    benchmark::DoNotOptimize(payload.size());
+  }
+}
+BENCHMARK(BM_PiggybackPayload);
+
+void BM_EndToEndRun(benchmark::State& state) {
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
+  exp::ExperimentSpec spec;
+  spec.algorithm = static_cast<core::AlgorithmKind>(state.range(0));
+  spec.config_seed = 77;
+  for (auto _ : state) {
+    const auto r = exp::run_experiment(library, spec);
+    benchmark::DoNotOptimize(r.completion_seconds);
+  }
+}
+BENCHMARK(BM_EndToEndRun)
+    ->Arg(0)   // download-all
+    ->Arg(2)   // global
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Why on-line relocation beats one-time placement: a controlled congestion
+// experiment.
+//
+// We build a 5-host network (4 servers + client) with hand-authored
+// bandwidth traces: every link is fast except that, five minutes in, the
+// link the one-shot plan depends on collapses for the rest of the run. The
+// one-shot placement is optimal for the starting conditions and then gets
+// stuck; the global algorithm replans around the congestion at its next
+// period.
+//
+// This is the Figure 2 story in miniature: persistent bandwidth changes are
+// exactly what changing the *location* of operators (not just their order)
+// can adapt to.
+#include <cstdio>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "monitor/monitoring_system.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "trace/bandwidth_trace.h"
+
+namespace {
+
+using namespace wadc;
+
+// A flat trace at `before` B/s that drops to `after` B/s at `drop_at`.
+trace::BandwidthTrace step_trace(double before, double after,
+                                 double drop_at, double duration) {
+  const double step = 10.0;
+  std::vector<double> values;
+  for (double t = 0; t < duration; t += step) {
+    values.push_back(t < drop_at ? before : after);
+  }
+  return trace::BandwidthTrace(step, std::move(values));
+}
+
+double run(const net::LinkTable& links, core::AlgorithmKind algorithm,
+           dataflow::RunStats* stats_out = nullptr) {
+  sim::Simulation sim;
+  net::Network network(sim, links, net::NetworkParams{});
+  monitor::MonitoringSystem monitoring(network, monitor::MonitorParams{});
+  const auto tree = core::CombinationTree::complete_binary(4);
+  workload::WorkloadParams wp;
+  const workload::ImageWorkload workload(wp, 4, /*seed=*/7);
+  dataflow::EngineParams ep;
+  ep.algorithm = algorithm;
+  ep.relocation_period_seconds = 300;  // 5 minutes
+  ep.seed = 7;
+  dataflow::Engine engine(sim, network, monitoring, tree, workload, ep);
+  const auto stats = engine.run();
+  if (stats_out != nullptr) *stats_out = stats;
+  return stats.completion_seconds;
+}
+
+}  // namespace
+
+int main() {
+  const double kDay = 2 * 86400;
+  const double kDrop = 300;  // congestion starts five minutes in
+
+  // Hosts: 0 client, 1..4 servers. Server 4's client link is slow from the
+  // start; its detour via host 3 is fast — until it congests at t=300 s.
+  // The alternative detour via host 2 stays fast throughout.
+  std::vector<trace::BandwidthTrace> traces;
+  traces.push_back(step_trace(120e3, 120e3, kDrop, kDay));  // generic fast
+  traces.push_back(step_trace(4e3, 4e3, kDrop, kDay));      // always slow
+  traces.push_back(step_trace(150e3, 2e3, kDrop, kDay));    // collapses
+  net::LinkTable links(5);
+  for (net::HostId a = 0; a < 5; ++a) {
+    for (net::HostId b = a + 1; b < 5; ++b) {
+      links.set_link(a, b, &traces[0]);
+    }
+  }
+  links.set_link(0, 4, &traces[1]);  // server 4 -> client: always slow
+  links.set_link(3, 4, &traces[2]);  // the tempting detour that collapses
+
+  std::printf("Scenario: server host 4 has a 4 KB/s link to the client.\n");
+  std::printf("Detour via host 3 runs at 150 KB/s but collapses to 2 KB/s "
+              "at t=300 s;\nthe detour via host 2 stays at 120 KB/s.\n\n");
+
+  const double base = run(links, core::AlgorithmKind::kDownloadAll);
+  const double one_shot = run(links, core::AlgorithmKind::kOneShot);
+  dataflow::RunStats global_stats;
+  const double global =
+      run(links, core::AlgorithmKind::kGlobal, &global_stats);
+
+  std::printf("download-all: %8.1f s   (speedup 1.00x)\n", base);
+  std::printf("one-shot:     %8.1f s   (speedup %.2fx) - placed optimally "
+              "for t=0, then stuck\n",
+              one_shot, base / one_shot);
+  std::printf("global:       %8.1f s   (speedup %.2fx) - %d relocations\n\n",
+              global, base / global, global_stats.relocations);
+
+  if (!global_stats.relocation_trace.empty()) {
+    std::printf("global algorithm's moves:\n");
+    for (const auto& ev : global_stats.relocation_trace) {
+      std::printf("  t=%7.1f s  operator %d: host %d -> host %d%s\n",
+                  ev.time, ev.op, ev.from, ev.to,
+                  ev.time > kDrop ? "   <- reacting to the collapse" : "");
+    }
+  }
+  return 0;
+}

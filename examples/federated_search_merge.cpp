@@ -1,0 +1,67 @@
+// Merging ranked results from federated search engines — one of the
+// application classes the paper's §2 identifies as partitionable
+// ("merging sorted results from multiple search engines where a
+// subsequence of sorted items from a search-engine is a separate
+// partition").
+//
+// Twelve geographically distributed index servers each stream 60 result
+// pages (~24KB each); pairwise merge operators combine them on the way to
+// the client. Merge output is the size of the larger input (duplicates
+// collapse), merge compute is cheap compared to image composition, and the
+// partitions are small — a very different operating point from the
+// satellite workload. The local (fully distributed) algorithm is used here,
+// since a federation rarely has a central coordinator.
+//
+//   ./federated_search_merge [config-seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dataflow/engine.h"
+#include "exp/experiment.h"
+#include "trace/library.h"
+
+int main(int argc, char** argv) {
+  using namespace wadc;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
+
+  exp::ExperimentSpec spec;
+  spec.num_servers = 12;
+  spec.iterations = 60;           // 60 result pages per engine
+  spec.config_seed = seed;
+  spec.relocation_period_seconds = 300;
+  // Result pages: ~24KB with substantial variance, tiny merge cost.
+  spec.workload.mean_bytes = 24.0 * 1024;
+  spec.workload.sigma_fraction = 0.4;
+  spec.workload.min_bytes = 2.0 * 1024;
+  spec.workload.compute_seconds_per_byte = 5e-7;
+
+  std::printf("Federated search: 12 index servers, 60 result pages each "
+              "(~24KB), pairwise merge tree, config seed %llu\n\n",
+              static_cast<unsigned long long>(seed));
+
+  double baseline = 0;
+  for (const auto algorithm :
+       {core::AlgorithmKind::kDownloadAll, core::AlgorithmKind::kOneShot,
+        core::AlgorithmKind::kLocal}) {
+    spec.algorithm = algorithm;
+    const exp::RunResult r = exp::run_experiment(library, spec);
+    if (algorithm == core::AlgorithmKind::kDownloadAll) {
+      baseline = r.completion_seconds;
+    }
+    std::printf("%-13s completion %8.1f s   page interarrival %6.2f s   "
+                "speedup %5.2fx   relocations %d\n",
+                core::algorithm_name(algorithm), r.completion_seconds,
+                r.mean_interarrival_seconds,
+                baseline / r.completion_seconds, r.stats.relocations);
+  }
+
+  std::printf("\nWith small partitions the per-message startup cost "
+              "matters more and the\ncompute term nearly vanishes; "
+              "relocation still pays off because slow first-hop\nlinks "
+              "dominate the merge pipeline.\n");
+  return 0;
+}

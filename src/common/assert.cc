@@ -1,0 +1,16 @@
+#include "common/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wadc {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "wadc assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace wadc

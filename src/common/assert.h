@@ -1,0 +1,61 @@
+// Assertion and fatal-error helpers used across the wadc libraries.
+//
+// Simulation code is full of protocol invariants ("an operator may only be
+// relocated between dispatching its output and issuing its next demand").
+// We want those invariants checked in release builds of the experiment
+// harness too, so WADC_ASSERT is always on; WADC_DASSERT compiles away in
+// NDEBUG builds and is reserved for hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wadc {
+
+// Prints the failure message to stderr and aborts. Never returns.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+namespace detail {
+// Lightweight formatter so assertion sites can say
+//   WADC_ASSERT(x < n, "index ", x, " out of range ", n);
+// without pulling in a formatting library.
+inline void append_all(std::string&) {}
+template <typename T, typename... Rest>
+void append_all(std::string& out, const T& v, const Rest&... rest) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    out += std::to_string(v);
+  } else {
+    out += v;
+  }
+  append_all(out, rest...);
+}
+template <typename... Args>
+std::string format_msg(const Args&... args) {
+  std::string out;
+  append_all(out, args...);
+  return out;
+}
+}  // namespace detail
+
+}  // namespace wadc
+
+#define WADC_ASSERT(expr, ...)                                         \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::wadc::assert_fail(#expr, __FILE__, __LINE__,                   \
+                          ::wadc::detail::format_msg(__VA_ARGS__));    \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define WADC_DASSERT(expr, ...) \
+  do {                          \
+  } while (0)
+#else
+#define WADC_DASSERT(expr, ...) WADC_ASSERT(expr, __VA_ARGS__)
+#endif
+
+#define WADC_FATAL(...)                                             \
+  ::wadc::assert_fail("fatal", __FILE__, __LINE__,                  \
+                      ::wadc::detail::format_msg(__VA_ARGS__))

@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the reproduction (trace synthesis, image-size
+// sampling, network-configuration sampling, the local algorithm's k random
+// candidate sites) draw from this generator so that every experiment is
+// reproducible from a single 64-bit seed. We implement the generator and the
+// distributions ourselves rather than using <random>'s distributions, whose
+// output sequences are not specified by the standard and differ across
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wadc {
+
+// xoshiro256** by Blackman & Vigna, seeded via SplitMix64. Fast, tiny state,
+// and excellent statistical quality for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform on [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform on [0, 1).
+  double next_double();
+
+  // Uniform on [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Normal(mean, sigma) via Box-Muller (no cached spare: keeps the stream
+  // position a pure function of the number of calls).
+  double normal(double mean, double sigma);
+
+  // Log-normal such that the *underlying normal* has the given mean/sigma.
+  double lognormal(double mu, double sigma);
+
+  // Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  // True with probability p.
+  bool bernoulli(double p);
+
+  // Samples an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // k distinct values from [0, n) in random order; k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // Derives an independent generator for a named sub-stream. Mixing the
+  // label into the seed keeps sub-streams decorrelated while remaining a
+  // pure function of (seed, label).
+  Rng fork(std::uint64_t label) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace wadc

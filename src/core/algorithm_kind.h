@@ -1,0 +1,36 @@
+// Identifiers for the four placement strategies evaluated in the paper.
+#pragma once
+
+namespace wadc::core {
+
+enum class AlgorithmKind {
+  kDownloadAll,  // all operators at the client (the §4 baseline)
+  kOneShot,      // start-up planning only (§2.1)
+  kGlobal,       // centralized on-line replanning + barrier change-over (§2.2)
+  kLocal,        // distributed on-line local adjustments (§2.3)
+  kGlobalOrder,  // extension: global replanning of combination *order* and
+                 // location jointly (see core/order_planner.h)
+  kReorderOnly,  // extension baseline: adapt the order but keep every
+                 // operator at the client — query-scrambling-style
+                 // adaptation, which §1 argues is inherently limited
+};
+
+inline const char* algorithm_name(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kDownloadAll:
+      return "download-all";
+    case AlgorithmKind::kOneShot:
+      return "one-shot";
+    case AlgorithmKind::kGlobal:
+      return "global";
+    case AlgorithmKind::kLocal:
+      return "local";
+    case AlgorithmKind::kGlobalOrder:
+      return "global-order";
+    case AlgorithmKind::kReorderOnly:
+      return "reorder-only";
+  }
+  return "unknown";
+}
+
+}  // namespace wadc::core

@@ -1,0 +1,49 @@
+#include "core/local_rule.h"
+
+#include <algorithm>
+
+namespace wadc::core {
+
+double LocalRule::local_cost(net::HostId site, net::HostId producer0,
+                             net::HostId producer1, net::HostId consumer,
+                             BandwidthResolver& resolver,
+                             std::set<HostPair>* unknown) const {
+  const double in0 = model_.edge_cost(producer0, site, resolver, unknown);
+  const double in1 = model_.edge_cost(producer1, site, resolver, unknown);
+  const double out = model_.edge_cost(site, consumer, resolver, unknown);
+  return std::max(in0, in1) + model_.compute_cost() + out;
+}
+
+LocalDecision LocalRule::choose(net::HostId current, net::HostId producer0,
+                                net::HostId producer1, net::HostId consumer,
+                                const std::vector<net::HostId>& extras,
+                                BandwidthResolver& resolver) const {
+  LocalDecision decision;
+
+  std::vector<net::HostId> candidates = {current, producer0, producer1,
+                                         consumer};
+  candidates.insert(candidates.end(), extras.begin(), extras.end());
+  // Deduplicate preserving order, so `current` is evaluated first and wins
+  // ties deterministically.
+  std::vector<net::HostId> unique;
+  for (const net::HostId h : candidates) {
+    if (std::find(unique.begin(), unique.end(), h) == unique.end()) {
+      unique.push_back(h);
+    }
+  }
+
+  double best = -1;
+  for (const net::HostId site : unique) {
+    const double cost = local_cost(site, producer0, producer1, consumer,
+                                   resolver, &decision.unknown_pairs);
+    if (best < 0 || cost < best) {
+      best = cost;
+      decision.chosen = site;
+    }
+  }
+  decision.local_cost = best;
+  decision.moved = decision.chosen != current;
+  return decision;
+}
+
+}  // namespace wadc::core

@@ -1,0 +1,48 @@
+// Relocation decision rule of the local algorithm (§2.3).
+//
+// An operator that has decided it is on the critical path improves the
+// *local critical path* around itself: the longest path from either of its
+// producers to its consumer. Candidate sites are its current location, its
+// producers' locations, its consumer's location, and optionally k extra
+// randomly chosen hosts (the Figure 7 experiment). The decision uses only
+// bandwidth the operator's host knows about.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace wadc::core {
+
+struct LocalDecision {
+  net::HostId chosen = net::kInvalidHost;
+  double local_cost = 0;  // local critical path cost at the chosen site
+  bool moved = false;     // chosen != current site
+  std::set<HostPair> unknown_pairs;
+};
+
+class LocalRule {
+ public:
+  explicit LocalRule(const CostModel& model) : model_(model) {}
+
+  // Local critical path cost if the operator ran at `site`:
+  //   max over producers of edge(producer, site) + compute +
+  //   edge(site, consumer).
+  double local_cost(net::HostId site, net::HostId producer0,
+                    net::HostId producer1, net::HostId consumer,
+                    BandwidthResolver& resolver,
+                    std::set<HostPair>* unknown) const;
+
+  // Picks the candidate minimizing the local critical path. The current
+  // site wins ties (no gratuitous churn; a move must strictly help).
+  LocalDecision choose(net::HostId current, net::HostId producer0,
+                       net::HostId producer1, net::HostId consumer,
+                       const std::vector<net::HostId>& extra_candidates,
+                       BandwidthResolver& resolver) const;
+
+ private:
+  const CostModel& model_;
+};
+
+}  // namespace wadc::core

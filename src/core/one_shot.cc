@@ -1,0 +1,61 @@
+#include "core/one_shot.h"
+
+#include "common/assert.h"
+
+namespace wadc::core {
+
+PlanOutcome OneShotPlanner::plan(BandwidthResolver& resolver,
+                                 Placement initial) const {
+  const CombinationTree& tree = model_.tree();
+  WADC_ASSERT(initial.num_operators() == tree.num_operators(),
+              "initial placement does not match tree");
+
+  PlanOutcome out;
+  out.placement = std::move(initial);
+
+  auto cp = model_.critical_path(out.placement, resolver);
+  out.cost = cp.cost;
+  out.unknown_pairs.insert(cp.unknown_pairs.begin(), cp.unknown_pairs.end());
+
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    // Paper §2.1: C' <- C; for each operator on the critical path K,
+    // consider all alternative locations; keep the cheapest; accept only if
+    // it strictly improves on C.
+    double best_cost = out.cost;
+    Placement best = out.placement;
+    bool candidate_found = false;
+
+    for (const OperatorId op : cp.path) {
+      const net::HostId current = out.placement.location(op);
+      for (net::HostId host = 0; host < tree.num_hosts(); ++host) {
+        if (host == current) continue;
+        Placement cand = out.placement;
+        cand.set_location(op, host);
+        auto cand_cp = model_.critical_path(cand, resolver);
+        ++out.candidates_evaluated;
+        out.unknown_pairs.insert(cand_cp.unknown_pairs.begin(),
+                                 cand_cp.unknown_pairs.end());
+        // "<=" as in the paper's pseudocode: later ties win within a pass.
+        if (cand_cp.cost <= best_cost) {
+          best_cost = cand_cp.cost;
+          best = std::move(cand);
+          candidate_found = true;
+        }
+      }
+    }
+
+    if (!candidate_found || best_cost >= out.cost) break;  // C' < C failed
+    out.placement = std::move(best);
+    out.cost = best_cost;
+    ++out.iterations;
+    cp = model_.critical_path(out.placement, resolver);
+  }
+  return out;
+}
+
+PlanOutcome OneShotPlanner::plan_from_scratch(
+    BandwidthResolver& resolver) const {
+  return plan(resolver, Placement::all_at_client(model_.tree()));
+}
+
+}  // namespace wadc::core

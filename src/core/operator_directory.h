@@ -1,0 +1,71 @@
+// Timestamp-vector tracking of operator locations (§2.3).
+//
+// "All participating hosts maintain two vectors — a timestamp vector and a
+// location vector. Each vector has one entry for each operator. When an
+// operator is repositioned, the original site updates the corresponding
+// entry in the location vector and increments the corresponding entry in
+// the timestamp vector. The new information is propagated to peers ... by
+// piggybacking it on outgoing messages."
+//
+// For the merge rule, the paper overwrites both vectors only when the
+// incoming timestamp vector *dominates* the receiver's. With concurrent
+// moves of different operators (which the staggered epochs allow within one
+// tree level), neither vector dominates and the whole-vector rule can stall
+// propagation. We therefore default to the entry-wise merge (per-operator
+// newer timestamp wins), which is what a working implementation needs, and
+// keep the paper's literal whole-vector rule available for comparison; see
+// DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/placement.h"
+#include "net/types.h"
+
+namespace wadc::core {
+
+enum class MergeRule {
+  kEntryWise,        // per-entry newer-timestamp-wins (default)
+  kVectorDominance,  // paper's literal rule: overwrite only on dominance
+};
+
+class OperatorDirectory {
+ public:
+  OperatorDirectory() = default;
+  OperatorDirectory(const Placement& initial, MergeRule rule);
+
+  int num_operators() const {
+    return static_cast<int>(locations_.size());
+  }
+
+  net::HostId location(OperatorId op) const;
+  std::uint64_t timestamp(OperatorId op) const;
+
+  // Called at the site performing a relocation: bumps the operator's
+  // timestamp and records the new location.
+  void record_move(OperatorId op, net::HostId new_location);
+
+  // Applies a single foreign entry if it is newer (used to seed the
+  // destination host's directory when an operator arrives there).
+  void apply_entry(OperatorId op, net::HostId location,
+                   std::uint64_t timestamp);
+
+  // Merges a peer's directory (arrived by piggyback). Returns true if any
+  // entry changed (meaning propagation should continue).
+  bool merge(const OperatorDirectory& incoming);
+
+  // True iff this directory's timestamp vector dominates the other's:
+  // every entry >= and at least one entry strictly greater.
+  bool dominates(const OperatorDirectory& other) const;
+
+  const std::vector<net::HostId>& locations() const { return locations_; }
+  const std::vector<std::uint64_t>& timestamps() const { return timestamps_; }
+
+ private:
+  MergeRule rule_ = MergeRule::kEntryWise;
+  std::vector<net::HostId> locations_;
+  std::vector<std::uint64_t> timestamps_;
+};
+
+}  // namespace wadc::core

@@ -1,0 +1,838 @@
+#include "dataflow/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace wadc::dataflow {
+
+namespace {
+
+// Set WADC_DEBUG=1 to trace the adaptation protocol on stderr.
+bool debug_enabled() {
+  static const bool enabled = std::getenv("WADC_DEBUG") != nullptr;
+  return enabled;
+}
+
+#define WADC_DEBUGLOG(...)                       \
+  do {                                           \
+    if (debug_enabled()) {                       \
+      std::fprintf(stderr, __VA_ARGS__);         \
+      std::fprintf(stderr, "\n");                \
+    }                                            \
+  } while (0)
+
+core::CostModelParams cost_params_from(const workload::WorkloadParams& wp,
+                                       const net::NetworkParams& np) {
+  core::CostModelParams cp;
+  cp.startup_seconds = np.startup_seconds;
+  cp.partition_bytes = wp.mean_bytes;
+  cp.compute_seconds_per_byte = wp.compute_seconds_per_byte;
+  cp.disk_bytes_per_second = wp.disk_bytes_per_second;
+  return cp;
+}
+
+// The image the whole tree should deliver for one iteration; used to verify
+// that relocation never corrupts the dataflow.
+workload::ImageSpec expected_output(const core::CombinationTree& tree,
+                                    const workload::ImageWorkload& wl,
+                                    const core::Child& c, int iteration) {
+  if (c.is_server()) return wl.image(c.index, iteration);
+  const auto l = expected_output(tree, wl, tree.left_child(c.index), iteration);
+  const auto r =
+      expected_output(tree, wl, tree.right_child(c.index), iteration);
+  return workload::compose(l, r);
+}
+
+static_assert(net::kControlPriority == 10,
+              "EngineParams::control_priority default must match");
+
+}  // namespace
+
+Engine::Engine(sim::Simulation& sim, net::Network& network,
+               monitor::MonitoringSystem& monitoring,
+               const core::CombinationTree& tree,
+               const workload::ImageWorkload& workload,
+               const EngineParams& params)
+    : sim_(sim),
+      network_(network),
+      monitoring_(monitoring),
+      tree_(tree),
+      workload_(workload),
+      params_(params),
+      cost_model_(tree, cost_params_from(workload.params(), network.params())),
+      planner_(cost_model_),
+      local_rule_(cost_model_),
+      rng_(Rng(params.seed).fork(0xe1e1)) {
+  WADC_ASSERT(network.num_hosts() == tree.num_hosts(),
+              "network/tree host count mismatch");
+  WADC_ASSERT(workload.num_servers() == tree.num_servers(),
+              "workload/tree server count mismatch");
+
+  operators_.resize(static_cast<std::size_t>(tree.num_operators()));
+  for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
+    OperatorState& st = operators_[static_cast<std::size_t>(op)];
+    st.demands = std::make_unique<sim::Mailbox<Demand>>(sim_);
+    st.data = std::make_unique<sim::Mailbox<DataMessage>>(sim_);
+  }
+
+  servers_.resize(static_cast<std::size_t>(tree.num_servers()));
+  for (int s = 0; s < tree.num_servers(); ++s) {
+    ServerState& st = servers_[static_cast<std::size_t>(s)];
+    st.demands = std::make_unique<sim::Mailbox<Demand>>(sim_);
+    st.disk = std::make_unique<sim::Resource>(sim_, 1);
+  }
+
+  hosts_.resize(static_cast<std::size_t>(tree.num_hosts()));
+  const core::Placement start = core::Placement::all_at_client(tree);
+  for (net::HostId h = 0; h < tree.num_hosts(); ++h) {
+    HostState& hs = hosts_[static_cast<std::size_t>(h)];
+    hs.directory = std::make_unique<core::OperatorDirectory>(
+        start, params_.merge_rule);
+    hs.cpu = std::make_unique<sim::Resource>(sim_, 1);
+    hs.release_event = std::make_unique<sim::Event>(sim_);
+  }
+
+  client_data_ = std::make_unique<sim::Mailbox<DataMessage>>(sim_);
+  client_control_ = std::make_unique<sim::Mailbox<BarrierReport>>(sim_);
+
+  actual_location_.assign(static_cast<std::size_t>(tree.num_operators()),
+                          tree.client_host());
+  epochs_.push_back(PlanEpoch{0, tree, start});
+}
+
+int Engine::operator_side(const core::CombinationTree& tree,
+                          core::OperatorId op) {
+  const core::OperatorId parent = tree.parent(op);
+  if (parent == core::kNoOperator) return 0;  // sole producer of the client
+  const core::Child& left = tree.left_child(parent);
+  return (!left.is_server() && left.index == op) ? 0 : 1;
+}
+
+int Engine::server_side(const core::CombinationTree& tree, int server) {
+  const core::OperatorId consumer = tree.server_consumer(server);
+  const core::Child& left = tree.left_child(consumer);
+  return (left.is_server() && left.index == server) ? 0 : 1;
+}
+
+Engine::~Engine() {
+  // Process frames reference engine members (mailboxes, resources); destroy
+  // them while those members are still alive.
+  sim_.terminate_all();
+}
+
+Engine::OperatorState& Engine::op_state(core::OperatorId op) {
+  WADC_ASSERT(op >= 0 &&
+                  static_cast<std::size_t>(op) < operators_.size(),
+              "operator id out of range");
+  return operators_[static_cast<std::size_t>(op)];
+}
+
+Engine::HostState& Engine::host_state(net::HostId h) {
+  WADC_ASSERT(h >= 0 && static_cast<std::size_t>(h) < hosts_.size(),
+              "host id out of range");
+  return hosts_[static_cast<std::size_t>(h)];
+}
+
+const Engine::PlanEpoch& Engine::epoch_for(int iteration) const {
+  WADC_ASSERT(!epochs_.empty(), "no plan installed");
+  const PlanEpoch* best = &epochs_.front();
+  for (const PlanEpoch& epoch : epochs_) {
+    if (epoch.start_iteration <= iteration) best = &epoch;
+  }
+  return *best;
+}
+
+const core::Placement& Engine::placement_for(int iteration) const {
+  return epoch_for(iteration).placement;
+}
+
+const core::CombinationTree& Engine::tree_for(int iteration) const {
+  return epoch_for(iteration).tree;
+}
+
+net::HostId Engine::operator_location(core::OperatorId op) const {
+  WADC_ASSERT(op >= 0 &&
+                  static_cast<std::size_t>(op) < actual_location_.size(),
+              "operator id out of range");
+  return actual_location_[static_cast<std::size_t>(op)];
+}
+
+double Engine::directory_bytes() const {
+  return params_.directory_entry_bytes *
+         static_cast<double>(tree_.num_operators());
+}
+
+void Engine::note_pending_version(OperatorState& st, const Demand& d) {
+  if (d.pending_version > st.pending_version_seen) {
+    st.pending_version_seen = d.pending_version;
+  }
+}
+
+RunStats Engine::run() {
+  sim_.spawn(orchestrate());
+  const auto status = sim_.run();
+  WADC_ASSERT(done_, "simulation ended before the computation completed ",
+              "(status ", static_cast<int>(status), ", t=", sim_.now(), ")");
+  stats_.completed = true;
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// start-up
+
+sim::Task<void> Engine::orchestrate() {
+  core::CombinationTree initial_tree = tree_;
+  core::Placement initial = core::Placement::all_at_client(tree_);
+  if (adapts_order()) {
+    // Extension: choose the combination order and the placement jointly
+    // from probed bandwidth.
+    auto outcome = co_await plan_order_with_probes();
+    initial_tree = std::move(outcome.tree);
+    initial = std::move(outcome.placement);
+  } else if (params_.algorithm != core::AlgorithmKind::kDownloadAll) {
+    // §2.1: the one-shot algorithm positions operators before computation
+    // starts, measuring (probing) only the links the search touches.
+    auto outcome = co_await plan_with_probes(initial);
+    initial = std::move(outcome.placement);
+  }
+
+  // Install operators at their start-up locations: control message per
+  // off-client operator ("installing all the code at all servers and using
+  // control messages to transfer operators", §3).
+  for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
+    const net::HostId loc = initial.location(op);
+    actual_location_[static_cast<std::size_t>(op)] = loc;
+    if (loc != tree_.client_host()) {
+      co_await hop(tree_.client_host(), loc, params_.operator_move_bytes,
+                   params_.control_priority);
+    }
+  }
+  epochs_.clear();
+  epochs_.push_back(PlanEpoch{0, std::move(initial_tree), initial});
+  for (auto& hs : hosts_) {
+    hs.directory = std::make_unique<core::OperatorDirectory>(
+        initial, params_.merge_rule);
+  }
+
+  for (int s = 0; s < tree_.num_servers(); ++s) {
+    sim_.spawn(server_process(s));
+  }
+  for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
+    sim_.spawn(operator_process(op));
+  }
+  sim_.spawn(client_process());
+  if (is_global()) sim_.spawn(global_replanner_process());
+}
+
+sim::Task<core::PlanOutcome> Engine::plan_with_probes(
+    core::Placement initial) {
+  if (params_.oracle_bandwidth) {
+    // Ablation: idealized planning from ground truth, no probe traffic.
+    core::OracleResolver oracle(network_.links(), sim_.now());
+    core::PlanOutcome outcome = planner_.plan(oracle, std::move(initial));
+    ++stats_.plan_rounds;
+    co_return outcome;
+  }
+  const net::HostId client = tree_.client_host();
+  const sim::SimTime session_start = sim_.now();
+  core::PlanOutcome outcome;
+  for (int round = 0;; ++round) {
+    core::CacheResolver resolver(monitoring_.cache(client), sim_.now(),
+                                 session_start);
+    outcome = planner_.plan(resolver, initial);
+    ++stats_.plan_rounds;
+    if (outcome.unknown_pairs.empty() ||
+        round >= params_.max_plan_probe_rounds) {
+      break;
+    }
+    for (const auto& [a, b] : outcome.unknown_pairs) {
+      co_await monitoring_.fetch_bandwidth(client, a, b);
+    }
+  }
+  co_return outcome;
+}
+
+sim::Task<core::OrderPlanOutcome> Engine::plan_order_with_probes() {
+  const net::HostId client = tree_.client_host();
+  const sim::SimTime session_start = sim_.now();
+  core::OrderPlannerOptions options;
+  options.fix_at_client =
+      params_.algorithm == core::AlgorithmKind::kReorderOnly;
+  const core::OrderPlanner planner(tree_.num_servers(), cost_model_.params(),
+                                   core::OneShotParams{}, options);
+  core::OrderPlanOutcome outcome;
+  for (int round = 0;; ++round) {
+    core::CacheResolver resolver(monitoring_.cache(client), sim_.now(),
+                                 session_start);
+    outcome = planner.plan(resolver);
+    ++stats_.plan_rounds;
+    if (outcome.unknown_pairs.empty() ||
+        round >= params_.max_plan_probe_rounds) {
+      break;
+    }
+    for (const auto& [a, b] : outcome.unknown_pairs) {
+      co_await monitoring_.fetch_bandwidth(client, a, b);
+    }
+  }
+  co_return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// messaging
+
+sim::Task<void> Engine::hop(net::HostId from, net::HostId to, double bytes,
+                            int priority) {
+  if (from == to) co_return;
+  const auto payload = monitoring_.piggyback_payload(from);
+  double total = bytes + monitoring_.payload_bytes(payload);
+  std::unique_ptr<core::OperatorDirectory> directory_snapshot;
+  if (is_local()) {
+    // §2.3: location/timestamp vectors ride on every outgoing message.
+    total += directory_bytes();
+    directory_snapshot = std::make_unique<core::OperatorDirectory>(
+        *host_state(from).directory);
+  }
+  co_await network_.transfer(from, to, total, priority);
+  monitoring_.deliver_payload(to, payload);
+  if (directory_snapshot) {
+    host_state(to).directory->merge(*directory_snapshot);
+  }
+}
+
+net::HostId Engine::believed_location(net::HostId from_host,
+                                      core::OperatorId target,
+                                      int iteration) const {
+  if (is_local()) {
+    return hosts_[static_cast<std::size_t>(from_host)].directory->location(
+        target);
+  }
+  return placement_for(iteration).location(target);
+}
+
+sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
+                                                 core::OperatorId target,
+                                                 int iteration, double bytes,
+                                                 int priority) {
+  const net::HostId believed = believed_location(from, target, iteration);
+  co_await hop(from, believed, bytes, priority);
+  if (!is_local()) {
+    // Placement-based routing is authoritative: the change-over protocol
+    // guarantees the operator is (or is about to be) at this host for this
+    // iteration.
+    co_return believed;
+  }
+  // The local algorithm can be stale; the old host forwards (it performed
+  // the move, so it knows the new location).
+  net::HostId at = believed;
+  int forwards = 0;
+  while (at != actual_location_[static_cast<std::size_t>(target)]) {
+    WADC_ASSERT(params_.forwarding_enabled,
+                "stale operator route with forwarding disabled");
+    WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
+    const net::HostId next =
+        actual_location_[static_cast<std::size_t>(target)];
+    co_await hop(at, next, bytes, priority);
+    ++stats_.messages_forwarded;
+    at = next;
+  }
+  co_return at;
+}
+
+sim::Task<void> Engine::send_demand_to_child(core::OperatorId from_op,
+                                             const core::Child& child,
+                                             Demand demand) {
+  OperatorState& st = op_state(from_op);
+  const net::HostId from =
+      actual_location_[static_cast<std::size_t>(from_op)];
+  if (is_global() && demand.pending_version > 0) {
+    st.pending_version_forwarded =
+        std::max(st.pending_version_forwarded, demand.pending_version);
+  }
+  if (child.is_server()) {
+    co_await hop(from, tree_.server_host(child.index), params_.demand_bytes,
+                 net::kDataPriority);
+    servers_[static_cast<std::size_t>(child.index)].demands->send(demand);
+  } else {
+    co_await route_to_operator(from, child.index, demand.iteration,
+                               params_.demand_bytes, net::kDataPriority);
+    op_state(child.index).demands->send(demand);
+  }
+}
+
+sim::Task<void> Engine::send_data_to_consumer(core::OperatorId producer,
+                                              DataMessage message) {
+  const net::HostId from =
+      actual_location_[static_cast<std::size_t>(producer)];
+  const core::OperatorId parent =
+      tree_for(message.iteration).parent(producer);
+  if (parent == core::kNoOperator) {
+    co_await hop(from, tree_.client_host(), message.image.bytes,
+                 net::kDataPriority);
+    client_data_->send(message);
+  } else {
+    co_await route_to_operator(from, parent, message.iteration,
+                               message.image.bytes, net::kDataPriority);
+    op_state(parent).data->send(message);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// actors
+
+sim::Task<void> Engine::client_process() {
+  const int n = total_iterations();
+  for (int iter = 0; iter < n; ++iter) {
+    const core::OperatorId root = tree_for(iter).root();
+    client_next_iteration_ = iter;
+    Demand d;
+    d.iteration = iter;
+    // The client has a single producer, so that producer is trivially the
+    // latest one, and the root of the tree is on the critical path by
+    // definition (§2.3).
+    d.marked_later = true;
+    d.consumer_on_critical_path = true;
+    d.pending_version = active_barrier_ ? active_barrier_->version : 0;
+
+    co_await route_to_operator(tree_.client_host(), root, iter,
+                               params_.demand_bytes, net::kDataPriority);
+    op_state(root).demands->send(d);
+
+    DataMessage m = co_await client_data_->receive();
+    WADC_ASSERT(m.iteration == iter, "client received image out of order");
+    if (params_.check_invariants) {
+      const core::CombinationTree& t = tree_for(iter);
+      const auto expected = expected_output(
+          t, workload_, core::Child::op(t.root()), iter);
+      WADC_ASSERT(m.image.lineage == expected.lineage,
+                  "composed image lineage mismatch at iteration ", iter);
+    }
+    stats_.arrival_seconds.push_back(sim_.now());
+    if (iter % 20 == 0) {
+      WADC_DEBUGLOG("[t=%9.1f] client received iteration %d", sim_.now(),
+                    iter);
+    }
+  }
+  stats_.completion_seconds = sim_.now();
+  done_ = true;
+  sim_.request_stop();
+}
+
+sim::Task<void> Engine::server_process(int server) {
+  ServerState& st = servers_[static_cast<std::size_t>(server)];
+  const net::HostId host = tree_.server_host(server);
+  const int n = total_iterations();
+  int expected_next = 0;  // demands arrive in order under a static tree
+  for (int count = 0; count < n; ++count) {
+    // Serve demands as they arrive. Each iteration is demanded exactly
+    // once; only an order-changing change-over can reorder arrivals
+    // (the new consumer's first demand racing the old consumer's last).
+    Demand d = co_await st.demands->receive();
+    if (params_.check_invariants && !adapts_order()) {
+      WADC_ASSERT(d.iteration == expected_next,
+                  "server demand out of order");
+    }
+    expected_next = d.iteration + 1;
+    max_server_iteration_ = std::max(max_server_iteration_, d.iteration);
+
+    if (is_global() && d.pending_version > st.pending_version_seen) {
+      // §2.2: first sight of a pending placement — report the current
+      // iteration number to the client and suspend until released.
+      st.pending_version_seen = d.pending_version;
+      BarrierReport report;
+      report.version = d.pending_version;
+      report.server = server;
+      report.iteration = d.iteration;
+      co_await hop(host, tree_.client_host(), params_.control_bytes,
+                   params_.control_priority);
+      client_control_->send(report);
+      HostState& hs = host_state(host);
+      while (hs.released_version < d.pending_version) {
+        co_await hs.release_event->wait();
+      }
+    }
+
+    // Copy what this demand needs from its epoch before suspending again.
+    const core::CombinationTree& t = tree_for(d.iteration);
+    const core::OperatorId consumer = t.server_consumer(server);
+    const int side = server_side(t, server);
+    const workload::ImageSpec img = workload_.image(server, d.iteration);
+    {
+      auto lock = co_await st.disk->acquire();
+      co_await sim_.delay(workload_.disk_seconds(img));
+    }
+    DataMessage m;
+    m.image = img;
+    m.iteration = d.iteration;
+    m.producer_side = side;
+    co_await route_to_operator(host, consumer, d.iteration, m.image.bytes,
+                               net::kDataPriority);
+    op_state(consumer).data->send(m);
+  }
+}
+
+sim::Task<Demand> Engine::receive_demand_for(core::OperatorId op,
+                                             int iteration) {
+  OperatorState& st = op_state(op);
+  if (const auto it = st.demand_stash.find(iteration);
+      it != st.demand_stash.end()) {
+    Demand d = it->second;
+    st.demand_stash.erase(it);
+    co_return d;
+  }
+  for (;;) {
+    Demand d = co_await st.demands->receive();
+    if (d.iteration == iteration) co_return d;
+    WADC_ASSERT(d.iteration > iteration,
+                "duplicate or stale demand at operator ", op);
+    // Version information must not wait in the stash.
+    note_pending_version(st, d);
+    st.demand_stash.emplace(d.iteration, d);
+  }
+}
+
+sim::Task<void> Engine::operator_process(core::OperatorId op) {
+  OperatorState& st = op_state(op);
+  const int n = total_iterations();
+  std::optional<workload::ImageSpec> held;
+  for (int iter = 0; iter < n; ++iter) {
+    Demand d = co_await receive_demand_for(op, iter);
+    if (d.marked_later) ++st.later_marks;
+    st.consumer_on_critical_path = d.consumer_on_critical_path;
+    note_pending_version(st, d);
+
+    if (!held) {
+      // Only possible on the first iteration: nothing prefetched yet.
+      held = co_await fetch_and_compose(op, iter);
+    }
+    co_await dispatch(op, iter, *held);
+    held.reset();
+    ++st.dispatches;
+
+    // §2: "Relocation of an operator can occur after it has dispatched its
+    // output and before it requests new data."
+    co_await relocation_window(op, iter);
+
+    if (iter + 1 < n) {
+      held = co_await fetch_and_compose(op, iter + 1);
+    }
+  }
+}
+
+sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
+                                                         int iteration) {
+  OperatorState& st = op_state(op);
+  st.next_fetch_iteration = iteration;
+  const core::CombinationTree& t = tree_for(iteration);
+  const core::Child children[2] = {t.left_child(op), t.right_child(op)};
+  for (int side = 0; side < 2; ++side) {
+    Demand d;
+    d.iteration = iteration;
+    d.marked_later = st.last_later_side == side;
+    d.consumer_on_critical_path = st.on_critical_path;
+    d.pending_version = st.pending_version_seen;
+    co_await send_demand_to_child(op, children[side], d);
+  }
+  DataMessage first = co_await st.data->receive();
+  DataMessage second = co_await st.data->receive();
+  WADC_ASSERT(first.iteration == iteration && second.iteration == iteration,
+              "input iteration mismatch at operator ", op);
+  WADC_ASSERT(first.producer_side != second.producer_side,
+              "duplicate input side at operator ", op);
+  st.last_later_side = second.producer_side;
+
+  const workload::ImageSpec& left =
+      first.producer_side == 0 ? first.image : second.image;
+  const workload::ImageSpec& right =
+      first.producer_side == 0 ? second.image : first.image;
+  const workload::ImageSpec out = workload::compose(left, right);
+  co_await compute_at(actual_location_[static_cast<std::size_t>(op)],
+                      workload_.compose_seconds(out));
+  co_return out;
+}
+
+sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,
+                                 const workload::ImageSpec& image) {
+  if (params_.check_invariants && !is_local()) {
+    // Coordinated change-over invariant: data always flows along edges of
+    // the placement in force for its iteration (the Figure 3 hazard).
+    WADC_ASSERT(actual_location_[static_cast<std::size_t>(op)] ==
+                    placement_for(iteration).location(op),
+                "operator ", op, " dispatching iteration ", iteration,
+                " from a host not in the active placement");
+  }
+  DataMessage m;
+  m.image = image;
+  m.iteration = iteration;
+  m.producer_side = operator_side(tree_for(iteration), op);
+  co_await send_data_to_consumer(op, m);
+}
+
+sim::Task<void> Engine::compute_at(net::HostId host, double seconds) {
+  HostState& hs = host_state(host);
+  auto lock = co_await hs.cpu->acquire();
+  co_await sim_.delay(seconds);
+}
+
+// ---------------------------------------------------------------------------
+// relocation
+
+sim::Task<void> Engine::relocation_window(core::OperatorId op,
+                                          int iteration) {
+  if (is_local()) {
+    co_await local_epoch_action(op);
+    co_return;
+  }
+  if (!is_global()) co_return;
+
+  OperatorState& st = op_state(op);
+  // If we have already propagated a pending placement toward the servers,
+  // do not fetch further until the switch iteration is known: this closes
+  // the race between the release broadcast and resumed data flow.
+  while (active_barrier_ &&
+         st.pending_version_forwarded >= active_barrier_->version &&
+         host_state(actual_location_[static_cast<std::size_t>(op)])
+                 .released_version < active_barrier_->version) {
+    WADC_DEBUGLOG("[t=%9.1f] operator %d (host %d) waiting for release",
+                  sim_.now(), op,
+                  actual_location_[static_cast<std::size_t>(op)]);
+    co_await host_state(actual_location_[static_cast<std::size_t>(op)])
+        .release_event->wait();
+  }
+
+  if (active_barrier_ && active_barrier_->switch_iteration &&
+      active_barrier_->version > st.moved_for_version &&
+      iteration + 1 >= *active_barrier_->switch_iteration) {
+    const int version = active_barrier_->version;
+    st.moved_for_version = version;
+    const net::HostId target = active_barrier_->new_placement.location(op);
+    if (target != actual_location_[static_cast<std::size_t>(op)]) {
+      co_await relocate_operator(op, target);
+    }
+    // Retire the barrier once every operator has applied it.
+    if (active_barrier_ && active_barrier_->version == version) {
+      if (++active_barrier_->moves_applied == tree_.num_operators() &&
+          active_barrier_->broadcast_done) {
+        active_barrier_.reset();
+        ++stats_.barriers_completed;
+      }
+    }
+  }
+}
+
+sim::Task<void> Engine::local_epoch_action(core::OperatorId op) {
+  OperatorState& st = op_state(op);
+  const double epoch_len =
+      params_.relocation_period_seconds / static_cast<double>(tree_.depth());
+  const auto epoch_index =
+      static_cast<std::int64_t>(sim_.now() / epoch_len);
+  if (epoch_index <= st.last_epoch_acted) co_return;
+  if (epoch_index % tree_.depth() != tree_.level(op)) co_return;
+  st.last_epoch_acted = epoch_index;
+
+  // §2.3: on the critical path iff marked the later producer more than half
+  // the times we dispatched during the epoch, and our consumer is too.
+  const bool majority_later =
+      st.dispatches > 0 && 2 * st.later_marks > st.dispatches;
+  st.on_critical_path = majority_later && st.consumer_on_critical_path;
+  st.later_marks = 0;
+  st.dispatches = 0;
+  if (!st.on_critical_path) co_return;
+
+  const net::HostId self = actual_location_[static_cast<std::size_t>(op)];
+  const core::OperatorDirectory& dir = *host_state(self).directory;
+  const auto child_site = [&](const core::Child& c) {
+    return c.is_server() ? tree_.server_host(c.index) : dir.location(c.index);
+  };
+  const net::HostId p0 = child_site(tree_.left_child(op));
+  const net::HostId p1 = child_site(tree_.right_child(op));
+  const core::OperatorId parent = tree_.parent(op);
+  const net::HostId consumer =
+      parent == core::kNoOperator ? tree_.client_host() : dir.location(parent);
+
+  // k extra random candidate sites from the remaining hosts (Figure 7).
+  std::vector<net::HostId> extras;
+  if (params_.local_extra_candidates > 0) {
+    std::vector<net::HostId> pool;
+    for (net::HostId h = 0; h < tree_.num_hosts(); ++h) {
+      if (h != self && h != p0 && h != p1 && h != consumer) pool.push_back(h);
+    }
+    const std::size_t k =
+        std::min(pool.size(),
+                 static_cast<std::size_t>(params_.local_extra_candidates));
+    for (const std::size_t i :
+         rng_.sample_without_replacement(pool.size(), k)) {
+      extras.push_back(pool[i]);
+    }
+  }
+
+  const sim::SimTime session_start = sim_.now();
+  core::CacheResolver resolver(monitoring_.cache(self), sim_.now(),
+                               session_start);
+  core::LocalDecision decision =
+      local_rule_.choose(self, p0, p1, consumer, extras, resolver);
+  if (!decision.unknown_pairs.empty() &&
+      monitoring_.params().probing_enabled) {
+    // Additional candidate links have to be monitored (§5); probe them,
+    // then decide again with the samples this session gathered.
+    for (const auto& [a, b] : decision.unknown_pairs) {
+      co_await monitoring_.fetch_bandwidth(self, a, b);
+    }
+    core::CacheResolver fresh(monitoring_.cache(self), sim_.now(),
+                              session_start);
+    decision = local_rule_.choose(self, p0, p1, consumer, extras, fresh);
+  }
+  if (decision.moved) {
+    co_await relocate_operator(op, decision.chosen);
+  }
+}
+
+sim::Task<void> Engine::relocate_operator(core::OperatorId op,
+                                          net::HostId to) {
+  const net::HostId from = actual_location_[static_cast<std::size_t>(op)];
+  WADC_ASSERT(from != to, "relocating operator to its current host");
+  // Light-move: the operator holds no output in this window, so its state
+  // is one small control message.
+  co_await hop(from, to, params_.operator_move_bytes,
+               params_.control_priority);
+  actual_location_[static_cast<std::size_t>(op)] = to;
+  if (is_local()) {
+    // §2.3: "the original site updates the corresponding entry in the
+    // location vector and increments ... the timestamp vector."
+    core::OperatorDirectory& origin = *host_state(from).directory;
+    origin.record_move(op, to);
+    host_state(to).directory->apply_entry(op, to, origin.timestamp(op));
+  }
+  ++stats_.relocations;
+  stats_.relocation_trace.push_back(
+      RelocationEvent{sim_.now(), op, from, to});
+  WADC_DEBUGLOG("[t=%9.1f] relocated operator %d: host %d -> host %d",
+                sim_.now(), op, from, to);
+}
+
+// ---------------------------------------------------------------------------
+// global replanning
+
+sim::Task<void> Engine::global_replanner_process() {
+  const int n = total_iterations();
+  // A change-over needs every server to see the pending version on a
+  // future demand; the wave takes up to one tree depth of iterations to
+  // propagate while servers advance by up to another depth. Stop planning
+  // once the most-advanced server is too close to the end.
+  const auto too_late = [this, n] {
+    const int depth_now = epochs_.back().tree.depth();
+    return max_server_iteration_ + 2 * depth_now +
+               params_.barrier_guard_iterations >=
+           n;
+  };
+  for (;;) {
+    co_await sim_.delay(params_.relocation_period_seconds);
+    if (done_) co_return;
+    if (active_barrier_) continue;  // previous change-over still in flight
+    if (too_late()) co_return;
+
+    WADC_DEBUGLOG("[t=%9.1f] replanner: planning (client at %d)", sim_.now(),
+                  client_next_iteration_);
+    core::CombinationTree new_tree = epochs_.back().tree;
+    core::Placement new_placement = epochs_.back().placement;
+    bool changed = false;
+    if (adapts_order()) {
+      auto outcome = co_await plan_order_with_probes();
+      // Adopt the candidate only if it strictly beats the current plan
+      // under the same (post-probing) bandwidth knowledge.
+      core::CacheResolver resolver(
+          monitoring_.cache(tree_.client_host()), sim_.now(), sim_.now());
+      const core::CostModel current_model(epochs_.back().tree,
+                                          cost_model_.params());
+      const double current_cost = current_model.placement_cost(
+          epochs_.back().placement, resolver);
+      if (outcome.cost < params_.order_adoption_threshold * current_cost) {
+        new_tree = std::move(outcome.tree);
+        new_placement = std::move(outcome.placement);
+        changed = true;
+      }
+    } else {
+      auto outcome = co_await plan_with_probes(epochs_.back().placement);
+      changed = !(outcome.placement == epochs_.back().placement);
+      new_placement = std::move(outcome.placement);
+    }
+    ++stats_.replans;
+    WADC_DEBUGLOG("[t=%9.1f] replanner: %s", sim_.now(),
+                  changed ? "CHANGED" : "unchanged");
+    if (done_) co_return;
+    if (!changed) continue;
+    if (active_barrier_) continue;
+    if (too_late()) co_return;  // probing took time; re-check
+
+    Barrier b;
+    b.version = next_version_++;
+    b.new_tree = std::move(new_tree);
+    b.new_placement = std::move(new_placement);
+    active_barrier_ = std::move(b);
+    ++stats_.barriers_initiated;
+    sim_.spawn(barrier_coordinator(active_barrier_->version));
+  }
+}
+
+sim::Task<void> Engine::barrier_coordinator(int version) {
+  // Gather one report per server (§2.2).
+  int reports = 0;
+  int max_reported = 0;
+  const int servers = tree_.num_servers();
+  while (reports < servers) {
+    BarrierReport r = co_await client_control_->receive();
+    if (r.version != version) continue;  // stale duplicate
+    ++reports;
+    max_reported = std::max(max_reported, r.iteration);
+    WADC_DEBUGLOG("[t=%9.1f] barrier v%d: report %d/%d (server %d @ iter %d)",
+                  sim_.now(), version, reports, servers, r.server,
+                  r.iteration);
+  }
+
+  // Switch strictly after every partition in flight: atomic change-over.
+  const int switch_iteration = max_reported + 1;
+  WADC_ASSERT(active_barrier_ && active_barrier_->version == version,
+              "barrier vanished mid-coordination");
+  active_barrier_->switch_iteration = switch_iteration;
+  WADC_DEBUGLOG("[t=%9.1f] barrier v%d: switch at iteration %d", sim_.now(),
+                version, switch_iteration);
+  epochs_.push_back(PlanEpoch{switch_iteration, active_barrier_->new_tree,
+                              active_barrier_->new_placement});
+  if (params_.check_invariants) {
+    for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
+      WADC_ASSERT(op_state(op).next_fetch_iteration < switch_iteration,
+                  "operator fetched past the change-over point");
+    }
+  }
+
+  // Broadcast the release — high-priority barrier messages (§2.2). The
+  // client host releases locally: operators co-located with the client wait
+  // on the same per-host event.
+  {
+    HostState& hs = host_state(tree_.client_host());
+    hs.released_version = version;
+    hs.release_event->trigger();
+  }
+  for (net::HostId h = 1; h < tree_.num_hosts(); ++h) {
+    co_await hop(tree_.client_host(), h, params_.control_bytes,
+                 params_.control_priority);
+    HostState& hs = host_state(h);
+    hs.released_version = version;
+    hs.release_event->trigger();
+    WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
+                  version, h);
+  }
+
+  if (active_barrier_ && active_barrier_->version == version) {
+    active_barrier_->broadcast_done = true;
+    if (active_barrier_->moves_applied == tree_.num_operators()) {
+      active_barrier_.reset();
+      ++stats_.barriers_completed;
+    }
+  }
+}
+
+}  // namespace wadc::dataflow

@@ -1,0 +1,244 @@
+// The demand-driven, relocatable dataflow engine.
+//
+// This is the system under study: servers at the leaves, combination
+// operators at internal nodes, the client at the root (§2). The engine runs
+// the full protocol over the simulated network:
+//
+//   - demand-driven pipelining: every node holds one output partition and
+//     dispatches it when its consumer asks; it requests new inputs only
+//     after dispatching, and prefetches one partition ahead;
+//   - light-move relocation windows: an operator may be relocated only
+//     between dispatching its output and requesting new data (§2);
+//   - the one-shot algorithm at start-up (with on-demand probing of the
+//     links the branch-and-bound search actually touches, §2.1);
+//   - the global algorithm: periodic replanning at the client from the
+//     current placement plus the barrier-based coordinated change-over with
+//     high-priority barrier messages (§2.2);
+//   - the local algorithm: staggered epochs per tree level, later-producer
+//     marking to detect the critical path in a distributed way, local
+//     critical-path improvement with optional extra random candidate sites,
+//     and timestamp/location-vector propagation piggybacked on every
+//     message (§2.3);
+//   - the download-all baseline (§4).
+//
+// The engine's RunStats expose completion time, per-image arrival times and
+// adaptation counters; the experiment harness builds every figure of the
+// paper from them.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cost_model.h"
+#include "core/local_rule.h"
+#include "core/one_shot.h"
+#include "core/order_planner.h"
+#include "core/operator_directory.h"
+#include "dataflow/engine_params.h"
+#include "dataflow/messages.h"
+#include "monitor/monitoring_system.h"
+#include "net/network.h"
+#include "sim/mailbox.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "workload/image_workload.h"
+
+namespace wadc::dataflow {
+
+class Engine {
+ public:
+  Engine(sim::Simulation& sim, net::Network& network,
+         monitor::MonitoringSystem& monitoring,
+         const core::CombinationTree& tree,
+         const workload::ImageWorkload& workload, const EngineParams& params);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs the computation to completion (all partitions delivered to the
+  // client) and returns the statistics.
+  RunStats run();
+
+  // The plan in effect for a given iteration (start-up plan, or the result
+  // of completed change-overs). Every iteration executes entirely under one
+  // (tree, placement) epoch; the order-adaptive extension switches both
+  // atomically at the change-over barrier.
+  const core::Placement& placement_for(int iteration) const;
+  const core::CombinationTree& tree_for(int iteration) const;
+  // Where each operator physically is right now.
+  net::HostId operator_location(core::OperatorId op) const;
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  // ---- per-entity state ------------------------------------------------
+  struct OperatorState {
+    std::unique_ptr<sim::Mailbox<Demand>> demands;
+    std::unique_ptr<sim::Mailbox<DataMessage>> data;
+    // Across an order-changing change-over the operator's consumer differs
+    // between epochs, so a demand for iteration M (new consumer) can arrive
+    // before the demand for M-1 (old consumer). Demands are consumed in
+    // iteration order through this stash.
+    std::map<int, Demand> demand_stash;
+    // Later-producer bookkeeping (§2.3).
+    int later_marks = 0;
+    int dispatches = 0;
+    int last_later_side = -1;  // which of our producers was later last time
+    bool on_critical_path = false;
+    bool consumer_on_critical_path = false;
+    std::int64_t last_epoch_acted = -1;
+    // Change-over bookkeeping (§2.2).
+    int pending_version_seen = 0;       // from demands we received
+    int pending_version_forwarded = 0;  // attached to demands we sent
+    int moved_for_version = 0;
+    int next_fetch_iteration = 0;
+  };
+
+  struct ServerState {
+    std::unique_ptr<sim::Mailbox<Demand>> demands;
+    std::unique_ptr<sim::Resource> disk;
+    int pending_version_seen = 0;
+  };
+
+  struct HostState {
+    std::unique_ptr<core::OperatorDirectory> directory;  // local algorithm
+    std::unique_ptr<sim::Resource> cpu;
+    std::unique_ptr<sim::Event> release_event;  // barrier release arrival
+    int released_version = 0;
+  };
+
+  struct Barrier {
+    int version = 0;
+    core::CombinationTree new_tree;  // == current tree unless adapting order
+    core::Placement new_placement;
+    std::optional<int> switch_iteration;
+    bool broadcast_done = false;
+    // Operators that have passed their relocation check for this version;
+    // the barrier retires when all have (and the release is broadcast).
+    int moves_applied = 0;
+  };
+
+  // ---- processes ---------------------------------------------------------
+  sim::Task<void> orchestrate();  // start-up planning, install, spawn actors
+  sim::Task<void> client_process();
+  sim::Task<void> server_process(int server);
+  sim::Task<void> operator_process(core::OperatorId op);
+  sim::Task<void> global_replanner_process();
+  sim::Task<void> barrier_coordinator(int version);
+
+  // ---- operator protocol pieces ----------------------------------------
+  sim::Task<workload::ImageSpec> fetch_and_compose(core::OperatorId op,
+                                                   int iteration);
+  sim::Task<void> dispatch(core::OperatorId op, int iteration,
+                           const workload::ImageSpec& image);
+  sim::Task<void> relocation_window(core::OperatorId op, int iteration);
+  sim::Task<void> local_epoch_action(core::OperatorId op);
+  sim::Task<void> relocate_operator(core::OperatorId op, net::HostId to);
+  // Receives the demand for exactly `iteration`, stashing any that arrive
+  // out of order (possible only across order-changing change-overs).
+  sim::Task<Demand> receive_demand_for(core::OperatorId op, int iteration);
+
+  // ---- messaging ---------------------------------------------------------
+  // One physical hop with monitoring piggyback (and, for the local
+  // algorithm, directory propagation).
+  sim::Task<void> hop(net::HostId from, net::HostId to, double bytes,
+                      int priority);
+  // Routes a message to an operator's believed location, forwarding from a
+  // stale location if necessary. Returns the host actually delivered to.
+  sim::Task<net::HostId> route_to_operator(net::HostId from,
+                                           core::OperatorId target,
+                                           int iteration, double bytes,
+                                           int priority);
+  sim::Task<void> send_demand_to_child(core::OperatorId from_op,
+                                       const core::Child& child,
+                                       Demand demand);
+  sim::Task<void> send_data_to_consumer(core::OperatorId producer,
+                                        DataMessage message);
+
+  // Where `from_host` believes operator `target` lives, for a message
+  // belonging to `iteration`.
+  net::HostId believed_location(net::HostId from_host,
+                                core::OperatorId target, int iteration) const;
+
+  // ---- planning ----------------------------------------------------------
+  // One-shot planning at the client with probe-and-replan for unknown
+  // links. Takes simulated time (probes are real traffic).
+  sim::Task<core::PlanOutcome> plan_with_probes(core::Placement initial);
+  // Joint order+location planning (kGlobalOrder), same probing discipline.
+  sim::Task<core::OrderPlanOutcome> plan_order_with_probes();
+
+  // ---- helpers -----------------------------------------------------------
+  sim::Task<void> compute_at(net::HostId host, double seconds);
+  OperatorState& op_state(core::OperatorId op);
+  HostState& host_state(net::HostId h);
+  bool is_local() const {
+    return params_.algorithm == core::AlgorithmKind::kLocal;
+  }
+  bool is_global() const {
+    return params_.algorithm == core::AlgorithmKind::kGlobal ||
+           params_.algorithm == core::AlgorithmKind::kGlobalOrder ||
+           params_.algorithm == core::AlgorithmKind::kReorderOnly;
+  }
+  bool adapts_order() const {
+    return params_.algorithm == core::AlgorithmKind::kGlobalOrder ||
+           params_.algorithm == core::AlgorithmKind::kReorderOnly;
+  }
+  // Which input side (0 = left, 1 = right) an entity feeds under a tree.
+  static int operator_side(const core::CombinationTree& tree,
+                           core::OperatorId op);
+  static int server_side(const core::CombinationTree& tree, int server);
+  int total_iterations() const { return workload_.iterations(); }
+  void note_pending_version(OperatorState& st, const Demand& d);
+  double directory_bytes() const;
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  monitor::MonitoringSystem& monitoring_;
+  const core::CombinationTree& tree_;
+  const workload::ImageWorkload& workload_;
+  EngineParams params_;
+
+  core::CostModel cost_model_;
+  core::OneShotPlanner planner_;
+  core::LocalRule local_rule_;
+  Rng rng_;
+
+  std::vector<OperatorState> operators_;
+  std::vector<ServerState> servers_;
+  std::vector<HostState> hosts_;
+  std::unique_ptr<sim::Mailbox<DataMessage>> client_data_;
+  std::unique_ptr<sim::Mailbox<BarrierReport>> client_control_;
+
+  // Routing truth: plans by starting iteration, plus physical locations.
+  struct PlanEpoch {
+    int start_iteration = 0;
+    core::CombinationTree tree;
+    core::Placement placement;
+  };
+  const PlanEpoch& epoch_for(int iteration) const;
+  // Deque, not vector: processes hold references to an epoch's tree across
+  // suspension points, and deque::push_back never invalidates references
+  // to existing elements.
+  std::deque<PlanEpoch> epochs_;
+  std::vector<net::HostId> actual_location_;
+
+  std::optional<Barrier> active_barrier_;
+  int next_version_ = 1;
+  int client_next_iteration_ = 0;
+  // Highest iteration any server has been asked for; servers run ahead of
+  // the client by up to the pipeline depth, and a change-over can only be
+  // initiated while every server still has demands left to carry the
+  // pending version (otherwise it can never report).
+  int max_server_iteration_ = 0;
+  bool done_ = false;
+
+  RunStats stats_;
+};
+
+}  // namespace wadc::dataflow

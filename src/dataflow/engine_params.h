@@ -1,0 +1,104 @@
+// Configuration and result types for the dataflow engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm_kind.h"
+#include "core/combination_tree.h"
+#include "core/operator_directory.h"
+#include "net/types.h"
+#include "sim/types.h"
+
+namespace wadc::dataflow {
+
+struct EngineParams {
+  core::AlgorithmKind algorithm = core::AlgorithmKind::kDownloadAll;
+
+  // On-line adaptation period (§4: the global and local algorithms were run
+  // once every 10 minutes in the main experiments; Figure 9 sweeps this).
+  // For the local algorithm, the epoch length is this period divided by the
+  // tree depth, so each operator reconsiders its placement once per period
+  // while the staggered wavefront (§2.3) sweeps all levels within it.
+  sim::SimTime relocation_period_seconds = 600;
+
+  // Extra randomly-chosen candidate sites for the local rule (Figure 7's k).
+  int local_extra_candidates = 0;
+
+  // Wire sizes for protocol messages.
+  double demand_bytes = 512;         // demand message body
+  double control_bytes = 256;        // barrier reports / releases
+  double operator_move_bytes = 1024; // light-move state transfer (§2)
+  double directory_entry_bytes = 12; // per-operator (timestamp, location)
+
+  // Planning driver: probe-and-replan rounds for unknown link bandwidths.
+  int max_plan_probe_rounds = 4;
+
+  // The client will not initiate a change-over with fewer than
+  // (tree depth + this) iterations left, so barriers always complete.
+  int barrier_guard_iterations = 4;
+
+  // Timestamp-vector merge rule for the local algorithm (see
+  // OperatorDirectory).
+  core::MergeRule merge_rule = core::MergeRule::kEntryWise;
+
+  // When an operator has moved but a sender still believes the old
+  // location, the old host forwards the message (one extra hop). Only the
+  // local algorithm can be stale; disabling forwarding makes staleness a
+  // hard error (useful in tests).
+  bool forwarding_enabled = true;
+
+  // Verify protocol invariants while running (cheap; on by default).
+  bool check_invariants = true;
+
+  // Priority used for barrier/control traffic. The paper assigns barrier
+  // messages a higher priority (§2.2); setting this to net::kDataPriority
+  // ablates that design choice.
+  int control_priority = 10;  // == net::kControlPriority
+
+  // Order-adaptive replanning (kGlobalOrder) adopts a new combination tree
+  // only when its estimated cost undercuts the current plan's by this
+  // factor; switching the whole tree relocates many operators, so a little
+  // hysteresis prevents thrash.
+  double order_adoption_threshold = 0.9;
+
+  // Ablation: plan from ground-truth link bandwidth instead of the
+  // monitoring subsystem (an idealized upper bound on what better
+  // monitoring could buy; never used by the paper's algorithms).
+  bool oracle_bandwidth = false;
+
+  // Seed for engine-local randomness (the local rule's k extra sites).
+  std::uint64_t seed = 1;
+};
+
+struct RelocationEvent {
+  sim::SimTime time = 0;
+  core::OperatorId op = core::kNoOperator;
+  net::HostId from = net::kInvalidHost;
+  net::HostId to = net::kInvalidHost;
+};
+
+struct RunStats {
+  bool completed = false;
+  double completion_seconds = 0;       // time of the last delivered image
+  std::vector<double> arrival_seconds; // client arrival time per image
+
+  int relocations = 0;
+  int barriers_initiated = 0;
+  int barriers_completed = 0;
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t plan_rounds = 0;
+  std::uint64_t replans = 0;
+
+  std::vector<RelocationEvent> relocation_trace;
+
+  // Mean time between consecutive image arrivals at the client (the §5
+  // "average interarrival time for processed images").
+  double mean_interarrival_seconds() const {
+    if (arrival_seconds.size() < 2) return completion_seconds;
+    return (arrival_seconds.back() - arrival_seconds.front()) /
+           static_cast<double>(arrival_seconds.size() - 1);
+  }
+};
+
+}  // namespace wadc::dataflow

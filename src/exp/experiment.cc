@@ -1,0 +1,155 @@
+#include "exp/experiment.h"
+
+#include <cstdlib>
+
+#include "common/assert.h"
+#include "dataflow/engine.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace wadc::exp {
+
+dataflow::EngineParams ExperimentSpec::engine_params(
+    std::uint64_t seed) const {
+  dataflow::EngineParams ep = engine_base;
+  ep.algorithm = algorithm;
+  ep.relocation_period_seconds = relocation_period_seconds;
+  ep.local_extra_candidates = local_extra_candidates;
+  ep.seed = seed;
+  return ep;
+}
+
+RunResult run_experiment(const trace::TraceLibrary& library,
+                         const ExperimentSpec& spec) {
+  WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
+  const int num_hosts = spec.num_servers + 1;
+
+  // Construction order doubles as destruction-safety order: the engine is
+  // destroyed first and tears down all coroutine frames while the objects
+  // they reference are still alive.
+  sim::Simulation sim;
+  const net::LinkTable links = make_network_config(
+      library, num_hosts, spec.config_seed, spec.config);
+  net::Network network(sim, links, spec.network);
+  monitor::MonitoringSystem monitoring(network, spec.monitor);
+  const core::CombinationTree tree =
+      core::CombinationTree::make(spec.tree_shape, spec.num_servers);
+
+  workload::WorkloadParams wp = spec.workload;
+  wp.iterations = spec.iterations;
+  const workload::ImageWorkload workload(wp, spec.num_servers,
+                                         spec.config_seed);
+
+  dataflow::Engine engine(sim, network, monitoring, tree, workload,
+                          spec.engine_params(spec.config_seed));
+
+  RunResult result;
+  result.stats = engine.run();
+  result.completion_seconds = result.stats.completion_seconds;
+  result.mean_interarrival_seconds = result.stats.mean_interarrival_seconds();
+  return result;
+}
+
+namespace {
+
+AlgorithmSeries run_series(const trace::TraceLibrary& library,
+                           const SweepSpec& sweep,
+                           core::AlgorithmKind algorithm, int extras,
+                           const std::vector<double>& baseline_completion,
+                           const ProgressFn& progress, int& done, int total) {
+  AlgorithmSeries series;
+  series.algorithm = algorithm;
+  series.local_extra_candidates = extras;
+  for (int c = 0; c < sweep.configs; ++c) {
+    ExperimentSpec spec = sweep.experiment;
+    spec.algorithm = algorithm;
+    spec.local_extra_candidates = extras;
+    spec.config_seed = sweep.base_seed + static_cast<std::uint64_t>(c);
+    const RunResult r = run_experiment(library, spec);
+    series.completion_seconds.push_back(r.completion_seconds);
+    series.mean_interarrival.push_back(r.mean_interarrival_seconds);
+    series.relocations.push_back(r.stats.relocations);
+    if (!baseline_completion.empty()) {
+      series.speedup.push_back(baseline_completion[static_cast<std::size_t>(c)] /
+                               r.completion_seconds);
+    }
+    ++done;
+    if (progress) progress(done, total);
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<AlgorithmSeries> run_sweep(
+    const trace::TraceLibrary& library, const SweepSpec& sweep,
+    const std::vector<core::AlgorithmKind>& algorithms,
+    const ProgressFn& progress) {
+  const int total = sweep.configs * (static_cast<int>(algorithms.size()) + 1);
+  int done = 0;
+
+  // Baseline first: download-all on every configuration.
+  AlgorithmSeries baseline =
+      run_series(library, sweep, core::AlgorithmKind::kDownloadAll,
+                 /*extras=*/0, {}, progress, done, total);
+  baseline.speedup.assign(baseline.completion_seconds.size(), 1.0);
+
+  std::vector<AlgorithmSeries> out;
+  for (const core::AlgorithmKind algorithm : algorithms) {
+    if (algorithm == core::AlgorithmKind::kDownloadAll) {
+      out.push_back(baseline);
+      continue;
+    }
+    out.push_back(run_series(library, sweep, algorithm,
+                             sweep.experiment.local_extra_candidates,
+                             baseline.completion_seconds, progress, done,
+                             total));
+  }
+  // Always expose the baseline at the end if it was not requested, so
+  // callers can report absolute interarrival times.
+  bool had_baseline = false;
+  for (const core::AlgorithmKind a : algorithms) {
+    if (a == core::AlgorithmKind::kDownloadAll) had_baseline = true;
+  }
+  if (!had_baseline) out.push_back(std::move(baseline));
+  return out;
+}
+
+std::vector<AlgorithmSeries> run_local_extras_sweep(
+    const trace::TraceLibrary& library, const SweepSpec& sweep,
+    const std::vector<int>& extra_candidate_counts,
+    const ProgressFn& progress) {
+  const int total =
+      sweep.configs * (static_cast<int>(extra_candidate_counts.size()) + 1);
+  int done = 0;
+
+  AlgorithmSeries baseline =
+      run_series(library, sweep, core::AlgorithmKind::kDownloadAll,
+                 /*extras=*/0, {}, progress, done, total);
+
+  std::vector<AlgorithmSeries> out;
+  for (const int k : extra_candidate_counts) {
+    out.push_back(run_series(library, sweep, core::AlgorithmKind::kLocal, k,
+                             baseline.completion_seconds, progress, done,
+                             total));
+  }
+  return out;
+}
+
+int env_configs(int fallback) {
+  if (const char* s = std::getenv("WADC_CONFIGS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+std::uint64_t env_seed(std::uint64_t fallback) {
+  if (const char* s = std::getenv("WADC_SEED")) {
+    const auto v = std::strtoull(s, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace wadc::exp

@@ -1,0 +1,95 @@
+// Single-run and sweep drivers for the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/algorithm_kind.h"
+#include "core/combination_tree.h"
+#include "dataflow/engine_params.h"
+#include "exp/network_config.h"
+#include "monitor/monitoring_system.h"
+#include "trace/library.h"
+#include "workload/image_workload.h"
+
+namespace wadc::exp {
+
+// Everything needed to reproduce one simulated run.
+struct ExperimentSpec {
+  core::AlgorithmKind algorithm = core::AlgorithmKind::kDownloadAll;
+  int num_servers = 8;                       // §4 main experiments
+  core::TreeShape tree_shape = core::TreeShape::kCompleteBinary;
+  int iterations = 180;
+  sim::SimTime relocation_period_seconds = 600;  // "once every 10 minutes"
+  int local_extra_candidates = 0;
+
+  workload::WorkloadParams workload;
+  monitor::MonitorParams monitor;
+  net::NetworkParams network;
+  NetworkConfigParams config;
+
+  // Base engine parameters; algorithm, relocation period, extra-candidate
+  // count and seed are overridden from the fields above. Use this to set
+  // ablation knobs (control_priority, oracle_bandwidth, merge_rule, ...).
+  dataflow::EngineParams engine_base;
+
+  // Seed identifying the network configuration (the trace→link assignment)
+  // and the workload draw.
+  std::uint64_t config_seed = 1;
+
+  dataflow::EngineParams engine_params(std::uint64_t seed) const;
+};
+
+struct RunResult {
+  dataflow::RunStats stats;
+  double completion_seconds = 0;
+  double mean_interarrival_seconds = 0;
+};
+
+// Builds the whole stack (simulation, network, monitoring, engine) for one
+// configuration and runs it to completion.
+RunResult run_experiment(const trace::TraceLibrary& library,
+                         const ExperimentSpec& spec);
+
+// ---- sweeps over many configurations (the paper's 300) -------------------
+
+struct SweepSpec {
+  int configs = 300;
+  std::uint64_t base_seed = 1000;
+  ExperimentSpec experiment;  // algorithm field is overridden per series
+};
+
+struct AlgorithmSeries {
+  core::AlgorithmKind algorithm;
+  int local_extra_candidates = 0;
+  std::vector<double> completion_seconds;    // per configuration
+  std::vector<double> mean_interarrival;     // per configuration
+  std::vector<double> speedup;               // vs download-all, per config
+  std::vector<int> relocations;              // per configuration
+};
+
+using ProgressFn = std::function<void(int done, int total)>;
+
+// Runs every algorithm on every configuration. The first entry of
+// `algorithms` need not be download-all: the baseline is always run and the
+// speedups of all series are measured against it (§5: "the download-all
+// placement algorithm is used as the base-case").
+std::vector<AlgorithmSeries> run_sweep(
+    const trace::TraceLibrary& library, const SweepSpec& sweep,
+    const std::vector<core::AlgorithmKind>& algorithms,
+    const ProgressFn& progress = {});
+
+// Variant for Figure 7: local algorithm with several k values. Returns one
+// series per k (speedups vs download-all).
+std::vector<AlgorithmSeries> run_local_extras_sweep(
+    const trace::TraceLibrary& library, const SweepSpec& sweep,
+    const std::vector<int>& extra_candidate_counts,
+    const ProgressFn& progress = {});
+
+// Environment-variable helpers shared by the bench binaries:
+// WADC_CONFIGS overrides the configuration count, WADC_SEED the base seed.
+int env_configs(int fallback);
+std::uint64_t env_seed(std::uint64_t fallback);
+
+}  // namespace wadc::exp

@@ -1,0 +1,98 @@
+#include "exp/export.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/algorithm_kind.h"
+
+namespace wadc::exp {
+
+namespace {
+
+void write_doubles(std::ostream& out, const std::vector<double>& xs) {
+  out << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << xs[i];
+  }
+  out << "]";
+}
+
+void write_ints(std::ostream& out, const std::vector<int>& xs) {
+  out << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << xs[i];
+  }
+  out << "]";
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_run_json(const dataflow::RunStats& stats, std::ostream& out) {
+  out.precision(17);
+  out << "{\n";
+  out << "  \"completed\": " << (stats.completed ? "true" : "false") << ",\n";
+  out << "  \"completion_seconds\": " << stats.completion_seconds << ",\n";
+  out << "  \"mean_interarrival_seconds\": "
+      << stats.mean_interarrival_seconds() << ",\n";
+  out << "  \"replans\": " << stats.replans << ",\n";
+  out << "  \"barriers_initiated\": " << stats.barriers_initiated << ",\n";
+  out << "  \"barriers_completed\": " << stats.barriers_completed << ",\n";
+  out << "  \"messages_forwarded\": " << stats.messages_forwarded << ",\n";
+  out << "  \"arrival_seconds\": ";
+  write_doubles(out, stats.arrival_seconds);
+  out << ",\n  \"relocations\": [";
+  for (std::size_t i = 0; i < stats.relocation_trace.size(); ++i) {
+    const auto& ev = stats.relocation_trace[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"time\": " << ev.time << ", \"op\": " << ev.op
+        << ", \"from\": " << ev.from << ", \"to\": " << ev.to << "}";
+  }
+  out << (stats.relocation_trace.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void write_run_json_file(const dataflow::RunStats& stats,
+                         const std::string& path) {
+  auto out = open_or_throw(path);
+  write_run_json(stats, out);
+}
+
+void write_series_json(const std::vector<AlgorithmSeries>& series,
+                       std::ostream& out) {
+  out.precision(17);
+  out << "[\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const AlgorithmSeries& s = series[i];
+    if (i > 0) out << ",\n";
+    out << "  {\n    \"algorithm\": \""
+        << core::algorithm_name(s.algorithm) << "\",\n";
+    out << "    \"local_extra_candidates\": " << s.local_extra_candidates
+        << ",\n";
+    out << "    \"speedup\": ";
+    write_doubles(out, s.speedup);
+    out << ",\n    \"completion_seconds\": ";
+    write_doubles(out, s.completion_seconds);
+    out << ",\n    \"mean_interarrival\": ";
+    write_doubles(out, s.mean_interarrival);
+    out << ",\n    \"relocations\": ";
+    write_ints(out, s.relocations);
+    out << "\n  }";
+  }
+  out << "\n]\n";
+}
+
+void write_series_json_file(const std::vector<AlgorithmSeries>& series,
+                            const std::string& path) {
+  auto out = open_or_throw(path);
+  write_series_json(series, out);
+}
+
+}  // namespace wadc::exp

@@ -1,0 +1,22 @@
+#include "exp/network_config.h"
+
+#include "common/rng.h"
+
+namespace wadc::exp {
+
+net::LinkTable make_network_config(const trace::TraceLibrary& library,
+                                   int num_hosts, std::uint64_t config_seed,
+                                   const NetworkConfigParams& params) {
+  Rng rng = Rng(config_seed).fork(0xc0f1);
+  net::LinkTable table(num_hosts);
+  for (net::HostId a = 0; a < num_hosts; ++a) {
+    for (net::HostId b = a + 1; b < num_hosts; ++b) {
+      const std::size_t idx = library.sample_index(rng);
+      table.set_link(a, b, &library.trace(idx),
+                     params.trace_start_offset_seconds);
+    }
+  }
+  return table;
+}
+
+}  // namespace wadc::exp

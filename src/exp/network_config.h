@@ -1,0 +1,29 @@
+// Network configuration sampling for the experiments.
+//
+// §4: "We generated the network configurations by different assignments of
+// the Internet bandwidth traces to the links in a complete graph of nine
+// nodes (eight servers and one client). The assignments were generated
+// using a uniform random number generator." Experiments start "at noon" —
+// each link gets a time offset into its two-day trace.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link_table.h"
+#include "trace/library.h"
+
+namespace wadc::exp {
+
+struct NetworkConfigParams {
+  // Offset into each trace at simulation time 0 (noon of day one).
+  sim::SimTime trace_start_offset_seconds = 12 * 3600;
+};
+
+// Builds the link table for one configuration: every unordered pair of the
+// `num_hosts` complete graph is assigned a uniformly random trace from the
+// library. Deterministic in (library, seed).
+net::LinkTable make_network_config(const trace::TraceLibrary& library,
+                                   int num_hosts, std::uint64_t config_seed,
+                                   const NetworkConfigParams& params = {});
+
+}  // namespace wadc::exp

@@ -1,0 +1,59 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/assert.h"
+#include "trace/stats.h"
+
+namespace wadc::exp {
+
+SeriesStats stats_of(const std::vector<double>& xs) {
+  SeriesStats s;
+  s.mean = trace::mean_of(xs);
+  s.median = trace::median_of(xs);
+  s.p10 = trace::percentile_of(xs, 10);
+  s.p90 = trace::percentile_of(xs, 90);
+  return s;
+}
+
+void print_sorted_series(const std::string& header,
+                         const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& series,
+                         std::size_t sort_by) {
+  WADC_ASSERT(!series.empty() && sort_by < series.size(),
+              "bad sort series index");
+  const std::size_t n = series[0].size();
+  for (const auto& s : series) {
+    WADC_ASSERT(s.size() == n, "series of different lengths");
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return series[sort_by][a] < series[sort_by][b];
+  });
+
+  std::printf("%s\n", header.c_str());
+  std::printf("# rank");
+  for (const auto& name : names) std::printf("\t%s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("%zu", i);
+    for (const auto& s : series) std::printf("\t%.3f", s[order[i]]);
+    std::printf("\n");
+  }
+}
+
+void print_summary(const std::vector<std::string>& names,
+                   const std::vector<std::vector<double>>& series,
+                   const std::string& unit) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const SeriesStats s = stats_of(series[i]);
+    std::printf("%-16s mean=%8.3f  median=%8.3f  p10=%8.3f  p90=%8.3f %s\n",
+                names[i].c_str(), s.mean, s.median, s.p10, s.p90,
+                unit.c_str());
+  }
+}
+
+}  // namespace wadc::exp

@@ -1,0 +1,34 @@
+// Text reporting helpers for the bench binaries: they print the same
+// series/rows the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace wadc::exp {
+
+struct SeriesStats {
+  double mean = 0;
+  double median = 0;
+  double p10 = 0;
+  double p90 = 0;
+};
+
+SeriesStats stats_of(const std::vector<double>& xs);
+
+// Prints "config-rank <series...>" rows with configurations sorted by the
+// values of `sort_by` (the paper sorts each graph by one algorithm's
+// performance to make the curves comparable).
+void print_sorted_series(const std::string& header,
+                         const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& series,
+                         std::size_t sort_by);
+
+// One summary line per series: mean/median/p10/p90.
+void print_summary(const std::vector<std::string>& names,
+                   const std::vector<std::vector<double>>& series,
+                   const std::string& unit);
+
+}  // namespace wadc::exp

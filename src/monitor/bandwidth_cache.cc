@@ -1,0 +1,85 @@
+#include "monitor/bandwidth_cache.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wadc::monitor {
+
+BandwidthCache::BandwidthCache(int num_hosts, sim::SimTime ttl_seconds)
+    : num_hosts_(num_hosts),
+      ttl_(ttl_seconds),
+      entries_(net::pair_count(num_hosts)) {
+  WADC_ASSERT(ttl_seconds > 0, "non-positive cache TTL");
+}
+
+void BandwidthCache::record(net::HostId a, net::HostId b, double bandwidth,
+                            sim::SimTime measured_at) {
+  WADC_ASSERT(bandwidth > 0, "non-positive bandwidth measurement");
+  Sample& e = entries_[net::pair_index(a, b, num_hosts_)];
+  if (measured_at > e.measured_at) {
+    e.bandwidth = bandwidth;
+    e.measured_at = measured_at;
+  }
+}
+
+std::optional<Sample> BandwidthCache::lookup(net::HostId a, net::HostId b,
+                                             sim::SimTime now) const {
+  const Sample& e = entries_[net::pair_index(a, b, num_hosts_)];
+  if (e.measured_at < 0) return std::nullopt;
+  if (now - e.measured_at > ttl_) return std::nullopt;  // timed out
+  return e;
+}
+
+std::optional<Sample> BandwidthCache::lookup_any_age(net::HostId a,
+                                                     net::HostId b) const {
+  const Sample& e = entries_[net::pair_index(a, b, num_hosts_)];
+  if (e.measured_at < 0) return std::nullopt;
+  return e;
+}
+
+std::vector<PairSample> BandwidthCache::freshest(
+    sim::SimTime now, std::size_t max_entries) const {
+  std::vector<PairSample> out;
+  for (net::HostId a = 0; a < num_hosts_; ++a) {
+    for (net::HostId b = a + 1; b < num_hosts_; ++b) {
+      const Sample& e = entries_[net::pair_index(a, b, num_hosts_)];
+      if (e.measured_at < 0 || now - e.measured_at > ttl_) continue;
+      out.push_back(PairSample{a, b, e});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PairSample& x, const PairSample& y) {
+              if (x.sample.measured_at != y.sample.measured_at) {
+                return x.sample.measured_at > y.sample.measured_at;
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  if (out.size() > max_entries) out.resize(max_entries);
+  return out;
+}
+
+void BandwidthCache::merge(const std::vector<PairSample>& samples) {
+  for (const PairSample& ps : samples) {
+    record(ps.a, ps.b, ps.sample.bandwidth, ps.sample.measured_at);
+  }
+}
+
+std::size_t BandwidthCache::entry_count() const {
+  std::size_t n = 0;
+  for (const Sample& e : entries_) {
+    if (e.measured_at >= 0) ++n;
+  }
+  return n;
+}
+
+std::size_t BandwidthCache::unexpired_count(sim::SimTime now) const {
+  std::size_t n = 0;
+  for (const Sample& e : entries_) {
+    if (e.measured_at >= 0 && now - e.measured_at <= ttl_) ++n;
+  }
+  return n;
+}
+
+}  // namespace wadc::monitor

@@ -1,0 +1,66 @@
+// Per-host cache of measured pair bandwidths.
+//
+// Models the paper's monitoring state (§4): "each node maintains a bandwidth
+// measurement cache; entries are timed out after T_thres seconds". The cache
+// holds one sample per unordered host pair; a newer measurement always
+// replaces an older one. This *is* the "sparse matrix" of bandwidth
+// information that the placement algorithms consume (§2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/types.h"
+
+namespace wadc::monitor {
+
+struct Sample {
+  double bandwidth = 0;           // bytes/second, application-level
+  sim::SimTime measured_at = -1;  // simulation time of the measurement
+};
+
+struct PairSample {
+  net::HostId a = net::kInvalidHost;
+  net::HostId b = net::kInvalidHost;
+  Sample sample;
+};
+
+class BandwidthCache {
+ public:
+  // `ttl_seconds` is the paper's T_thres (40 s in the main experiments).
+  BandwidthCache(int num_hosts, sim::SimTime ttl_seconds);
+
+  int num_hosts() const { return num_hosts_; }
+  sim::SimTime ttl() const { return ttl_; }
+
+  // Records a measurement; kept only if newer than the current entry.
+  void record(net::HostId a, net::HostId b, double bandwidth,
+              sim::SimTime measured_at);
+
+  // The cached sample for {a, b} if present and not older than T_thres.
+  std::optional<Sample> lookup(net::HostId a, net::HostId b,
+                               sim::SimTime now) const;
+
+  // Like lookup but ignores expiry (stale data is better than nothing for
+  // some consumers; the placement algorithms use lookup()).
+  std::optional<Sample> lookup_any_age(net::HostId a, net::HostId b) const;
+
+  // Up to `max_entries` freshest unexpired entries, newest first — the
+  // payload source for piggybacking.
+  std::vector<PairSample> freshest(sim::SimTime now,
+                                   std::size_t max_entries) const;
+
+  // Merges foreign samples (from piggyback payloads); newer timestamp wins.
+  void merge(const std::vector<PairSample>& samples);
+
+  std::size_t entry_count() const;
+  std::size_t unexpired_count(sim::SimTime now) const;
+
+ private:
+  int num_hosts_;
+  sim::SimTime ttl_;
+  std::vector<Sample> entries_;  // indexed by pair_index; measured_at<0 = none
+};
+
+}  // namespace wadc::monitor

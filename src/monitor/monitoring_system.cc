@@ -1,0 +1,118 @@
+#include "monitor/monitoring_system.h"
+
+#include "common/assert.h"
+
+namespace wadc::monitor {
+
+MonitoringSystem::MonitoringSystem(net::Network& network,
+                                   const MonitorParams& params)
+    : network_(network), params_(params) {
+  const int n = network.num_hosts();
+  caches_.reserve(static_cast<std::size_t>(n));
+  for (int h = 0; h < n; ++h) {
+    caches_.push_back(
+        std::make_unique<BandwidthCache>(n, params_.t_thres_seconds));
+  }
+  if (params_.passive_enabled) {
+    network_.add_observer(
+        [this](const net::TransferRecord& rec) { on_transfer(rec); });
+  }
+}
+
+BandwidthCache& MonitoringSystem::cache(net::HostId h) {
+  WADC_ASSERT(h >= 0 && h < network_.num_hosts(), "host id out of range");
+  return *caches_[static_cast<std::size_t>(h)];
+}
+
+const BandwidthCache& MonitoringSystem::cache(net::HostId h) const {
+  WADC_ASSERT(h >= 0 && h < network_.num_hosts(), "host id out of range");
+  return *caches_[static_cast<std::size_t>(h)];
+}
+
+void MonitoringSystem::on_transfer(const net::TransferRecord& rec) {
+  if (rec.src == rec.dst) return;  // local move: nothing to measure
+  if (rec.bytes < params_.s_thres_bytes) return;
+  const double bw = rec.app_bandwidth();
+  if (bw <= 0) return;
+  // Both endpoints learn the pair bandwidth (§4 feature (1)).
+  cache(rec.src).record(rec.src, rec.dst, bw, rec.completed);
+  cache(rec.dst).record(rec.src, rec.dst, bw, rec.completed);
+  ++passive_samples_;
+}
+
+std::vector<PairSample> MonitoringSystem::piggyback_payload(
+    net::HostId src) const {
+  if (!params_.piggyback_enabled) return {};
+  const std::size_t max_entries =
+      params_.piggyback_budget_bytes / params_.piggyback_entry_bytes;
+  return cache(src).freshest(network_.simulation().now(), max_entries);
+}
+
+double MonitoringSystem::payload_bytes(
+    const std::vector<PairSample>& payload) const {
+  return static_cast<double>(payload.size() * params_.piggyback_entry_bytes);
+}
+
+void MonitoringSystem::deliver_payload(
+    net::HostId dst, const std::vector<PairSample>& payload) {
+  if (payload.empty()) return;
+  cache(dst).merge(payload);
+}
+
+std::optional<double> MonitoringSystem::cached_bandwidth(
+    net::HostId h, net::HostId a, net::HostId b) const {
+  const auto s = cache(h).lookup(a, b, network_.simulation().now());
+  if (!s) return std::nullopt;
+  return s->bandwidth;
+}
+
+sim::Task<void> MonitoringSystem::run_probe(net::HostId a, net::HostId b) {
+  ++probes_issued_;
+  probe_bytes_sent_ += 2 * params_.probe_bytes;
+  // A 16KB transfer in each direction; the passive monitor records both
+  // legs at both endpoints (each leg is >= S_thres by construction).
+  co_await network_.transfer(a, b, params_.probe_bytes,
+                             net::kControlPriority);
+  co_await network_.transfer(b, a, params_.probe_bytes,
+                             net::kControlPriority);
+}
+
+sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
+    net::HostId requester, net::HostId a, net::HostId b) {
+  WADC_ASSERT(a != b, "bandwidth of a host pair with itself");
+  if (auto bw = cached_bandwidth(requester, a, b)) co_return bw;
+  if (!params_.probing_enabled) {
+    // Fall back to a stale sample if one exists.
+    if (auto s = cache(requester).lookup_any_age(a, b)) {
+      co_return s->bandwidth;
+    }
+    co_return std::nullopt;
+  }
+
+  if (requester != a && requester != b) {
+    // Third-party pair: delegate to endpoint `a` with small control
+    // messages. The reply always carries the fresh measurement (that is the
+    // response payload, independent of opportunistic piggybacking), plus a
+    // regular piggyback payload when enabled.
+    co_await network_.transfer(requester, a, params_.control_bytes,
+                               net::kControlPriority);
+    co_await run_probe(a, b);
+    auto payload = piggyback_payload(a);
+    if (const auto fresh = cache(a).lookup_any_age(a, b)) {
+      payload.push_back(PairSample{a, b, *fresh});
+    }
+    co_await network_.transfer(
+        a, requester, params_.control_bytes + payload_bytes(payload),
+        net::kControlPriority);
+    deliver_payload(requester, payload);
+  } else {
+    co_await run_probe(a, b);
+  }
+
+  // The probe itself took time; accept any unexpired sample it produced.
+  if (auto bw = cached_bandwidth(requester, a, b)) co_return bw;
+  if (auto s = cache(requester).lookup_any_age(a, b)) co_return s->bandwidth;
+  co_return std::nullopt;
+}
+
+}  // namespace wadc::monitor

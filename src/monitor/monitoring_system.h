@@ -1,0 +1,93 @@
+// The on-demand distributed bandwidth monitoring subsystem.
+//
+// Implements the scheme of §4 end-to-end:
+//   (1) passive monitoring — when a message of size >= S_thres moves between
+//       A and B, both endpoints learn the bandwidth of {A, B};
+//   (2) per-host measurement caches with a T_thres timeout;
+//   (3) piggybacking — outgoing messages carry the sender's most recent
+//       cache entries, up to a 1KB budget;
+//   (4) on-demand probes — when a placement algorithm needs a pair it has
+//       no fresh sample for, a 16KB round-trip probe is issued (possibly
+//       delegated to a remote host for third-party pairs).
+//
+// This subsystem stands in for Komodo / the Network Weather Service (§3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "monitor/bandwidth_cache.h"
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace wadc::monitor {
+
+struct MonitorParams {
+  double s_thres_bytes = 16.0 * 1024;      // passive-measurement threshold
+  sim::SimTime t_thres_seconds = 40;       // cache timeout (paper default)
+  std::size_t piggyback_budget_bytes = 1024;
+  std::size_t piggyback_entry_bytes = 16;  // wire size of one sample
+  double probe_bytes = 16.0 * 1024;        // 16KB probes, as in the study
+  double control_bytes = 256;              // probe-delegation control msgs
+  bool passive_enabled = true;             // ablations can disable these
+  bool piggyback_enabled = true;
+  bool probing_enabled = true;
+};
+
+class MonitoringSystem {
+ public:
+  MonitoringSystem(net::Network& network, const MonitorParams& params);
+
+  MonitoringSystem(const MonitoringSystem&) = delete;
+  MonitoringSystem& operator=(const MonitoringSystem&) = delete;
+
+  const MonitorParams& params() const { return params_; }
+
+  BandwidthCache& cache(net::HostId h);
+  const BandwidthCache& cache(net::HostId h) const;
+
+  // ---- piggybacking --------------------------------------------------
+  // Samples host `src` would attach to an outgoing message right now
+  // (freshest entries that fit the 1KB budget).
+  std::vector<PairSample> piggyback_payload(net::HostId src) const;
+  // Wire size of a payload; the dataflow engine adds this to message sizes.
+  double payload_bytes(const std::vector<PairSample>& payload) const;
+  // Merges an arriving payload into the receiver's cache.
+  void deliver_payload(net::HostId dst, const std::vector<PairSample>& payload);
+
+  // ---- probing -------------------------------------------------------
+  // Ensures `requester` has a fresh sample for {a, b}, probing if needed.
+  // If requester is an endpoint of the pair, the probe is a direct 16KB
+  // round trip; otherwise a control message delegates the probe to `a` and
+  // the result returns on the reply. Returns the (possibly refreshed)
+  // bandwidth estimate, or nullopt if probing is disabled and no sample is
+  // cached.
+  sim::Task<std::optional<double>> fetch_bandwidth(net::HostId requester,
+                                                   net::HostId a,
+                                                   net::HostId b);
+
+  // Fresh (unexpired) cache lookup at `h`'s cache.
+  std::optional<double> cached_bandwidth(net::HostId h, net::HostId a,
+                                         net::HostId b) const;
+
+  // ---- statistics ----------------------------------------------------
+  std::uint64_t passive_samples() const { return passive_samples_; }
+  std::uint64_t probes_issued() const { return probes_issued_; }
+  double probe_bytes_sent() const { return probe_bytes_sent_; }
+
+ private:
+  void on_transfer(const net::TransferRecord& rec);
+  // Direct round-trip probe between endpoints a and b.
+  sim::Task<void> run_probe(net::HostId a, net::HostId b);
+
+  net::Network& network_;
+  MonitorParams params_;
+  std::vector<std::unique_ptr<BandwidthCache>> caches_;
+  std::uint64_t passive_samples_ = 0;
+  std::uint64_t probes_issued_ = 0;
+  double probe_bytes_sent_ = 0;
+};
+
+}  // namespace wadc::monitor

@@ -1,0 +1,53 @@
+// Assignment of bandwidth traces to the links of a complete graph.
+//
+// A network configuration in the paper is exactly this object: every
+// unordered host pair gets one measured trace (§4). Each link also carries a
+// time offset into its trace so experiments can "start at noon".
+#pragma once
+
+#include <vector>
+
+#include "net/types.h"
+#include "sim/types.h"
+#include "trace/bandwidth_trace.h"
+
+namespace wadc::net {
+
+class LinkTable {
+ public:
+  explicit LinkTable(int num_hosts);
+
+  int num_hosts() const { return num_hosts_; }
+
+  // Assigns a trace to link {a, b}. The table does not own traces; the
+  // caller (normally a TraceLibrary) must outlive it.
+  void set_link(HostId a, HostId b, const trace::BandwidthTrace* trace,
+                sim::SimTime offset_seconds = 0);
+
+  bool has_link(HostId a, HostId b) const;
+
+  // Ground-truth bandwidth on link {a, b} at simulation time t.
+  double bandwidth_at(HostId a, HostId b, sim::SimTime t) const;
+
+  // Simulation time at which `bytes` put on link {a, b} at time t0 finish.
+  sim::SimTime finish_time(HostId a, HostId b, sim::SimTime t0,
+                           double bytes) const;
+
+  // Average ground-truth bandwidth over a window (used by oracle baselines
+  // and tests, never by the placement algorithms).
+  double average_bandwidth(HostId a, HostId b, sim::SimTime t0,
+                           sim::SimTime t1) const;
+
+ private:
+  struct Link {
+    const trace::BandwidthTrace* trace = nullptr;
+    sim::SimTime offset = 0;
+  };
+
+  const Link& link(HostId a, HostId b) const;
+
+  int num_hosts_;
+  std::vector<Link> links_;
+};
+
+}  // namespace wadc::net

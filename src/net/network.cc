@@ -1,0 +1,106 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wadc::net {
+
+Network::Network(sim::Simulation& sim, const LinkTable& links,
+                 const NetworkParams& params)
+    : sim_(sim),
+      links_(links),
+      params_(params),
+      active_(static_cast<std::size_t>(links.num_hosts()), 0) {
+  WADC_ASSERT(params_.startup_seconds >= 0, "negative startup cost");
+  WADC_ASSERT(params_.host_capacity >= 1, "non-positive host capacity");
+}
+
+void Network::add_observer(TransferObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+bool Network::host_busy(HostId h) const {
+  WADC_ASSERT(h >= 0 && h < num_hosts(), "host id out of range");
+  return active_[static_cast<std::size_t>(h)] >= params_.host_capacity;
+}
+
+int Network::host_active_transfers(HostId h) const {
+  WADC_ASSERT(h >= 0 && h < num_hosts(), "host id out of range");
+  return active_[static_cast<std::size_t>(h)];
+}
+
+sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
+                                            double bytes, int priority) {
+  WADC_ASSERT(src >= 0 && src < num_hosts(), "bad src host");
+  WADC_ASSERT(dst >= 0 && dst < num_hosts(), "bad dst host");
+  WADC_ASSERT(bytes >= 0, "negative transfer size");
+
+  TransferRecord record;
+  record.src = src;
+  record.dst = dst;
+  record.bytes = bytes;
+  record.priority = priority;
+  record.requested = sim_.now();
+
+  if (src == dst) {
+    record.started = record.completed = sim_.now();
+    co_return record;
+  }
+
+  sim::Latch done(sim_);
+  Pending pending{src, dst, bytes, priority, next_seq_++, &done, &record};
+  // Insert keeping (priority desc, seq asc) order.
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [&](const Pending& p) {
+                           return p.priority < pending.priority;
+                         });
+  pending_.insert(it, pending);
+  try_start_transfers();
+
+  co_await done.wait();
+  co_return record;
+}
+
+void Network::try_start_transfers() {
+  // Greedy in queue order: each startable transfer claims its endpoints,
+  // which may block later (lower-priority) entries — exactly the behavior
+  // of per-NIC priority queues.
+  for (std::size_t i = 0; i < pending_.size();) {
+    const Pending& p = pending_[i];
+    if (!host_busy(p.src) && !host_busy(p.dst)) {
+      Pending claimed = p;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      start(claimed);
+      // restart not needed: starting only makes hosts busier
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Network::start(const Pending& p) {
+  ++active_[static_cast<std::size_t>(p.src)];
+  ++active_[static_cast<std::size_t>(p.dst)];
+
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime tx_begin = now + params_.startup_seconds;
+  const sim::SimTime end = links_.finish_time(p.src, p.dst, tx_begin, p.bytes);
+  WADC_ASSERT(end >= tx_begin, "transfer finishes before it starts");
+
+  p.record->started = now;
+
+  sim_.schedule_at(end, [this, p, now, end] {
+    --active_[static_cast<std::size_t>(p.src)];
+    --active_[static_cast<std::size_t>(p.dst)];
+    p.record->started = now;
+    p.record->completed = end;
+    ++transfers_completed_;
+    bytes_delivered_ += p.bytes;
+    for (const auto& observer : observers_) observer(*p.record);
+    p.done->set();
+    try_start_transfers();
+  });
+}
+
+}  // namespace wadc::net

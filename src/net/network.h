@@ -1,0 +1,121 @@
+// Wide-area network transport model.
+//
+// Models the paper's network assumptions (§2, §4):
+//   - every host has a single network interface: it can send or receive at
+//     most one message at a time. A transfer therefore occupies *both*
+//     endpoints for its whole duration (end-point congestion);
+//   - each message pays a fixed startup cost (50 ms in the experiments)
+//     before bytes flow;
+//   - transmission time is governed by the link's bandwidth trace, with
+//     bandwidth changes mid-transfer honored exactly;
+//   - queued messages start in priority order (FIFO within a priority), so
+//     barrier messages overtake queued data messages (§2.2). Transfers in
+//     progress are never preempted.
+//
+// Completed transfers are reported to registered observers; the passive
+// bandwidth monitor (§4) is implemented as such an observer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/link_table.h"
+#include "net/types.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace wadc::net {
+
+struct NetworkParams {
+  // Per-message startup cost in seconds (paper: 50 ms). Charged while both
+  // endpoints are held, before transmission begins.
+  double startup_seconds = 0.05;
+
+  // Concurrent transfers a host can sustain. The paper assumes a single
+  // network interface ("servers ... can send or receive at most one message
+  // at a time", §2) = capacity 1; it also notes the assumption can be
+  // relaxed — raising this is the relaxation (see the endpoint-congestion
+  // ablation bench).
+  int host_capacity = 1;
+};
+
+// Priorities for transfer scheduling. Only the order matters.
+inline constexpr int kDataPriority = 0;
+inline constexpr int kControlPriority = 10;  // barrier & placement control
+
+struct TransferRecord {
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  double bytes = 0;
+  int priority = kDataPriority;
+  sim::SimTime requested = 0;  // when transfer() was called
+  sim::SimTime started = 0;    // when both endpoints were acquired
+  sim::SimTime completed = 0;  // delivery time
+
+  // Application-level bandwidth as an endpoint would measure it (includes
+  // the startup cost, like the paper's 16KB round-trip probes).
+  double app_bandwidth() const {
+    return completed > started ? bytes / (completed - started) : 0.0;
+  }
+  sim::SimTime queue_wait() const { return started - requested; }
+};
+
+class Network {
+ public:
+  using TransferObserver = std::function<void(const TransferRecord&)>;
+
+  Network(sim::Simulation& sim, const LinkTable& links,
+          const NetworkParams& params = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Moves `bytes` from src to dst; the awaiting process resumes at delivery
+  // time and receives the timing record. A transfer with src == dst is
+  // local (shared memory) and completes instantly with no startup cost.
+  sim::Task<TransferRecord> transfer(HostId src, HostId dst, double bytes,
+                                     int priority = kDataPriority);
+
+  void add_observer(TransferObserver observer);
+
+  sim::Simulation& simulation() { return sim_; }
+  const LinkTable& links() const { return links_; }
+  const NetworkParams& params() const { return params_; }
+  int num_hosts() const { return links_.num_hosts(); }
+
+  bool host_busy(HostId h) const;  // at capacity
+  int host_active_transfers(HostId h) const;
+  std::size_t pending_count() const { return pending_.size(); }
+  std::uint64_t transfers_completed() const { return transfers_completed_; }
+  double bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  struct Pending {
+    HostId src;
+    HostId dst;
+    double bytes;
+    int priority;
+    std::uint64_t seq;
+    sim::Latch* done;
+    TransferRecord* record;
+  };
+
+  // Starts every queued transfer whose endpoints are free, in (priority,
+  // FIFO) order.
+  void try_start_transfers();
+  void start(const Pending& p);
+
+  sim::Simulation& sim_;
+  const LinkTable& links_;
+  NetworkParams params_;
+  std::vector<int> active_;  // concurrent transfers per host
+  std::vector<Pending> pending_;  // sorted: higher priority first, then seq
+  std::vector<TransferObserver> observers_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t transfers_completed_ = 0;
+  double bytes_delivered_ = 0;
+};
+
+}  // namespace wadc::net

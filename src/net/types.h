@@ -1,0 +1,39 @@
+// Host and link identifiers for the network model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace wadc::net {
+
+// Hosts are dense integers. By convention in the experiments, host 0 is the
+// client and hosts 1..N are servers; nothing in the network model itself
+// depends on that.
+using HostId = int;
+
+inline constexpr HostId kInvalidHost = -1;
+
+// Index of an unordered host pair {a, b}, a != b, into a triangular array.
+inline std::size_t pair_index(HostId a, HostId b, int num_hosts) {
+  WADC_ASSERT(a != b, "pair_index of a host with itself");
+  WADC_ASSERT(a >= 0 && b >= 0 && a < num_hosts && b < num_hosts,
+              "host id out of range");
+  if (a > b) {
+    const HostId t = a;
+    a = b;
+    b = t;
+  }
+  // Row-major upper triangle: pairs (0,1), (0,2), ..., (0,n-1), (1,2), ...
+  const auto n = static_cast<std::size_t>(num_hosts);
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  return ia * n - ia * (ia + 1) / 2 + (ib - ia - 1);
+}
+
+inline std::size_t pair_count(int num_hosts) {
+  const auto n = static_cast<std::size_t>(num_hosts);
+  return n * (n - 1) / 2;
+}
+
+}  // namespace wadc::net

@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wadc::sim {
+
+SimTime EventQueue::next_time() const {
+  WADC_ASSERT(!heap_.empty(), "next_time on empty queue");
+  return heap_.front().time;
+}
+
+void EventQueue::push(SimTime time, EventSeq seq,
+                      std::function<void()> action) {
+  heap_.push_back(Entry{time, seq, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+EventQueue::Entry EventQueue::pop() {
+  WADC_ASSERT(!heap_.empty(), "pop on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+}  // namespace wadc::sim

@@ -1,0 +1,44 @@
+// Deterministic pending-event set for the simulation kernel.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace wadc::sim {
+
+// A binary min-heap of (time, seq)-ordered events. Events at equal times
+// execute in the order they were scheduled, which makes runs exactly
+// reproducible.
+class EventQueue {
+ public:
+  struct Entry {
+    SimTime time;
+    EventSeq seq;
+    std::function<void()> action;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; queue must be non-empty.
+  SimTime next_time() const;
+
+  void push(SimTime time, EventSeq seq, std::function<void()> action);
+
+  // Removes and returns the earliest event; queue must be non-empty.
+  Entry pop();
+
+  void clear() { heap_.clear(); }
+
+ private:
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace wadc::sim

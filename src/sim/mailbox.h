@@ -1,0 +1,113 @@
+// Priority mailbox for inter-process messages.
+//
+// The network model uses mailboxes to deliver messages to hosts; the paper's
+// requirement that "barrier messages are assigned a higher priority" (§2.2)
+// maps to the priority argument of send(): among buffered items, higher
+// priority is received first, FIFO within a priority level. Waiting
+// receivers are served in FIFO order.
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "sim/simulation.h"
+
+namespace wadc::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : sim_(sim) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Enqueues a value. If a receiver is waiting, one is woken (through the
+  // event queue, preserving determinism).
+  void send(T value, int priority = 0) {
+    items_.push_back(Item{priority, next_item_seq_++, std::move(value)});
+    std::push_heap(items_.begin(), items_.end(), item_later);
+    if (!waiters_.empty()) {
+      ReceiveAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_at(sim_.now(), [this, waiter] { wake(waiter); });
+    }
+  }
+
+  // Awaitable receive; co_await yields the next item (highest priority,
+  // FIFO within priority).
+  auto receive() { return ReceiveAwaiter{this, std::nullopt, {}}; }
+
+  // Non-blocking receive.
+  std::optional<T> try_receive() {
+    if (items_.empty()) return std::nullopt;
+    return pop_best();
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  struct ReceiveAwaiter {
+    Mailbox* mailbox;
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (mailbox->items_.empty()) return false;
+      value = mailbox->pop_best();
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      mailbox->waiters_.push_back(this);
+    }
+    T await_resume() {
+      WADC_ASSERT(value.has_value(), "mailbox resume without a value");
+      return std::move(*value);
+    }
+  };
+
+ private:
+  struct Item {
+    int priority;
+    std::uint64_t seq;
+    T value;
+  };
+
+  // Max-heap order: higher priority first, then lower seq (FIFO).
+  static bool item_later(const Item& a, const Item& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+
+  T pop_best() {
+    std::pop_heap(items_.begin(), items_.end(), item_later);
+    T v = std::move(items_.back().value);
+    items_.pop_back();
+    return v;
+  }
+
+  void wake(ReceiveAwaiter* waiter) {
+    if (items_.empty()) {
+      // A try_receive() raced ahead of this wake-up; the waiter goes back
+      // to the head of the line.
+      waiters_.push_front(waiter);
+      return;
+    }
+    waiter->value = pop_best();
+    waiter->handle.resume();
+  }
+
+  Simulation& sim_;
+  std::vector<Item> items_;
+  std::deque<ReceiveAwaiter*> waiters_;
+  std::uint64_t next_item_seq_ = 0;
+};
+
+}  // namespace wadc::sim

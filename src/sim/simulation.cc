@@ -1,0 +1,76 @@
+#include "sim/simulation.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wadc::sim {
+
+Simulation::~Simulation() { terminate_all(); }
+
+void Simulation::schedule_at(SimTime t, std::function<void()> action) {
+  if (tearing_down_) return;  // wake-ups during teardown are dropped
+  WADC_ASSERT(t >= now_, "scheduling into the past: t=", t, " now=", now_);
+  queue_.push(t, next_seq_++, std::move(action));
+}
+
+void Simulation::schedule_in(SimTime dt, std::function<void()> action) {
+  WADC_ASSERT(dt >= 0, "negative delay: ", dt);
+  schedule_at(now_ + dt, std::move(action));
+}
+
+Simulation::Driver Simulation::drive(Task<> process) {
+  co_await std::move(process);
+}
+
+std::uint64_t Simulation::spawn(Task<> process) {
+  WADC_ASSERT(!tearing_down_, "spawn during teardown");
+  Driver driver = drive(std::move(process));
+  auto handle = driver.handle;
+  const std::uint64_t id = next_process_id_++;
+  handle.promise().sim = this;
+  handle.promise().id = id;
+  processes_.emplace(id, handle);
+  schedule_at(now_, [handle] { handle.resume(); });
+  return id;
+}
+
+Simulation::RunStatus Simulation::run(SimTime until) {
+  stop_requested_ = false;
+  for (;;) {
+    if (queue_.empty()) return RunStatus::kIdle;
+    const SimTime t = queue_.next_time();
+    if (t > until) {
+      now_ = until;
+      return RunStatus::kTimeLimit;
+    }
+    EventQueue::Entry entry = queue_.pop();
+    now_ = entry.time;
+    entry.action();
+    ++events_processed_;
+    if (process_exception_) {
+      std::exception_ptr e = std::exchange(process_exception_, nullptr);
+      std::rethrow_exception(e);
+    }
+    if (stop_requested_) return RunStatus::kStopped;
+  }
+}
+
+void Simulation::terminate_all() {
+  tearing_down_ = true;
+  queue_.clear();
+  // Destroying a frame can run destructors that touch other processes'
+  // synchronization state; with the queue cleared and tearing_down_ set,
+  // any wake-ups they try to schedule are dropped. Destruction can also
+  // erase other entries from processes_ (not in the current design, but
+  // cheap to be safe about), so snapshot the handles first.
+  std::vector<std::coroutine_handle<Driver::promise_type>> handles;
+  handles.reserve(processes_.size());
+  for (auto& [id, h] : processes_) handles.push_back(h);
+  processes_.clear();
+  for (auto h : handles) h.destroy();
+  tearing_down_ = false;
+}
+
+}  // namespace wadc::sim

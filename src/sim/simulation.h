@@ -1,0 +1,135 @@
+// Process-oriented discrete-event simulation kernel.
+//
+// This is the substrate the paper built on CSIM: simulated time, a
+// deterministic event loop, and detached "processes" written as coroutines.
+// Typical usage:
+//
+//   sim::Simulation sim;
+//   sim.spawn([](sim::Simulation& s) -> sim::Task<> {
+//     co_await s.delay(1.5);
+//     ...
+//   }(sim));
+//   sim.run();
+//
+// Determinism: every wake-up goes through the (time, seq) ordered event
+// queue, so two runs with the same inputs produce identical event orders.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace wadc::sim {
+
+class Simulation {
+ public:
+  enum class RunStatus {
+    kIdle,       // event queue drained
+    kStopped,    // request_stop() was called
+    kTimeLimit,  // the `until` horizon was reached
+  };
+
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `action` to run at absolute time `t` (>= now).
+  void schedule_at(SimTime t, std::function<void()> action);
+  // Schedules `action` to run `dt` seconds from now (dt >= 0).
+  void schedule_in(SimTime dt, std::function<void()> action);
+
+  // Starts a detached process. The process begins at the current time (via
+  // the event queue, not synchronously). Returns a process id. The frame is
+  // reclaimed when the process finishes, or by terminate_all().
+  std::uint64_t spawn(Task<> process);
+
+  // Runs the event loop until the queue drains, request_stop() is called,
+  // or simulated time would pass `until`. An exception escaping a process
+  // aborts the run and is rethrown here.
+  RunStatus run(SimTime until = kTimeInfinity);
+
+  // Makes run() return after the current event completes.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  // Destroys all live process frames and drops all pending events. Called
+  // automatically by the destructor; owners whose members are referenced by
+  // process frames must call it before those members die.
+  void terminate_all();
+
+  std::size_t live_process_count() const { return processes_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // Awaitable: suspends the current process for `dt` seconds (dt >= 0).
+  // delay(0) yields through the event queue.
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulation& sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_in(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+ private:
+  // Top-level wrapper that drives a detached Task<> and self-destructs.
+  struct Driver {
+    struct promise_type {
+      Simulation* sim = nullptr;
+      std::uint64_t id = 0;
+
+      Driver get_return_object() {
+        return Driver{
+            std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() const noexcept { return {}; }
+      struct FinalAwaiter {
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(
+            std::coroutine_handle<promise_type> h) const noexcept {
+          auto* sim = h.promise().sim;
+          const auto id = h.promise().id;
+          h.destroy();
+          sim->processes_.erase(id);
+        }
+        void await_resume() const noexcept {}
+      };
+      FinalAwaiter final_suspend() const noexcept { return {}; }
+      void return_void() const noexcept {}
+      void unhandled_exception() {
+        sim->process_exception_ = std::current_exception();
+      }
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+
+  static Driver drive(Task<> process);
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  EventSeq next_seq_ = 0;
+  std::uint64_t next_process_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  bool tearing_down_ = false;
+  std::exception_ptr process_exception_;
+  std::unordered_map<std::uint64_t,
+                     std::coroutine_handle<Driver::promise_type>>
+      processes_;
+};
+
+}  // namespace wadc::sim

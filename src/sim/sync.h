@@ -1,0 +1,86 @@
+// Process-synchronization primitives: pulse events and sticky latches.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace wadc::sim {
+
+// A pulse event: trigger() wakes every process currently waiting and then
+// resets. Waiters resume through the event queue at the current time, in
+// the order they began waiting.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(sim) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void trigger() {
+    std::vector<std::coroutine_handle<>> woken;
+    woken.swap(waiters_);
+    for (auto h : woken) {
+      sim_.schedule_at(sim_.now(), [h] { h.resume(); });
+    }
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// A sticky latch: once set() is called, waits complete immediately.
+class Latch {
+ public:
+  explicit Latch(Simulation& sim) : sim_(sim) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  auto wait() {
+    struct Awaiter {
+      Latch& latch;
+      bool await_ready() const noexcept { return latch.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        latch.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    std::vector<std::coroutine_handle<>> woken;
+    woken.swap(waiters_);
+    for (auto h : woken) {
+      sim_.schedule_at(sim_.now(), [h] { h.resume(); });
+    }
+  }
+
+  bool is_set() const { return set_; }
+
+ private:
+  Simulation& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace wadc::sim

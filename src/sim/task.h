@@ -1,0 +1,183 @@
+// Lazy coroutine task type used to express simulation processes.
+//
+// A sim process is an ordinary coroutine returning Task<T>. Tasks are lazy:
+// they begin executing when awaited (or when handed to Simulation::spawn,
+// which drives a Task<void> as a detached top-level process). Completion
+// resumes the awaiting coroutine by symmetric transfer, so arbitrarily deep
+// chains of co_await run without growing the machine stack.
+//
+// Ownership: the Task object owns the coroutine frame. Awaiting a temporary
+// Task (`co_await child();`) is safe — the temporary lives until the end of
+// the full expression, which includes resumption after suspension.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace wadc::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+// Resumes the awaiting coroutine (if any) when a task finishes.
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) const noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  TaskFinalAwaiter final_suspend() const noexcept { return {}; }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { result.template emplace<1>(std::move(v)); }
+    void unhandled_exception() {
+      result.template emplace<2>(std::current_exception());
+    }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  // Awaiting starts the task and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;  // start the child by symmetric transfer
+      }
+      T await_resume() {
+        auto& result = handle.promise().result;
+        if (result.index() == 2) {
+          std::rethrow_exception(std::get<2>(result));
+        }
+        WADC_ASSERT(result.index() == 1, "task finished without a value");
+        return std::move(std::get<1>(result));
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulation;
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() const noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      void await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulation;
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace wadc::sim

@@ -1,0 +1,21 @@
+// Basic simulation-time types shared by all wadc libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wadc::sim {
+
+// Simulated time in seconds. The paper's quantities (50 ms message startup,
+// 7 us/pixel composition, multi-hour runs) span ~9 orders of magnitude,
+// comfortably within double precision.
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+// Monotone sequence number used to break ties between events scheduled for
+// the same instant, giving the kernel fully deterministic replay.
+using EventSeq = std::uint64_t;
+
+}  // namespace wadc::sim

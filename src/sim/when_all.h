@@ -1,0 +1,51 @@
+// Concurrent composition of tasks within one process (fork-join).
+//
+// `co_await when_all(sim, {task_a, task_b})` runs the tasks as concurrently
+// as the simulation allows and resumes when all have finished. The engine's
+// protocol deliberately serializes most of its sends (a single NIC orders
+// them anyway), but downstream users of the kernel routinely need fork-join
+// structure; this provides it without hand-rolling detached processes.
+//
+// Exceptions from child tasks propagate out of their drivers and abort the
+// simulation run, so reserve when_all for tasks whose failures are fatal
+// anyway (the kernel's general error discipline).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace wadc::sim {
+
+namespace detail {
+
+inline Task<void> run_branch(Task<void> task, int& remaining, Event& done) {
+  co_await std::move(task);
+  if (--remaining == 0) done.trigger();
+}
+
+}  // namespace detail
+
+inline Task<void> when_all(Simulation& sim, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  Event done(sim);
+  int remaining = static_cast<int>(tasks.size());
+  for (Task<void>& t : tasks) {
+    sim.spawn(detail::run_branch(std::move(t), remaining, done));
+  }
+  while (remaining > 0) {
+    co_await done.wait();
+  }
+}
+
+inline Task<void> when_all(Simulation& sim, Task<void> a, Task<void> b) {
+  std::vector<Task<void>> tasks;
+  tasks.push_back(std::move(a));
+  tasks.push_back(std::move(b));
+  co_await when_all(sim, std::move(tasks));
+}
+
+}  // namespace wadc::sim

@@ -1,0 +1,68 @@
+#include "trace/bandwidth_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wadc::trace {
+
+BandwidthTrace::BandwidthTrace(double step_seconds, std::vector<double> values)
+    : step_(step_seconds), values_(std::move(values)) {
+  WADC_ASSERT(step_ > 0, "non-positive trace step");
+  WADC_ASSERT(!values_.empty(), "empty trace");
+  prefix_.resize(values_.size() + 1);
+  prefix_[0] = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    WADC_ASSERT(values_[i] > 0, "non-positive bandwidth sample at index ", i);
+    prefix_[i + 1] = prefix_[i] + values_[i] * step_;
+  }
+}
+
+double BandwidthTrace::at(sim::SimTime t) const {
+  if (t <= 0) return values_.front();
+  const auto idx = static_cast<std::size_t>(t / step_);
+  if (idx >= values_.size()) return values_.back();
+  return values_[idx];
+}
+
+double BandwidthTrace::integral_to(sim::SimTime t) const {
+  if (t <= 0) return 0;
+  const double end = duration_seconds();
+  if (t >= end) return prefix_.back() + (t - end) * values_.back();
+  const auto idx = static_cast<std::size_t>(t / step_);
+  const double within = t - static_cast<double>(idx) * step_;
+  return prefix_[idx] + values_[idx] * within;
+}
+
+sim::SimTime BandwidthTrace::finish_time(sim::SimTime t0, double bytes) const {
+  WADC_ASSERT(t0 >= 0, "transfer starts before time 0");
+  WADC_ASSERT(bytes >= 0, "negative transfer size");
+  if (bytes == 0) return t0;
+  const double target = integral_to(t0) + bytes;
+  // Past the trace end bandwidth is constant, so solve directly.
+  if (target >= prefix_.back()) {
+    const double end = duration_seconds();
+    const double base = std::max(t0, end);
+    const double remaining = target - integral_to(base);
+    return base + remaining / values_.back();
+  }
+  // Binary search the first prefix entry >= target, then interpolate within
+  // that step. upper_bound gives the first strictly-greater entry; the
+  // segment to finish in is the one before it.
+  const auto it = std::lower_bound(prefix_.begin(), prefix_.end(), target);
+  const auto idx = static_cast<std::size_t>(it - prefix_.begin());
+  WADC_ASSERT(idx > 0 && idx < prefix_.size(), "prefix search out of range");
+  const std::size_t seg = idx - 1;
+  const double into = (target - prefix_[seg]) / values_[seg];
+  const double finish = static_cast<double>(seg) * step_ + into;
+  // The transfer cannot finish before it starts (guards float round-off).
+  return std::max(finish, t0);
+}
+
+double BandwidthTrace::average(sim::SimTime t0, sim::SimTime t1) const {
+  WADC_ASSERT(t1 > t0, "average over empty interval");
+  return (integral_to(t1) - integral_to(t0)) / (t1 - t0);
+}
+
+}  // namespace wadc::trace

@@ -1,0 +1,106 @@
+#include "trace/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wadc::trace {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("malformed trace input: " + what);
+}
+
+std::string read_line(std::istream& in, const std::string& context) {
+  std::string line;
+  if (!std::getline(in, line)) malformed("unexpected end of input at " + context);
+  return line;
+}
+
+void expect_line(std::istream& in, const std::string& expected) {
+  const std::string line = read_line(in, expected);
+  if (line != expected) malformed("expected '" + expected + "', got '" + line + "'");
+}
+
+double read_keyed_number(std::istream& in, const std::string& key) {
+  std::istringstream line(read_line(in, key));
+  std::string k;
+  double v = 0;
+  if (!(line >> k >> v) || k != key) malformed("expected '" + key + " <value>'");
+  return v;
+}
+
+}  // namespace
+
+void save_trace(const BandwidthTrace& trace, std::ostream& out) {
+  // max_digits10 so doubles survive the text round trip exactly.
+  out.precision(17);
+  out << "wadc-trace v1\n";
+  out << "step " << trace.step_seconds() << "\n";
+  out << "samples " << trace.sample_count() << "\n";
+  for (const double v : trace.values()) out << v << "\n";
+}
+
+BandwidthTrace load_trace(std::istream& in) {
+  expect_line(in, "wadc-trace v1");
+  const double step = read_keyed_number(in, "step");
+  const auto samples = static_cast<std::size_t>(
+      read_keyed_number(in, "samples"));
+  if (step <= 0) malformed("non-positive step");
+  if (samples == 0) malformed("empty trace");
+  std::vector<double> values;
+  values.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::istringstream line(read_line(in, "sample"));
+    double v = 0;
+    if (!(line >> v)) malformed("bad sample line");
+    if (v <= 0) malformed("non-positive sample");
+    values.push_back(v);
+  }
+  return BandwidthTrace(step, std::move(values));
+}
+
+void save_trace_set(const std::vector<BandwidthTrace>& traces,
+                    std::ostream& out) {
+  out << "wadc-trace-set v1\n";
+  out << "count " << traces.size() << "\n";
+  for (const auto& t : traces) save_trace(t, out);
+}
+
+std::vector<BandwidthTrace> load_trace_set(std::istream& in) {
+  expect_line(in, "wadc-trace-set v1");
+  const auto count =
+      static_cast<std::size_t>(read_keyed_number(in, "count"));
+  std::vector<BandwidthTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) traces.push_back(load_trace(in));
+  return traces;
+}
+
+void save_trace_file(const BandwidthTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_trace(trace, out);
+}
+
+BandwidthTrace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_trace(in);
+}
+
+void save_trace_set_file(const std::vector<BandwidthTrace>& traces,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_trace_set(traces, out);
+}
+
+std::vector<BandwidthTrace> load_trace_set_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_trace_set(in);
+}
+
+}  // namespace wadc::trace

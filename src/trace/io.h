@@ -1,0 +1,44 @@
+// Plain-text persistence for bandwidth traces.
+//
+// The paper drove its simulations from *measured* traces; this module lets
+// a downstream user do the same — dump the synthetic pool for inspection,
+// or load their own measurements (e.g. from periodic 16KB-probe logs) and
+// hand them to a TraceLibrary.
+//
+// Format (line-oriented, human-editable):
+//
+//   wadc-trace v1
+//   step <seconds>
+//   samples <count>
+//   <bytes-per-second>        (one per line, `samples` lines)
+//
+// A trace set wraps several traces:
+//
+//   wadc-trace-set v1
+//   count <k>
+//   <k traces, each in the single-trace format>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/bandwidth_trace.h"
+
+namespace wadc::trace {
+
+void save_trace(const BandwidthTrace& trace, std::ostream& out);
+// Throws std::runtime_error on malformed input.
+BandwidthTrace load_trace(std::istream& in);
+
+void save_trace_set(const std::vector<BandwidthTrace>& traces,
+                    std::ostream& out);
+std::vector<BandwidthTrace> load_trace_set(std::istream& in);
+
+void save_trace_file(const BandwidthTrace& trace, const std::string& path);
+BandwidthTrace load_trace_file(const std::string& path);
+void save_trace_set_file(const std::vector<BandwidthTrace>& traces,
+                         const std::string& path);
+std::vector<BandwidthTrace> load_trace_set_file(const std::string& path);
+
+}  // namespace wadc::trace

@@ -1,0 +1,53 @@
+#include "trace/library.h"
+
+#include "common/assert.h"
+
+namespace wadc::trace {
+
+TraceLibrary::TraceLibrary(const TraceLibraryParams& params,
+                           std::uint64_t seed) {
+  const TraceGenerator gen(params.gen, seed);
+  const struct {
+    PairClass cls;
+    std::size_t count;
+  } plan[] = {
+      {PairClass::kRegional, params.regional},
+      {PairClass::kCrossCountry, params.cross_country},
+      {PairClass::kTransatlantic, params.transatlantic},
+      {PairClass::kIntercontinental, params.intercontinental},
+  };
+  for (const auto& [cls, count] : plan) {
+    for (std::size_t i = 0; i < count; ++i) {
+      traces_.push_back(gen.generate(cls, i));
+      classes_.push_back(cls);
+    }
+  }
+  WADC_ASSERT(!traces_.empty(), "empty trace library");
+}
+
+TraceLibrary::TraceLibrary(std::vector<BandwidthTrace> traces,
+                           std::vector<PairClass> classes)
+    : traces_(std::move(traces)), classes_(std::move(classes)) {
+  WADC_ASSERT(!traces_.empty(), "empty trace library");
+  if (classes_.empty()) {
+    classes_.assign(traces_.size(), PairClass::kCrossCountry);
+  }
+  WADC_ASSERT(classes_.size() == traces_.size(),
+              "trace/class count mismatch");
+}
+
+const BandwidthTrace& TraceLibrary::trace(std::size_t i) const {
+  WADC_ASSERT(i < traces_.size(), "trace index out of range");
+  return traces_[i];
+}
+
+PairClass TraceLibrary::trace_class(std::size_t i) const {
+  WADC_ASSERT(i < classes_.size(), "trace index out of range");
+  return classes_[i];
+}
+
+std::size_t TraceLibrary::sample_index(Rng& rng) const {
+  return static_cast<std::size_t>(rng.next_below(traces_.size()));
+}
+
+}  // namespace wadc::trace

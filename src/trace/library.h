@@ -1,0 +1,52 @@
+// A pool of generated traces, standing in for the paper's multi-day
+// measurement study across "a large number of host-pairs".
+//
+// Network configurations for the experiments are produced by assigning
+// traces from this pool to the links of a complete graph (§4: "We generated
+// the network configurations by different assignments of the Internet
+// bandwidth traces to the links ... using a uniform random number
+// generator").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/generator.h"
+
+namespace wadc::trace {
+
+struct TraceLibraryParams {
+  TraceGenParams gen;
+  // How many traces of each class the pool holds. The mix loosely follows
+  // the paper's host set: a few fast regional pairs, many cross-country
+  // pairs, several transatlantic, a couple of heavily congested ones.
+  std::size_t regional = 10;
+  std::size_t cross_country = 22;
+  std::size_t transatlantic = 16;
+  std::size_t intercontinental = 8;
+};
+
+class TraceLibrary {
+ public:
+  TraceLibrary(const TraceLibraryParams& params, std::uint64_t seed);
+
+  // Builds a library from externally supplied traces (e.g. measurements
+  // loaded via trace/io.h). `classes` may be empty, in which case every
+  // trace is tagged kCrossCountry.
+  TraceLibrary(std::vector<BandwidthTrace> traces,
+               std::vector<PairClass> classes = {});
+
+  std::size_t size() const { return traces_.size(); }
+  const BandwidthTrace& trace(std::size_t i) const;
+  PairClass trace_class(std::size_t i) const;
+
+  // Uniformly random trace index, for link assignment.
+  std::size_t sample_index(Rng& rng) const;
+
+ private:
+  std::vector<BandwidthTrace> traces_;
+  std::vector<PairClass> classes_;
+};
+
+}  // namespace wadc::trace

@@ -1,0 +1,69 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wadc::trace {
+
+double mean_of(const std::vector<double>& xs) {
+  WADC_ASSERT(!xs.empty(), "mean of empty series");
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double median_of(std::vector<double> xs) { return percentile_of(std::move(xs), 50.0); }
+
+double percentile_of(std::vector<double> xs, double p) {
+  WADC_ASSERT(!xs.empty(), "percentile of empty series");
+  WADC_ASSERT(p >= 0 && p <= 100, "percentile out of range: ", p);
+  std::sort(xs.begin(), xs.end());
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  WADC_ASSERT(xs.size() >= 2, "stddev needs at least two samples");
+  const double m = mean_of(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+TraceSummary summarize(const BandwidthTrace& trace) {
+  const auto& v = trace.values();
+  TraceSummary s;
+  s.mean = mean_of(v);
+  s.median = median_of(v);
+  s.min = *std::min_element(v.begin(), v.end());
+  s.max = *std::max_element(v.begin(), v.end());
+  s.coeff_of_variation = v.size() >= 2 ? stddev_of(v) / s.mean : 0.0;
+  return s;
+}
+
+double mean_time_between_significant_changes(const BandwidthTrace& trace,
+                                             double threshold) {
+  const auto& v = trace.values();
+  const double step = trace.step_seconds();
+  double reference = v.front();
+  double last_change_time = 0;
+  std::vector<double> intervals;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double t = static_cast<double>(i) * step;
+    if (std::abs(v[i] - reference) / reference >= threshold) {
+      intervals.push_back(t - last_change_time);
+      last_change_time = t;
+      reference = v[i];
+    }
+  }
+  if (intervals.empty()) return trace.duration_seconds();
+  return mean_of(intervals);
+}
+
+}  // namespace wadc::trace

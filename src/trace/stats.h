@@ -1,0 +1,38 @@
+// Statistics over bandwidth traces.
+//
+// The paper analyzed its measured traces to find that "the expected time
+// between significant changes in the bandwidth (>= 10%) was about 2 minutes"
+// (§4), and chose T_thres = 40 s from that. These helpers reproduce that
+// analysis over our synthetic traces so tests can assert the calibration.
+#pragma once
+
+#include <vector>
+
+#include "trace/bandwidth_trace.h"
+
+namespace wadc::trace {
+
+struct TraceSummary {
+  double mean = 0;
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  double coeff_of_variation = 0;  // stddev / mean
+};
+
+TraceSummary summarize(const BandwidthTrace& trace);
+
+// Mean time between significant bandwidth changes. A change is significant
+// when the sample differs from the value at the previous significant change
+// by at least `threshold` (relative). Returns the mean interval in seconds;
+// if fewer than two changes occur, returns the trace duration.
+double mean_time_between_significant_changes(const BandwidthTrace& trace,
+                                             double threshold = 0.10);
+
+// Utility statistics over plain series (used by the experiment harness too).
+double mean_of(const std::vector<double>& xs);
+double median_of(std::vector<double> xs);  // by value: needs to sort
+double percentile_of(std::vector<double> xs, double p);  // p in [0, 100]
+double stddev_of(const std::vector<double>& xs);
+
+}  // namespace wadc::trace

@@ -1,0 +1,158 @@
+// Tests for the common utilities: deterministic RNG and assertions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace wadc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3.5, 8.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 8.25);
+  }
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 1.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 8);
+    EXPECT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (const auto v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(37);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng base(41);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = Rng(41).fork(1);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+  // fork(label) is a pure function of (seed, label).
+  Rng f1_b = Rng(41).fork(1);
+  EXPECT_EQ(f1_again.next_u64(), f1_b.next_u64());
+}
+
+TEST(Rng, ForkDiffersFromParentStream) {
+  Rng parent(43);
+  Rng child = parent.fork(0);
+  Rng parent_fresh(43);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.next_u64() == parent_fresh.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Assert, PassingAssertIsSilent) {
+  WADC_ASSERT(1 + 1 == 2, "arithmetic broke");
+  SUCCEED();
+}
+
+TEST(AssertDeath, FailingAssertAbortsWithMessage) {
+  EXPECT_DEATH(WADC_ASSERT(false, "value was ", 42),
+               "wadc assertion failed.*value was 42");
+}
+
+TEST(AssertDeath, FatalAborts) {
+  EXPECT_DEATH(WADC_FATAL("unreachable state ", 7), "unreachable state 7");
+}
+
+}  // namespace
+}  // namespace wadc

@@ -1,0 +1,187 @@
+// Unit tests for combination trees and placements.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/combination_tree.h"
+#include "core/placement.h"
+
+namespace wadc::core {
+namespace {
+
+TEST(CompleteBinaryTree, TwoServers) {
+  const auto t = CombinationTree::complete_binary(2);
+  EXPECT_EQ(t.num_servers(), 2);
+  EXPECT_EQ(t.num_operators(), 1);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_TRUE(t.left_child(0).is_server());
+  EXPECT_TRUE(t.right_child(0).is_server());
+  EXPECT_EQ(t.parent(0), kNoOperator);
+}
+
+TEST(CompleteBinaryTree, EightServersIsPerfect) {
+  const auto t = CombinationTree::complete_binary(8);
+  EXPECT_EQ(t.num_operators(), 7);
+  EXPECT_EQ(t.depth(), 3);
+  // Levels: four leaf-adjacent ops at level 0, two at 1, root at 2.
+  int level_counts[3] = {0, 0, 0};
+  for (OperatorId op = 0; op < 7; ++op) ++level_counts[t.level(op)];
+  EXPECT_EQ(level_counts[0], 4);
+  EXPECT_EQ(level_counts[1], 2);
+  EXPECT_EQ(level_counts[2], 1);
+  EXPECT_EQ(t.level(t.root()), 2);
+}
+
+TEST(CompleteBinaryTree, OddServerCountsStillCombineEverything) {
+  for (const int s : {3, 5, 6, 7, 9, 11}) {
+    const auto t = CombinationTree::complete_binary(s);
+    EXPECT_EQ(t.num_operators(), s - 1) << s << " servers";
+    // Every server must have a consumer.
+    for (int i = 0; i < s; ++i) EXPECT_NE(t.server_consumer(i), kNoOperator);
+  }
+}
+
+TEST(LeftDeepTree, IsLinear) {
+  const auto t = CombinationTree::left_deep(8);
+  EXPECT_EQ(t.num_operators(), 7);
+  EXPECT_EQ(t.depth(), 7);  // one operator per level
+  for (OperatorId op = 0; op < 7; ++op) EXPECT_EQ(t.level(op), op);
+  EXPECT_EQ(t.root(), 6);
+  // Each non-first operator's left child is the previous operator.
+  for (OperatorId op = 1; op < 7; ++op) {
+    EXPECT_FALSE(t.left_child(op).is_server());
+    EXPECT_EQ(t.left_child(op).index, op - 1);
+    EXPECT_TRUE(t.right_child(op).is_server());
+  }
+}
+
+TEST(RightDeepTree, IsLinearMirror) {
+  const auto t = CombinationTree::right_deep(8);
+  EXPECT_EQ(t.num_operators(), 7);
+  EXPECT_EQ(t.depth(), 7);
+  EXPECT_EQ(t.root(), 6);
+  // First operator combines the last two servers; later operators take one
+  // server on the left and the previous operator on the right.
+  EXPECT_TRUE(t.left_child(0).is_server());
+  EXPECT_EQ(t.left_child(0).index, 6);
+  EXPECT_EQ(t.right_child(0).index, 7);
+  for (OperatorId op = 1; op < 7; ++op) {
+    EXPECT_TRUE(t.left_child(op).is_server());
+    EXPECT_FALSE(t.right_child(op).is_server());
+    EXPECT_EQ(t.right_child(op).index, op - 1);
+  }
+  // The root's left input is server 0.
+  EXPECT_EQ(t.left_child(t.root()).index, 0);
+}
+
+TEST(RightDeepTree, EveryServerCombinedOnce) {
+  for (const int s : {2, 3, 5, 8, 16}) {
+    const auto t = CombinationTree::right_deep(s);
+    EXPECT_EQ(t.num_operators(), s - 1);
+    for (int i = 0; i < s; ++i) EXPECT_NE(t.server_consumer(i), kNoOperator);
+  }
+}
+
+TEST(Tree, ParentsAreConsistentWithChildren) {
+  for (const auto shape : {TreeShape::kCompleteBinary, TreeShape::kLeftDeep,
+                           TreeShape::kRightDeep}) {
+    const auto t = CombinationTree::make(shape, 16);
+    for (OperatorId op = 0; op < t.num_operators(); ++op) {
+      for (const Child& c : {t.left_child(op), t.right_child(op)}) {
+        if (c.is_server()) {
+          EXPECT_EQ(t.server_consumer(c.index), op);
+        } else {
+          EXPECT_EQ(t.parent(c.index), op);
+        }
+      }
+    }
+  }
+}
+
+TEST(Tree, EveryServerAppearsExactlyOnce) {
+  for (const int s : {2, 4, 8, 16, 32}) {
+    const auto t = CombinationTree::complete_binary(s);
+    std::multiset<int> servers;
+    for (OperatorId op = 0; op < t.num_operators(); ++op) {
+      for (const Child& c : {t.left_child(op), t.right_child(op)}) {
+        if (c.is_server()) servers.insert(c.index);
+      }
+    }
+    EXPECT_EQ(servers.size(), static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) EXPECT_EQ(servers.count(i), 1u);
+  }
+}
+
+TEST(Tree, TopologicalOrderIsBottomUp) {
+  const auto t = CombinationTree::complete_binary(16);
+  std::set<OperatorId> seen;
+  for (const OperatorId op : t.topological_order()) {
+    for (const Child& c : {t.left_child(op), t.right_child(op)}) {
+      if (!c.is_server()) {
+        EXPECT_TRUE(seen.count(c.index)) << "child after parent";
+      }
+    }
+    seen.insert(op);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(t.num_operators()));
+}
+
+TEST(Tree, HostNumbering) {
+  const auto t = CombinationTree::complete_binary(8);
+  EXPECT_EQ(t.client_host(), 0);
+  EXPECT_EQ(t.server_host(0), 1);
+  EXPECT_EQ(t.server_host(7), 8);
+  EXPECT_EQ(t.num_hosts(), 9);
+}
+
+TEST(Tree, ToStringDescribesShape) {
+  const auto t = CombinationTree::left_deep(4);
+  EXPECT_NE(t.to_string().find("left-deep"), std::string::npos);
+  EXPECT_NE(t.to_string().find("4 servers"), std::string::npos);
+}
+
+// ---- Placement --------------------------------------------------------------
+
+TEST(Placement, AllAtClient) {
+  const auto t = CombinationTree::complete_binary(8);
+  const auto p = Placement::all_at_client(t);
+  for (OperatorId op = 0; op < t.num_operators(); ++op) {
+    EXPECT_EQ(p.location(op), 0);
+  }
+}
+
+TEST(Placement, SetAndGet) {
+  const auto t = CombinationTree::complete_binary(4);
+  auto p = Placement::all_at_client(t);
+  p.set_location(1, 3);
+  EXPECT_EQ(p.location(1), 3);
+  EXPECT_EQ(p.location(0), 0);
+}
+
+TEST(Placement, ChildAndConsumerHosts) {
+  const auto t = CombinationTree::complete_binary(4);
+  // ops: 0=(s0,s1), 1=(s2,s3), 2=(op0,op1) root.
+  auto p = Placement::all_at_client(t);
+  p.set_location(0, 2);  // op0 at server host 2
+  EXPECT_EQ(p.child_host(t, Child::server(0)), 1);
+  EXPECT_EQ(p.child_host(t, Child::op(0)), 2);
+  EXPECT_EQ(p.consumer_host(t, 0), p.location(2));
+  EXPECT_EQ(p.consumer_host(t, t.root()), 0);  // root feeds the client
+}
+
+TEST(Placement, DiffListsMovedOperators) {
+  const auto t = CombinationTree::complete_binary(8);
+  auto a = Placement::all_at_client(t);
+  auto b = a;
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.diff(b).empty());
+  b.set_location(2, 4);
+  b.set_location(5, 1);
+  const auto moved = a.diff(b);
+  EXPECT_EQ(moved, (std::vector<OperatorId>{2, 5}));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace wadc::core

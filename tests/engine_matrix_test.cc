@@ -1,0 +1,102 @@
+// Combinatorial protocol matrix: every algorithm x tree shape x fleet size
+// must run to completion with the engine's invariant checks enabled
+// (verified lineage on every composed image, change-over edge discipline,
+// demand ordering, light-move windows).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "exp/experiment.h"
+#include "trace/library.h"
+
+namespace wadc::dataflow {
+namespace {
+
+trace::TraceLibrary& shared_library() {
+  static trace::TraceLibrary lib(trace::TraceLibraryParams{}, 2026);
+  return lib;
+}
+
+using MatrixParam = std::tuple<core::AlgorithmKind, core::TreeShape, int>;
+
+class EngineMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(EngineMatrixTest, CompletesWithInvariantsOn) {
+  const auto [algorithm, shape, servers] = GetParam();
+  exp::ExperimentSpec spec;
+  spec.algorithm = algorithm;
+  spec.tree_shape = shape;
+  spec.num_servers = servers;
+  spec.iterations = 20;
+  spec.relocation_period_seconds = 120;
+  spec.config_seed = 4242 + static_cast<std::uint64_t>(servers);
+  const auto r = exp::run_experiment(shared_library(), spec);
+  EXPECT_TRUE(r.stats.completed);
+  EXPECT_EQ(r.stats.arrival_seconds.size(), 20u);
+  EXPECT_GT(r.completion_seconds, 0);
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto [algorithm, shape, servers] = info.param;
+  std::string name = std::string(core::algorithm_name(algorithm)) + "_" +
+                     core::tree_shape_name(shape) + "_" +
+                     std::to_string(servers);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, EngineMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(core::AlgorithmKind::kDownloadAll,
+                          core::AlgorithmKind::kOneShot,
+                          core::AlgorithmKind::kGlobal,
+                          core::AlgorithmKind::kLocal,
+                          core::AlgorithmKind::kGlobalOrder,
+                          core::AlgorithmKind::kReorderOnly),
+        ::testing::Values(core::TreeShape::kCompleteBinary,
+                          core::TreeShape::kLeftDeep,
+                          core::TreeShape::kRightDeep),
+        ::testing::Values(3, 4, 8)),
+    matrix_name);
+
+// Determinism across the full matrix for one mid-size point of each
+// algorithm (bit-identical completion times on repeat runs).
+class MatrixDeterminismTest
+    : public ::testing::TestWithParam<core::AlgorithmKind> {};
+
+TEST_P(MatrixDeterminismTest, RepeatRunsAreBitIdentical) {
+  exp::ExperimentSpec spec;
+  spec.algorithm = GetParam();
+  spec.num_servers = 5;
+  spec.iterations = 25;
+  spec.relocation_period_seconds = 150;
+  spec.config_seed = 777;
+  const auto a = exp::run_experiment(shared_library(), spec);
+  const auto b = exp::run_experiment(shared_library(), spec);
+  EXPECT_EQ(a.completion_seconds, b.completion_seconds);
+  EXPECT_EQ(a.stats.arrival_seconds, b.stats.arrival_seconds);
+  EXPECT_EQ(a.stats.relocations, b.stats.relocations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MatrixDeterminismTest,
+    ::testing::Values(core::AlgorithmKind::kDownloadAll,
+                      core::AlgorithmKind::kOneShot,
+                      core::AlgorithmKind::kGlobal,
+                      core::AlgorithmKind::kLocal,
+                      core::AlgorithmKind::kGlobalOrder),
+    [](const auto& info) {
+      std::string name = core::algorithm_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace wadc::dataflow

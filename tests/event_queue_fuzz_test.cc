@@ -1,0 +1,68 @@
+// Randomized cross-check of the event queue against a reference ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace wadc::sim {
+namespace {
+
+class EventQueueFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzzTest, DrainsInTimeThenSequenceOrder) {
+  Rng rng(GetParam());
+  EventQueue queue;
+  struct Ref {
+    SimTime time;
+    EventSeq seq;
+  };
+  std::vector<Ref> reference;
+  EventSeq seq = 0;
+
+  // Interleave pushes and pops randomly; popped events must always follow
+  // (time, seq) order relative to everything that was in the queue.
+  std::vector<Ref> popped;
+  for (int step = 0; step < 2000; ++step) {
+    const bool push = queue.empty() || rng.bernoulli(0.6);
+    if (push) {
+      // Coarse times force plenty of ties to exercise the seq tiebreak.
+      const SimTime t = static_cast<double>(rng.next_below(50));
+      queue.push(t, seq, [] {});
+      reference.push_back(Ref{t, seq});
+      ++seq;
+    } else {
+      const auto e = queue.pop();
+      popped.push_back(Ref{e.time, e.seq});
+      // It must be the minimum of the reference set.
+      auto it = std::min_element(reference.begin(), reference.end(),
+                                 [](const Ref& a, const Ref& b) {
+                                   if (a.time != b.time) return a.time < b.time;
+                                   return a.seq < b.seq;
+                                 });
+      ASSERT_EQ(e.time, it->time);
+      ASSERT_EQ(e.seq, it->seq);
+      reference.erase(it);
+    }
+  }
+  // Drain the rest: must come out fully sorted.
+  while (!queue.empty()) {
+    const auto e = queue.pop();
+    popped.push_back(Ref{e.time, e.seq});
+  }
+  for (std::size_t i = popped.size() - reference.size(); i + 1 < popped.size();
+       ++i) {
+    const bool ordered = popped[i].time < popped[i + 1].time ||
+                         (popped[i].time == popped[i + 1].time &&
+                          popped[i].seq < popped[i + 1].seq);
+    EXPECT_TRUE(ordered) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace wadc::sim

@@ -1,0 +1,97 @@
+// Tests for the JSON export of runs and sweeps.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/export.h"
+#include "trace/library.h"
+
+namespace wadc::exp {
+namespace {
+
+trace::TraceLibrary& shared_library() {
+  static trace::TraceLibrary lib(trace::TraceLibraryParams{}, 2026);
+  return lib;
+}
+
+dataflow::RunStats sample_run() {
+  ExperimentSpec spec;
+  spec.algorithm = core::AlgorithmKind::kGlobal;
+  spec.num_servers = 8;
+  spec.iterations = 60;
+  spec.relocation_period_seconds = 120;
+  spec.config_seed = 1000;  // a configuration known to relocate
+  return run_experiment(shared_library(), spec).stats;
+}
+
+TEST(ExportRun, ContainsTheKeyFields) {
+  const auto stats = sample_run();
+  std::stringstream out;
+  write_run_json(stats, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"completed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"completion_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"arrival_seconds\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"relocations\": ["), std::string::npos);
+  // Arrival count shows up as 60 comma-separated values.
+  std::size_t commas = 0;
+  const auto start = json.find("\"arrival_seconds\": [");
+  const auto end = json.find(']', start);
+  for (std::size_t i = start; i < end; ++i) {
+    if (json[i] == ',') ++commas;
+  }
+  EXPECT_EQ(commas, 59u);  // 60 arrivals
+}
+
+TEST(ExportRun, RelocationEventsAreStructured) {
+  const auto stats = sample_run();
+  if (stats.relocation_trace.empty()) {
+    GTEST_SKIP() << "no relocations on this configuration";
+  }
+  std::stringstream out;
+  write_run_json(stats, out);
+  EXPECT_NE(out.str().find("\"op\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"from\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"to\":"), std::string::npos);
+}
+
+TEST(ExportSeries, OneObjectPerSeries) {
+  SweepSpec sweep;
+  sweep.configs = 2;
+  sweep.base_seed = 66;
+  sweep.experiment.num_servers = 4;
+  sweep.experiment.iterations = 20;
+  const auto series = run_sweep(shared_library(), sweep,
+                                {core::AlgorithmKind::kDownloadAll,
+                                 core::AlgorithmKind::kOneShot});
+  std::stringstream out;
+  write_series_json(series, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"algorithm\": \"download-all\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\": \"one-shot\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\": [1,1]"), std::string::npos);
+}
+
+TEST(ExportRun, FileWriterRoundTrips) {
+  const auto stats = sample_run();
+  const std::string path = ::testing::TempDir() + "/wadc_run.json";
+  write_run_json_file(stats, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream direct;
+  write_run_json(stats, direct);
+  std::stringstream from_file;
+  from_file << in.rdbuf();
+  EXPECT_EQ(from_file.str(), direct.str());
+  std::remove(path.c_str());
+}
+
+TEST(ExportRun, MissingDirectoryThrows) {
+  const auto stats = sample_run();
+  EXPECT_THROW(write_run_json_file(stats, "/nonexistent/dir/run.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wadc::exp

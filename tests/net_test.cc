@@ -1,0 +1,318 @@
+// Unit tests for the network model: link tables, transfer timing, endpoint
+// congestion (single NIC) and message priority.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link_table.h"
+#include "net/network.h"
+#include "net/types.h"
+#include "sim/simulation.h"
+#include "trace/bandwidth_trace.h"
+
+namespace wadc::net {
+namespace {
+
+TEST(PairIndex, IsSymmetric) {
+  EXPECT_EQ(pair_index(2, 5, 9), pair_index(5, 2, 9));
+}
+
+TEST(PairIndex, IsABijectionOverAllPairs) {
+  const int n = 9;
+  std::vector<int> seen(pair_count(n), 0);
+  for (HostId a = 0; a < n; ++a) {
+    for (HostId b = a + 1; b < n; ++b) {
+      const std::size_t idx = pair_index(a, b, n);
+      ASSERT_LT(idx, seen.size());
+      ++seen[idx];
+    }
+  }
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(PairIndex, CountMatchesFormula) {
+  EXPECT_EQ(pair_count(2), 1u);
+  EXPECT_EQ(pair_count(9), 36u);
+  EXPECT_EQ(pair_count(33), 528u);
+}
+
+class LinkTableTest : public ::testing::Test {
+ protected:
+  LinkTableTest() : fast_(10.0, {1000.0}), slow_(10.0, {100.0, 50.0}) {}
+  trace::BandwidthTrace fast_;
+  trace::BandwidthTrace slow_;
+};
+
+TEST_F(LinkTableTest, StoresAndReadsBandwidth) {
+  LinkTable table(3);
+  table.set_link(0, 1, &fast_);
+  table.set_link(1, 2, &slow_);
+  EXPECT_TRUE(table.has_link(0, 1));
+  EXPECT_FALSE(table.has_link(0, 2));
+  EXPECT_DOUBLE_EQ(table.bandwidth_at(0, 1, 5.0), 1000.0);
+  EXPECT_DOUBLE_EQ(table.bandwidth_at(2, 1, 15.0), 50.0);  // symmetric
+}
+
+TEST_F(LinkTableTest, OffsetShiftsIntoTheTrace) {
+  LinkTable table(2);
+  table.set_link(0, 1, &slow_, /*offset=*/10.0);
+  // At sim time 0 the link reads the trace at 10 s -> second sample.
+  EXPECT_DOUBLE_EQ(table.bandwidth_at(0, 1, 0.0), 50.0);
+}
+
+TEST_F(LinkTableTest, FinishTimeAccountsForOffset) {
+  LinkTable table(2);
+  table.set_link(0, 1, &slow_, /*offset=*/5.0);
+  // At sim t=0 trace t=5: 5 s left at 100 B/s (500 B), then 50 B/s.
+  EXPECT_DOUBLE_EQ(table.finish_time(0, 1, 0.0, 750.0), 10.0);
+}
+
+// ---- Network ----------------------------------------------------------------
+
+struct NetFixture {
+  NetFixture(double bw01, double bw02 = 1000, double bw12 = 1000)
+      : t01(10.0, {bw01}),
+        t02(10.0, {bw02}),
+        t12(10.0, {bw12}),
+        links(3),
+        network{} {
+    links.set_link(0, 1, &t01);
+    links.set_link(0, 2, &t02);
+    links.set_link(1, 2, &t12);
+    network = std::make_unique<Network>(sim, links, NetworkParams{});
+  }
+  sim::Simulation sim;
+  trace::BandwidthTrace t01, t02, t12;
+  LinkTable links;
+  std::unique_ptr<Network> network;
+};
+
+TEST(Network, TransferTimeIsStartupPlusBytesOverBandwidth) {
+  NetFixture f(/*bw01=*/1000);
+  TransferRecord rec;
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 2000.0);
+  }(*f.network, rec));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(rec.started, 0.0);
+  EXPECT_DOUBLE_EQ(rec.completed, 0.05 + 2.0);  // 50 ms startup + 2 s
+  EXPECT_NEAR(rec.app_bandwidth(), 2000.0 / 2.05, 1e-9);
+}
+
+TEST(Network, LocalTransferIsInstant) {
+  NetFixture f(1000);
+  TransferRecord rec;
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(1, 1, 1e9);
+  }(*f.network, rec));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(rec.completed, 0.0);
+}
+
+TEST(Network, SingleNicSerializesTransfersAtAHost) {
+  // Two senders (1 and 2) to the same receiver 0: second must wait.
+  NetFixture f(/*bw01=*/1000, /*bw02=*/1000);
+  std::vector<TransferRecord> recs(2);
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(1, 0, 1000.0);
+  }(*f.network, recs[0]));
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(2, 0, 1000.0);
+  }(*f.network, recs[1]));
+  f.sim.run();
+  // First: 0.05 + 1 = 1.05; second starts at 1.05, ends at 2.10.
+  EXPECT_DOUBLE_EQ(recs[0].completed, 1.05);
+  EXPECT_DOUBLE_EQ(recs[1].started, 1.05);
+  EXPECT_DOUBLE_EQ(recs[1].completed, 2.10);
+  EXPECT_DOUBLE_EQ(recs[1].queue_wait(), 1.05);
+}
+
+TEST(Network, DisjointPairsTransferConcurrently) {
+  // 0->1 and a self-contained 2->... need 4 hosts for disjoint pairs.
+  sim::Simulation sim;
+  trace::BandwidthTrace tr(10.0, {1000.0});
+  LinkTable links(4);
+  for (HostId a = 0; a < 4; ++a) {
+    for (HostId b = a + 1; b < 4; ++b) links.set_link(a, b, &tr);
+  }
+  Network network(sim, links, NetworkParams{});
+  std::vector<TransferRecord> recs(2);
+  sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 1000.0);
+  }(network, recs[0]));
+  sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(2, 3, 1000.0);
+  }(network, recs[1]));
+  sim.run();
+  EXPECT_DOUBLE_EQ(recs[0].completed, 1.05);
+  EXPECT_DOUBLE_EQ(recs[1].completed, 1.05);  // no interference
+}
+
+TEST(Network, TransferHoldsBothEndpoints) {
+  // While 0->1 is active, 1->2 must wait even though 2 is idle.
+  NetFixture f(1000, 1000, 1000);
+  std::vector<TransferRecord> recs(2);
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 1000.0);
+  }(*f.network, recs[0]));
+  f.sim.spawn([](sim::Simulation& s, Network& n,
+                 TransferRecord& out) -> sim::Task<> {
+    co_await s.delay(0.1);
+    out = co_await n.transfer(1, 2, 1000.0);
+  }(f.sim, *f.network, recs[1]));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(recs[1].started, 1.05);
+}
+
+TEST(Network, HighPriorityOvertakesQueuedTransfers) {
+  // Host 0 busy; a data transfer and then a control transfer queue up.
+  // The control transfer must start first.
+  NetFixture f(1000, 1000, 1000);
+  std::vector<TransferRecord> recs(3);
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 1000.0);  // busy until 1.05
+  }(*f.network, recs[0]));
+  f.sim.spawn([](sim::Simulation& s, Network& n,
+                 TransferRecord& out) -> sim::Task<> {
+    co_await s.delay(0.1);
+    out = co_await n.transfer(0, 2, 1000.0, kDataPriority);
+  }(f.sim, *f.network, recs[1]));
+  f.sim.spawn([](sim::Simulation& s, Network& n,
+                 TransferRecord& out) -> sim::Task<> {
+    co_await s.delay(0.2);  // arrives after the data transfer
+    out = co_await n.transfer(0, 2, 100.0, kControlPriority);
+  }(f.sim, *f.network, recs[2]));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(recs[2].started, 1.05);      // control first
+  EXPECT_GE(recs[1].started, recs[2].completed);  // data after control
+}
+
+TEST(Network, InProgressTransferIsNotPreempted) {
+  NetFixture f(1000, 1000, 1000);
+  std::vector<TransferRecord> recs(2);
+  f.sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 10000.0);  // long data transfer
+  }(*f.network, recs[0]));
+  f.sim.spawn([](sim::Simulation& s, Network& n,
+                 TransferRecord& out) -> sim::Task<> {
+    co_await s.delay(1.0);
+    out = co_await n.transfer(0, 2, 100.0, kControlPriority);
+  }(f.sim, *f.network, recs[1]));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(recs[0].completed, 10.05);
+  EXPECT_DOUBLE_EQ(recs[1].started, 10.05);  // waited for completion
+}
+
+TEST(Network, BandwidthChangeMidTransferIsHonored) {
+  sim::Simulation sim;
+  trace::BandwidthTrace tr(10.0, {100.0, 200.0});
+  LinkTable links(2);
+  links.set_link(0, 1, &tr);
+  NetworkParams params;
+  params.startup_seconds = 0;  // simplify arithmetic
+  Network network(sim, links, params);
+  TransferRecord rec;
+  sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    // 1500 B from t=5: 500 B at 100 B/s (5 s), 1000 B at 200 B/s (5 s).
+    out = co_await n.transfer(0, 1, 1500.0);
+  }(network, rec));
+  sim.schedule_at(5.0, [] {});  // make sure nothing else runs first
+  sim.run();
+  // The transfer starts at t=0 though: 1000 B at 100 (10 s) + 500 at 200
+  // (2.5 s) = 12.5 s.
+  EXPECT_DOUBLE_EQ(rec.completed, 12.5);
+}
+
+TEST(Network, ObserversSeeCompletedTransfers) {
+  NetFixture f(1000);
+  std::vector<TransferRecord> observed;
+  f.network->add_observer(
+      [&](const TransferRecord& r) { observed.push_back(r); });
+  f.sim.spawn([](Network& n) -> sim::Task<> {
+    co_await n.transfer(0, 1, 500.0);
+    co_await n.transfer(1, 2, 700.0);
+  }(*f.network));
+  f.sim.run();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_DOUBLE_EQ(observed[0].bytes, 500.0);
+  EXPECT_DOUBLE_EQ(observed[1].bytes, 700.0);
+  EXPECT_EQ(f.network->transfers_completed(), 2u);
+  EXPECT_DOUBLE_EQ(f.network->bytes_delivered(), 1200.0);
+}
+
+TEST(Network, FifoAmongEqualPriority) {
+  NetFixture f(1000, 1000, 1000);
+  std::vector<int> completion_order;
+  for (int i = 0; i < 3; ++i) {
+    f.sim.spawn([](sim::Simulation& s, Network& n, std::vector<int>& order,
+                   int id) -> sim::Task<> {
+      co_await s.delay(0.01 * id);
+      co_await n.transfer(0, 1, 100.0);
+      order.push_back(id);
+    }(f.sim, *f.network, completion_order, i));
+  }
+  f.sim.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Network, CapacityTwoAllowsConcurrentTransfersAtAHost) {
+  sim::Simulation sim;
+  trace::BandwidthTrace tr(10.0, {1000.0});
+  LinkTable links(3);
+  for (HostId a = 0; a < 3; ++a) {
+    for (HostId b = a + 1; b < 3; ++b) links.set_link(a, b, &tr);
+  }
+  NetworkParams params;
+  params.host_capacity = 2;
+  Network network(sim, links, params);
+  std::vector<TransferRecord> recs(2);
+  sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(1, 0, 1000.0);
+  }(network, recs[0]));
+  sim.spawn([](Network& n, TransferRecord& out) -> sim::Task<> {
+    out = co_await n.transfer(2, 0, 1000.0);
+  }(network, recs[1]));
+  sim.run();
+  // With two interfaces at host 0, both transfers run concurrently.
+  EXPECT_DOUBLE_EQ(recs[0].completed, 1.05);
+  EXPECT_DOUBLE_EQ(recs[1].completed, 1.05);
+}
+
+TEST(Network, CapacityTwoStillQueuesTheThird) {
+  sim::Simulation sim;
+  trace::BandwidthTrace tr(10.0, {1000.0});
+  LinkTable links(4);
+  for (HostId a = 0; a < 4; ++a) {
+    for (HostId b = a + 1; b < 4; ++b) links.set_link(a, b, &tr);
+  }
+  NetworkParams params;
+  params.host_capacity = 2;
+  Network network(sim, links, params);
+  std::vector<TransferRecord> recs(3);
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Network& n, TransferRecord& out, HostId src) -> sim::Task<> {
+      out = co_await n.transfer(src, 0, 1000.0);
+    }(network, recs[static_cast<std::size_t>(i)], static_cast<HostId>(i + 1)));
+  }
+  sim.run();
+  EXPECT_DOUBLE_EQ(recs[0].completed, 1.05);
+  EXPECT_DOUBLE_EQ(recs[1].completed, 1.05);
+  EXPECT_DOUBLE_EQ(recs[2].started, 1.05);  // waited for a free slot
+  EXPECT_EQ(network.host_active_transfers(0), 0);
+}
+
+TEST(Network, HostBusyReflectsActiveTransfer) {
+  NetFixture f(1000);
+  f.sim.spawn([](Network& n) -> sim::Task<> {
+    co_await n.transfer(0, 1, 1000.0);
+  }(*f.network));
+  f.sim.run(0.5);
+  EXPECT_TRUE(f.network->host_busy(0));
+  EXPECT_TRUE(f.network->host_busy(1));
+  EXPECT_FALSE(f.network->host_busy(2));
+  f.sim.run();
+  EXPECT_FALSE(f.network->host_busy(0));
+}
+
+}  // namespace
+}  // namespace wadc::net

@@ -1,0 +1,67 @@
+// Tests for the text reporting helpers used by the bench binaries.
+#include <gtest/gtest.h>
+
+#include "exp/report.h"
+
+namespace wadc::exp {
+namespace {
+
+TEST(Report, StatsOfSummaries) {
+  const auto s = stats_of({2, 4, 6, 8, 10});
+  EXPECT_DOUBLE_EQ(s.mean, 6.0);
+  EXPECT_DOUBLE_EQ(s.median, 6.0);
+  EXPECT_DOUBLE_EQ(s.p10, 2.8);
+  EXPECT_DOUBLE_EQ(s.p90, 9.2);
+}
+
+TEST(Report, PrintSortedSeriesOrdersBySortColumn) {
+  ::testing::internal::CaptureStdout();
+  print_sorted_series("hdr", {"a", "b"},
+                      {{3.0, 1.0, 2.0}, {30.0, 10.0, 20.0}}, /*sort_by=*/0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // Rows must be ordered by series a ascending, keeping pairs aligned.
+  EXPECT_NE(out.find("hdr"), std::string::npos);
+  const auto p1 = out.find("0\t1.000\t10.000");
+  const auto p2 = out.find("1\t2.000\t20.000");
+  const auto p3 = out.find("2\t3.000\t30.000");
+  EXPECT_NE(p1, std::string::npos);
+  EXPECT_NE(p2, std::string::npos);
+  EXPECT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(Report, PrintSortedSeriesSortsByOtherColumn) {
+  ::testing::internal::CaptureStdout();
+  print_sorted_series("hdr", {"a", "b"},
+                      {{1.0, 2.0, 3.0}, {30.0, 20.0, 10.0}}, /*sort_by=*/1);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // Sorted by b ascending: rows (3,10), (2,20), (1,30).
+  const auto p1 = out.find("0\t3.000\t10.000");
+  const auto p2 = out.find("1\t2.000\t20.000");
+  EXPECT_NE(p1, std::string::npos);
+  EXPECT_NE(p2, std::string::npos);
+  EXPECT_LT(p1, p2);
+}
+
+TEST(Report, PrintSummaryEmitsOneLinePerSeries) {
+  ::testing::internal::CaptureStdout();
+  print_summary({"alpha", "beta"}, {{1, 2, 3}, {4, 5, 6}}, "x");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("mean=   2.000"), std::string::npos);
+  EXPECT_NE(out.find("mean=   5.000"), std::string::npos);
+}
+
+TEST(ReportDeath, MismatchedSeriesLengthsAreFatal) {
+  EXPECT_DEATH(print_sorted_series("h", {"a", "b"}, {{1.0}, {1.0, 2.0}}, 0),
+               "different lengths");
+}
+
+TEST(ReportDeath, BadSortIndexIsFatal) {
+  EXPECT_DEATH(print_sorted_series("h", {"a"}, {{1.0}}, 5), "sort series");
+}
+
+}  // namespace
+}  // namespace wadc::exp

@@ -1,0 +1,270 @@
+// Unit tests for bandwidth traces, the synthetic generator and trace stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "trace/bandwidth_trace.h"
+#include "trace/generator.h"
+#include "trace/library.h"
+#include "trace/stats.h"
+
+namespace wadc::trace {
+namespace {
+
+TEST(BandwidthTrace, AtReadsPiecewiseConstantSamples) {
+  const BandwidthTrace tr(10.0, {100, 200, 50});
+  EXPECT_DOUBLE_EQ(tr.at(0), 100);
+  EXPECT_DOUBLE_EQ(tr.at(9.999), 100);
+  EXPECT_DOUBLE_EQ(tr.at(10.0), 200);
+  EXPECT_DOUBLE_EQ(tr.at(25.0), 50);
+  EXPECT_DOUBLE_EQ(tr.at(-5.0), 100);   // before start: first sample
+  EXPECT_DOUBLE_EQ(tr.at(1000.0), 50);  // past end: last sample
+}
+
+TEST(BandwidthTrace, FinishTimeWithinOneSegment) {
+  const BandwidthTrace tr(10.0, {100, 200});
+  // 500 bytes at 100 B/s starting at t=2 -> finishes at t=7.
+  EXPECT_DOUBLE_EQ(tr.finish_time(2.0, 500.0), 7.0);
+}
+
+TEST(BandwidthTrace, FinishTimeSpansSegments) {
+  const BandwidthTrace tr(10.0, {100, 200});
+  // From t=5: 500 B in segment 0 (5 s), then 1000 B at 200 B/s (5 s).
+  EXPECT_DOUBLE_EQ(tr.finish_time(5.0, 1500.0), 15.0);
+}
+
+TEST(BandwidthTrace, FinishTimeBeyondEndUsesLastRate) {
+  const BandwidthTrace tr(10.0, {100, 200});
+  // Whole trace holds 1000 + 2000 = 3000 B; 1000 more at 200 B/s.
+  EXPECT_DOUBLE_EQ(tr.finish_time(0.0, 4000.0), 25.0);
+  // Starting past the end entirely.
+  EXPECT_DOUBLE_EQ(tr.finish_time(100.0, 400.0), 102.0);
+}
+
+TEST(BandwidthTrace, FinishTimeZeroBytesIsInstant) {
+  const BandwidthTrace tr(10.0, {100});
+  EXPECT_DOUBLE_EQ(tr.finish_time(3.0, 0.0), 3.0);
+}
+
+TEST(BandwidthTrace, FinishTimeExactSegmentBoundary) {
+  const BandwidthTrace tr(10.0, {100, 200});
+  // Exactly segment 0's capacity from t=0.
+  EXPECT_DOUBLE_EQ(tr.finish_time(0.0, 1000.0), 10.0);
+}
+
+TEST(BandwidthTrace, AverageMatchesHandComputation) {
+  const BandwidthTrace tr(10.0, {100, 200, 50});
+  // Over [5, 25]: 5 s at 100 + 10 s at 200 + 5 s at 50 = 2750 B over 20 s.
+  EXPECT_DOUBLE_EQ(tr.average(5.0, 25.0), 137.5);
+}
+
+TEST(BandwidthTrace, TransferTimeInverseOfIntegral) {
+  // Property: transferring exactly average(t0,t1)*(t1-t0) bytes from t0
+  // finishes at t1.
+  Rng rng(17);
+  std::vector<double> vals;
+  for (int i = 0; i < 50; ++i) vals.push_back(rng.uniform(10, 1000));
+  const BandwidthTrace tr(5.0, vals);
+  for (int i = 0; i < 100; ++i) {
+    const double t0 = rng.uniform(0, 200);
+    const double t1 = t0 + rng.uniform(0.1, 40);
+    const double bytes = tr.average(t0, t1) * (t1 - t0);
+    EXPECT_NEAR(tr.finish_time(t0, bytes), t1, 1e-6);
+  }
+}
+
+TEST(BandwidthTrace, FinishTimeMonotoneInBytes) {
+  Rng rng(23);
+  std::vector<double> vals;
+  for (int i = 0; i < 30; ++i) vals.push_back(rng.uniform(10, 500));
+  const BandwidthTrace tr(7.0, vals);
+  double prev = tr.finish_time(3.0, 0);
+  for (double bytes = 100; bytes < 50000; bytes *= 1.7) {
+    const double t = tr.finish_time(3.0, bytes);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BandwidthTrace, RejectsNonPositiveSamples) {
+  EXPECT_DEATH(BandwidthTrace(10.0, {100, 0, 50}), "non-positive");
+}
+
+TEST(BandwidthTrace, RejectsEmpty) {
+  EXPECT_DEATH(BandwidthTrace(10.0, {}), "empty");
+}
+
+// ---- generator --------------------------------------------------------------
+
+TEST(TraceGenerator, DeterministicInSeedAndLabel) {
+  const TraceGenParams params;
+  const TraceGenerator gen_a(params, 42);
+  const TraceGenerator gen_b(params, 42);
+  const auto t1 = gen_a.generate(PairClass::kCrossCountry, 3);
+  const auto t2 = gen_b.generate(PairClass::kCrossCountry, 3);
+  EXPECT_EQ(t1.values(), t2.values());
+}
+
+TEST(TraceGenerator, DifferentLabelsDiffer) {
+  const TraceGenerator gen(TraceGenParams{}, 42);
+  const auto t1 = gen.generate(PairClass::kCrossCountry, 1);
+  const auto t2 = gen.generate(PairClass::kCrossCountry, 2);
+  EXPECT_NE(t1.values(), t2.values());
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer) {
+  const auto t1 = TraceGenerator(TraceGenParams{}, 1).generate(
+      PairClass::kRegional, 0);
+  const auto t2 = TraceGenerator(TraceGenParams{}, 2).generate(
+      PairClass::kRegional, 0);
+  EXPECT_NE(t1.values(), t2.values());
+}
+
+TEST(TraceGenerator, CoversRequestedDuration) {
+  TraceGenParams params;
+  params.duration_seconds = 3600;
+  params.step_seconds = 30;
+  const auto tr =
+      TraceGenerator(params, 7).generate(PairClass::kRegional, 0);
+  EXPECT_EQ(tr.sample_count(), 120u);
+  EXPECT_DOUBLE_EQ(tr.duration_seconds(), 3600);
+}
+
+TEST(TraceGenerator, RespectsFloor) {
+  TraceGenParams params;
+  params.floor_bytes_per_second = 500;
+  const TraceGenerator gen(params, 11);
+  for (const auto cls :
+       {PairClass::kRegional, PairClass::kIntercontinental}) {
+    const auto tr = gen.generate(cls, 0);
+    for (const double v : tr.values()) EXPECT_GE(v, 500.0);
+  }
+}
+
+TEST(TraceGenerator, ClassMediansAreOrdered) {
+  const TraceGenerator gen(TraceGenParams{}, 5);
+  auto median_over_labels = [&](PairClass cls) {
+    std::vector<double> medians;
+    for (std::uint64_t label = 0; label < 12; ++label) {
+      medians.push_back(summarize(gen.generate(cls, label)).median);
+    }
+    return median_of(std::move(medians));
+  };
+  const double regional = median_over_labels(PairClass::kRegional);
+  const double cross = median_over_labels(PairClass::kCrossCountry);
+  const double transatlantic = median_over_labels(PairClass::kTransatlantic);
+  const double intercontinental =
+      median_over_labels(PairClass::kIntercontinental);
+  EXPECT_GT(regional, cross);
+  EXPECT_GT(cross, transatlantic);
+  EXPECT_GT(transatlantic, intercontinental);
+}
+
+// The paper's calibration anchor: expected time between significant (>=10%)
+// bandwidth changes is about two minutes (§4). Parameterized over classes.
+class CalibrationTest : public ::testing::TestWithParam<PairClass> {};
+
+TEST_P(CalibrationTest, SignificantChangeIntervalNearTwoMinutes) {
+  const TraceGenerator gen(TraceGenParams{}, 2026);
+  std::vector<double> intervals;
+  for (std::uint64_t label = 0; label < 8; ++label) {
+    intervals.push_back(mean_time_between_significant_changes(
+        gen.generate(GetParam(), label), 0.10));
+  }
+  const double mean = mean_of(intervals);
+  EXPECT_GT(mean, 40.0) << "changes implausibly frequent";
+  EXPECT_LT(mean, 300.0) << "changes implausibly rare";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, CalibrationTest,
+    ::testing::Values(PairClass::kRegional, PairClass::kCrossCountry,
+                      PairClass::kTransatlantic,
+                      PairClass::kIntercontinental),
+    [](const auto& info) {
+      std::string name = pair_class_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(TraceGenerator, HasPersistentCongestionEpisodes) {
+  // Over a two-day trace there should be windows where the 10-minute mean
+  // drops well below the overall median — the persistent changes on-line
+  // relocation exploits.
+  const TraceGenerator gen(TraceGenParams{}, 9);
+  int traces_with_episode = 0;
+  for (std::uint64_t label = 0; label < 10; ++label) {
+    const auto tr = gen.generate(PairClass::kCrossCountry, label);
+    const double med = summarize(tr).median;
+    for (double t = 0; t + 600 <= tr.duration_seconds(); t += 600) {
+      if (tr.average(t, t + 600) < 0.5 * med) {
+        ++traces_with_episode;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(traces_with_episode, 5);
+}
+
+// ---- library ----------------------------------------------------------------
+
+TEST(TraceLibrary, HoldsConfiguredMix) {
+  TraceLibraryParams params;
+  params.regional = 3;
+  params.cross_country = 4;
+  params.transatlantic = 2;
+  params.intercontinental = 1;
+  const TraceLibrary lib(params, 1);
+  EXPECT_EQ(lib.size(), 10u);
+  EXPECT_EQ(lib.trace_class(0), PairClass::kRegional);
+  EXPECT_EQ(lib.trace_class(3), PairClass::kCrossCountry);
+  EXPECT_EQ(lib.trace_class(7), PairClass::kTransatlantic);
+  EXPECT_EQ(lib.trace_class(9), PairClass::kIntercontinental);
+}
+
+TEST(TraceLibrary, SampleIndexCoversPool) {
+  const TraceLibrary lib(TraceLibraryParams{}, 1);
+  Rng rng(4);
+  std::vector<int> hits(lib.size(), 0);
+  for (int i = 0; i < 4000; ++i) ++hits[lib.sample_index(rng)];
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+// ---- stats helpers ----------------------------------------------------------
+
+TEST(Stats, MeanMedianPercentile) {
+  const std::vector<double> xs = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(median_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 3.0);
+}
+
+TEST(Stats, MedianOfEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median_of({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, StddevMatchesHandComputation) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(stddev_of({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+}
+
+TEST(Stats, SignificantChangesCountedAgainstReference) {
+  // 100 -> 105 (5%, no) -> 111 (11% vs 100, yes) -> 112 (no) -> 130 (yes).
+  const BandwidthTrace tr(10.0, {100, 105, 111, 112, 130});
+  // Changes at t=20 and t=40; intervals {20, 20}.
+  EXPECT_DOUBLE_EQ(mean_time_between_significant_changes(tr, 0.10), 20.0);
+}
+
+TEST(Stats, NoSignificantChangesReturnsDuration) {
+  const BandwidthTrace tr(10.0, {100, 101, 102, 101});
+  EXPECT_DOUBLE_EQ(mean_time_between_significant_changes(tr, 0.10), 40.0);
+}
+
+}  // namespace
+}  // namespace wadc::trace

@@ -1,0 +1,101 @@
+// Tests for the when_all fork-join combinator.
+#include <gtest/gtest.h>
+
+#include "sim/when_all.h"
+
+namespace wadc::sim {
+namespace {
+
+TEST(WhenAll, WaitsForAllBranches) {
+  Simulation sim;
+  std::vector<double> finish_times;
+  double joined_at = -1;
+
+  auto branch = [](Simulation& s, double delay,
+                   std::vector<double>& finished) -> Task<> {
+    co_await s.delay(delay);
+    finished.push_back(s.now());
+  };
+
+  sim.spawn([](Simulation& s, decltype(branch) mk,
+               std::vector<double>& finished, double& joined) -> Task<> {
+    std::vector<Task<void>> tasks;
+    tasks.push_back(mk(s, 3.0, finished));
+    tasks.push_back(mk(s, 1.0, finished));
+    tasks.push_back(mk(s, 2.0, finished));
+    co_await when_all(s, std::move(tasks));
+    joined = s.now();
+  }(sim, branch, finish_times, joined_at));
+
+  sim.run();
+  ASSERT_EQ(finish_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(finish_times[0], 1.0);  // branches ran concurrently
+  EXPECT_DOUBLE_EQ(finish_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(finish_times[2], 3.0);
+  EXPECT_DOUBLE_EQ(joined_at, 3.0);  // join at the slowest branch
+}
+
+TEST(WhenAll, TwoTaskConvenienceOverload) {
+  Simulation sim;
+  int done = 0;
+  auto branch = [](Simulation& s, double d, int& n) -> Task<> {
+    co_await s.delay(d);
+    ++n;
+  };
+  double joined_at = -1;
+  sim.spawn([](Simulation& s, decltype(branch) mk, int& n,
+               double& joined) -> Task<> {
+    co_await when_all(s, mk(s, 5.0, n), mk(s, 7.0, n));
+    joined = s.now();
+  }(sim, branch, done, joined_at));
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_DOUBLE_EQ(joined_at, 7.0);
+}
+
+TEST(WhenAll, EmptySetCompletesImmediately) {
+  Simulation sim;
+  double joined_at = -1;
+  sim.spawn([](Simulation& s, double& joined) -> Task<> {
+    co_await when_all(s, {});
+    joined = s.now();
+  }(sim, joined_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(joined_at, 0.0);
+}
+
+TEST(WhenAll, NestsInsideOtherWhenAlls) {
+  Simulation sim;
+  double joined_at = -1;
+  auto leaf = [](Simulation& s, double d) -> Task<> { co_await s.delay(d); };
+  auto pair = [leaf](Simulation& s, double a, double b) -> Task<> {
+    co_await when_all(s, leaf(s, a), leaf(s, b));
+  };
+  sim.spawn([](Simulation& s, decltype(pair) mk, double& joined) -> Task<> {
+    co_await when_all(s, mk(s, 1.0, 4.0), mk(s, 2.0, 3.0));
+    joined = s.now();
+  }(sim, pair, joined_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(joined_at, 4.0);
+}
+
+TEST(WhenAll, ManyBranchesScale) {
+  Simulation sim;
+  int done = 0;
+  auto branch = [](Simulation& s, double d, int& n) -> Task<> {
+    co_await s.delay(d);
+    ++n;
+  };
+  sim.spawn([](Simulation& s, decltype(branch) mk, int& n) -> Task<> {
+    std::vector<Task<void>> tasks;
+    for (int i = 0; i < 100; ++i) {
+      tasks.push_back(mk(s, static_cast<double>(i % 10), n));
+    }
+    co_await when_all(s, std::move(tasks));
+  }(sim, branch, done));
+  sim.run();
+  EXPECT_EQ(done, 100);
+}
+
+}  // namespace
+}  // namespace wadc::sim

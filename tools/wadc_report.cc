@@ -1,0 +1,272 @@
+// wadc_report — one-command reproduction report.
+//
+// Runs scaled-down versions of every experiment in the paper's evaluation
+// (plus this repository's extensions) and writes a self-contained Markdown
+// report with ASCII charts: the Figure 6 sorted speedup curves, the scaling
+// and period sweeps, the tree-shape comparison, and the ablations.
+//
+//   wadc_report [--configs=N] [--out=FILE]
+//
+// Defaults: 60 configurations (the full paper scale of 300 takes a few
+// minutes; pass --configs=300), report to stdout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/report.h"
+#include "trace/library.h"
+#include "trace/stats.h"
+
+namespace {
+
+using namespace wadc;
+
+// ---- tiny ASCII chart helpers ------------------------------------------------
+
+// Plots sorted series as curves on a character grid (x = configuration
+// rank, y = value). Series are drawn in order with the given glyphs; later
+// glyphs win collisions.
+std::string ascii_curves(const std::vector<std::vector<double>>& series,
+                         const std::vector<char>& glyphs, int width = 64,
+                         int height = 14) {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : series) {
+    for (const double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= lo) hi = lo + 1;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    std::vector<double> sorted = series[k];
+    std::sort(sorted.begin(), sorted.end());
+    for (int x = 0; x < width; ++x) {
+      const std::size_t idx =
+          sorted.size() <= 1
+              ? 0
+              : static_cast<std::size_t>(
+                    static_cast<double>(x) / (width - 1) *
+                    static_cast<double>(sorted.size() - 1));
+      const double v = sorted[idx];
+      int y = static_cast<int>((v - lo) / (hi - lo) *
+                               static_cast<double>(height - 1));
+      y = std::min(std::max(y, 0), height - 1);
+      grid[static_cast<std::size_t>(height - 1 - y)]
+          [static_cast<std::size_t>(x)] = glyphs[k];
+    }
+  }
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%6.2f ", hi);
+  out << buf << "┐\n";
+  for (const auto& row : grid) out << "       │" << row << "\n";
+  std::snprintf(buf, sizeof(buf), "%6.2f ", lo);
+  out << buf << "┴" << std::string(static_cast<std::size_t>(64), '-')
+      << "> configs (sorted)\n";
+  return out.str();
+}
+
+std::string bar(double value, double max_value, int width = 40) {
+  const int n = max_value > 0
+                    ? static_cast<int>(value / max_value * width + 0.5)
+                    : 0;
+  return std::string(static_cast<std::size_t>(std::min(n, width)), '#');
+}
+
+struct Options {
+  int configs = 60;
+  std::string out_path;
+};
+
+std::optional<std::string> flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::string(arg + len + 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (auto v = flag_value(argv[i], "--configs")) {
+      opt.configs = std::atoi(v->c_str());
+    } else if (auto v2 = flag_value(argv[i], "--out")) {
+      opt.out_path = *v2;
+    } else {
+      std::fprintf(stderr, "usage: wadc_report [--configs=N] [--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  std::ofstream file;
+  if (!opt.out_path.empty()) {
+    file.open(opt.out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", opt.out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = opt.out_path.empty() ? std::cout : file;
+
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
+  exp::SweepSpec sweep;
+  sweep.configs = opt.configs;
+  sweep.base_seed = exp::env_seed(1000);
+
+  const auto progress = [](int done, int total) {
+    if (done % 100 == 0) {
+      std::fprintf(stderr, "  ... %d/%d runs\r", done, total);
+    }
+  };
+
+  out << "# wadc reproduction report\n\n";
+  out << "Ranganathan, Acharya, Saltz — *Adapting to Bandwidth Variations "
+         "in Wide-Area Data Combination* (ICDCS 1998)\n\n";
+  out << opt.configs << " network configurations per experiment, seed "
+      << sweep.base_seed << ".\n\n";
+
+  // ---- Figure 6 ---------------------------------------------------------
+  std::fprintf(stderr, "[1/5] figure 6 ...\n");
+  using core::AlgorithmKind;
+  const auto fig6 = exp::run_sweep(
+      library, sweep,
+      {AlgorithmKind::kOneShot, AlgorithmKind::kGlobal, AlgorithmKind::kLocal},
+      progress);
+  out << "## Relocation speedup over download-all (Figure 6)\n\n";
+  out << "```\n"
+      << ascii_curves({fig6[0].speedup, fig6[2].speedup, fig6[1].speedup},
+                      {'o', 'l', 'G'})
+      << "   o = one-shot   l = local   G = global\n```\n\n";
+  const auto s6_one = exp::stats_of(fig6[0].speedup);
+  const auto s6_glo = exp::stats_of(fig6[1].speedup);
+  const auto s6_loc = exp::stats_of(fig6[2].speedup);
+  out << "| algorithm | mean | median | p10 | p90 |\n";
+  out << "|---|---|---|---|---|\n";
+  char line[256];
+  const auto row = [&](const char* name, const exp::SeriesStats& s) {
+    std::snprintf(line, sizeof(line),
+                  "| %s | %.2fx | %.2fx | %.2fx | %.2fx |\n", name, s.mean,
+                  s.median, s.p10, s.p90);
+    out << line;
+  };
+  row("one-shot", s6_one);
+  row("global", s6_glo);
+  row("local", s6_loc);
+  std::vector<double> ratio_g_os, ratio_g_l;
+  for (std::size_t i = 0; i < fig6[1].speedup.size(); ++i) {
+    ratio_g_os.push_back(fig6[1].speedup[i] / fig6[0].speedup[i]);
+    ratio_g_l.push_back(fig6[1].speedup[i] / fig6[2].speedup[i]);
+  }
+  std::snprintf(line, sizeof(line),
+                "\nmedian global/one-shot ratio **%.2f** (paper ~1.40), "
+                "global/local **%.2f** (paper ~1.25)\n\n",
+                trace::median_of(ratio_g_os), trace::median_of(ratio_g_l));
+  out << line;
+
+  // ---- Figure 8 ----------------------------------------------------------
+  std::fprintf(stderr, "[2/5] figure 8 ...\n");
+  out << "## Scaling with the number of servers (Figure 8)\n\n";
+  out << "| servers | one-shot | global | local |\n|---|---|---|---|\n";
+  for (const int servers : {4, 8, 16}) {
+    exp::SweepSpec s = sweep;
+    s.experiment.num_servers = servers;
+    const auto r = exp::run_sweep(library, s,
+                                  {AlgorithmKind::kOneShot,
+                                   AlgorithmKind::kGlobal,
+                                   AlgorithmKind::kLocal},
+                                  progress);
+    std::snprintf(line, sizeof(line), "| %d | %.2fx | %.2fx | %.2fx |\n",
+                  servers, exp::stats_of(r[0].speedup).mean,
+                  exp::stats_of(r[1].speedup).mean,
+                  exp::stats_of(r[2].speedup).mean);
+    out << line;
+  }
+  out << "\n";
+
+  // ---- Figure 9 ----------------------------------------------------------
+  std::fprintf(stderr, "[3/5] figure 9 ...\n");
+  out << "## Relocation period (Figure 9)\n\n```\n";
+  std::vector<std::pair<double, double>> period_points;
+  for (const double minutes : {2.0, 5.0, 10.0, 30.0, 60.0}) {
+    exp::SweepSpec s = sweep;
+    s.experiment.relocation_period_seconds = minutes * 60;
+    const auto r =
+        exp::run_sweep(library, s, {AlgorithmKind::kGlobal}, progress);
+    period_points.push_back({minutes, exp::stats_of(r[0].speedup).mean});
+  }
+  double max_speedup = 0;
+  for (const auto& [m, v] : period_points) max_speedup = std::max(max_speedup, v);
+  for (const auto& [m, v] : period_points) {
+    std::snprintf(line, sizeof(line), "%5.0f min  %-40s %.2fx\n", m,
+                  bar(v, max_speedup).c_str(), v);
+    out << line;
+  }
+  out << "```\n\n";
+
+  // ---- Figure 10 ---------------------------------------------------------
+  std::fprintf(stderr, "[4/5] figure 10 ...\n");
+  out << "## Combination order (Figure 10)\n\n";
+  out << "| series | binary | left-deep |\n|---|---|---|\n";
+  {
+    exp::SweepSpec s = sweep;
+    const auto binary = exp::run_sweep(
+        library, s, {AlgorithmKind::kGlobal, AlgorithmKind::kLocal},
+        progress);
+    s.experiment.tree_shape = core::TreeShape::kLeftDeep;
+    const auto ldeep = exp::run_sweep(
+        library, s, {AlgorithmKind::kGlobal, AlgorithmKind::kLocal},
+        progress);
+    std::snprintf(line, sizeof(line), "| global | %.2fx | %.2fx |\n",
+                  exp::stats_of(binary[0].speedup).mean,
+                  exp::stats_of(ldeep[0].speedup).mean);
+    out << line;
+    std::snprintf(line, sizeof(line), "| local | %.2fx | %.2fx |\n",
+                  exp::stats_of(binary[1].speedup).mean,
+                  exp::stats_of(ldeep[1].speedup).mean);
+    out << line;
+  }
+  out << "\n";
+
+  // ---- extensions ---------------------------------------------------------
+  std::fprintf(stderr, "[5/5] extensions ...\n");
+  out << "## Extensions\n\n";
+  {
+    exp::SweepSpec s = sweep;
+    const auto r = exp::run_sweep(
+        library, s,
+        {AlgorithmKind::kGlobalOrder, AlgorithmKind::kReorderOnly},
+        progress);
+    std::snprintf(line, sizeof(line),
+                  "- adaptive order+location (`global-order`): mean "
+                  "**%.2fx**\n",
+                  exp::stats_of(r[0].speedup).mean);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "- reorder-only (query-scrambling analog): mean "
+                  "**%.2fx** — §1's \"inherently limited\" claim, "
+                  "quantified\n",
+                  exp::stats_of(r[1].speedup).mean);
+    out << line;
+  }
+  out << "\nSee EXPERIMENTS.md for the full-scale numbers and the "
+         "paper-vs-measured discussion.\n";
+
+  std::fprintf(stderr, "done.\n");
+  if (!opt.out_path.empty()) {
+    std::fprintf(stderr, "report written to %s\n", opt.out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,256 @@
+// wadc_run — command-line driver for wide-area data combination experiments.
+//
+// Runs any of the paper's placement algorithms on sampled or user-supplied
+// network configurations and prints per-configuration results plus summary
+// statistics, in human-readable or CSV form.
+//
+// Examples:
+//   wadc_run --algorithm=global --servers=8 --configs=20
+//   wadc_run --algorithm=local --extras=3 --shape=left-deep --csv
+//   wadc_run --algorithm=one-shot --trace-set=mylinks.txt --seed=5
+//   wadc_run --dump-traces=pool.txt          # export the synthetic pool
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/export.h"
+#include "exp/report.h"
+#include "trace/io.h"
+#include "trace/library.h"
+#include "trace/stats.h"
+
+namespace {
+
+using namespace wadc;
+
+struct Options {
+  core::AlgorithmKind algorithm = core::AlgorithmKind::kGlobal;
+  int servers = 8;
+  int iterations = 180;
+  core::TreeShape shape = core::TreeShape::kCompleteBinary;
+  double period_seconds = 600;
+  int extras = 0;
+  int configs = 1;
+  std::uint64_t seed = 1000;
+  std::uint64_t library_seed = 2026;
+  bool csv = false;
+  bool with_baseline = true;
+  std::string trace_set_path;
+  std::string dump_traces_path;
+  std::string dump_run_path;  // JSON of the final configuration's run
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: wadc_run [options]\n"
+      "  --algorithm=download-all|one-shot|global|local|global-order\n"
+      "                         placement algorithm (default global)\n"
+      "  --servers=N            number of data servers (default 8)\n"
+      "  --iterations=N         partitions per server (default 180)\n"
+      "  --shape=binary|left-deep|right-deep (default binary)\n"
+      "  --period=SECONDS       relocation period (default 600)\n"
+      "  --extras=K             local algorithm's extra candidates (default 0)\n"
+      "  --configs=N            network configurations to run (default 1)\n"
+      "  --seed=N               base configuration seed (default 1000)\n"
+      "  --library-seed=N       trace pool seed (default 2026)\n"
+      "  --trace-set=FILE       use traces from FILE instead of synthesizing\n"
+      "  --dump-traces=FILE     write the synthetic pool to FILE and exit\n"
+      "  --dump-run=FILE        write the last run's stats as JSON\n"
+      "  --no-baseline          skip the download-all baseline run\n"
+      "  --csv                  machine-readable output\n");
+}
+
+std::optional<std::string> flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::string(arg + len + 1);
+  }
+  return std::nullopt;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (auto v = flag_value(arg, "--algorithm")) {
+      if (*v == "download-all") {
+        opt.algorithm = core::AlgorithmKind::kDownloadAll;
+      } else if (*v == "one-shot") {
+        opt.algorithm = core::AlgorithmKind::kOneShot;
+      } else if (*v == "global") {
+        opt.algorithm = core::AlgorithmKind::kGlobal;
+      } else if (*v == "local") {
+        opt.algorithm = core::AlgorithmKind::kLocal;
+      } else if (*v == "global-order") {
+        opt.algorithm = core::AlgorithmKind::kGlobalOrder;
+      } else {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", v->c_str());
+        return false;
+      }
+    } else if (auto v2 = flag_value(arg, "--servers")) {
+      opt.servers = std::atoi(v2->c_str());
+    } else if (auto v3 = flag_value(arg, "--iterations")) {
+      opt.iterations = std::atoi(v3->c_str());
+    } else if (auto v4 = flag_value(arg, "--shape")) {
+      if (*v4 == "binary") {
+        opt.shape = core::TreeShape::kCompleteBinary;
+      } else if (*v4 == "left-deep") {
+        opt.shape = core::TreeShape::kLeftDeep;
+      } else if (*v4 == "right-deep") {
+        opt.shape = core::TreeShape::kRightDeep;
+      } else {
+        std::fprintf(stderr, "unknown shape '%s'\n", v4->c_str());
+        return false;
+      }
+    } else if (auto v5 = flag_value(arg, "--period")) {
+      opt.period_seconds = std::atof(v5->c_str());
+    } else if (auto v6 = flag_value(arg, "--extras")) {
+      opt.extras = std::atoi(v6->c_str());
+    } else if (auto v7 = flag_value(arg, "--configs")) {
+      opt.configs = std::atoi(v7->c_str());
+    } else if (auto v8 = flag_value(arg, "--seed")) {
+      opt.seed = std::strtoull(v8->c_str(), nullptr, 10);
+    } else if (auto v9 = flag_value(arg, "--library-seed")) {
+      opt.library_seed = std::strtoull(v9->c_str(), nullptr, 10);
+    } else if (auto v10 = flag_value(arg, "--trace-set")) {
+      opt.trace_set_path = *v10;
+    } else if (auto v11 = flag_value(arg, "--dump-traces")) {
+      opt.dump_traces_path = *v11;
+    } else if (auto v12 = flag_value(arg, "--dump-run")) {
+      opt.dump_run_path = *v12;
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(arg, "--no-baseline") == 0) {
+      opt.with_baseline = false;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
+      return false;
+    }
+  }
+  if (opt.servers < 2 || opt.iterations < 1 || opt.configs < 1) {
+    std::fprintf(stderr, "servers/iterations/configs must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  // Trace pool: synthetic by default, or loaded from a file.
+  std::optional<trace::TraceLibrary> library;
+  if (!opt.trace_set_path.empty()) {
+    try {
+      library.emplace(trace::load_trace_set_file(opt.trace_set_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load traces: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    library.emplace(trace::TraceLibraryParams{}, opt.library_seed);
+  }
+
+  if (!opt.dump_traces_path.empty()) {
+    std::vector<trace::BandwidthTrace> pool;
+    for (std::size_t i = 0; i < library->size(); ++i) {
+      pool.push_back(library->trace(i));
+    }
+    try {
+      trace::save_trace_set_file(pool, opt.dump_traces_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to dump traces: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %zu traces to %s\n", pool.size(),
+                opt.dump_traces_path.c_str());
+    return 0;
+  }
+
+  exp::ExperimentSpec spec;
+  spec.algorithm = opt.algorithm;
+  spec.num_servers = opt.servers;
+  spec.iterations = opt.iterations;
+  spec.tree_shape = opt.shape;
+  spec.relocation_period_seconds = opt.period_seconds;
+  spec.local_extra_candidates = opt.extras;
+
+  if (!opt.csv) {
+    std::printf("wadc_run: %s, %d servers, %d iterations, %s tree, period "
+                "%.0f s, %d configuration(s)\n\n",
+                core::algorithm_name(opt.algorithm), opt.servers,
+                opt.iterations, core::tree_shape_name(opt.shape),
+                opt.period_seconds, opt.configs);
+  }
+
+  if (opt.csv) {
+    std::printf("config_seed,algorithm,completion_s,interarrival_s,"
+                "speedup,relocations\n");
+  } else {
+    std::printf("config    completion  interarrival  speedup  relocations\n");
+  }
+
+  std::vector<double> speedups, completions, interarrivals;
+  for (int c = 0; c < opt.configs; ++c) {
+    spec.config_seed = opt.seed + static_cast<std::uint64_t>(c);
+
+    double base_time = 0;
+    if (opt.with_baseline) {
+      exp::ExperimentSpec base = spec;
+      base.algorithm = core::AlgorithmKind::kDownloadAll;
+      base_time = exp::run_experiment(*library, base).completion_seconds;
+    }
+    const exp::RunResult r = exp::run_experiment(*library, spec);
+    if (!opt.dump_run_path.empty() && c == opt.configs - 1) {
+      try {
+        exp::write_run_json_file(r.stats, opt.dump_run_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "failed to dump run: %s\n", e.what());
+      }
+    }
+    const double speedup =
+        opt.with_baseline ? base_time / r.completion_seconds : 0.0;
+    speedups.push_back(speedup);
+    completions.push_back(r.completion_seconds);
+    interarrivals.push_back(r.mean_interarrival_seconds);
+
+    if (opt.csv) {
+      std::printf("%llu,%s,%.3f,%.3f,%.3f,%d\n",
+                  static_cast<unsigned long long>(spec.config_seed),
+                  core::algorithm_name(opt.algorithm), r.completion_seconds,
+                  r.mean_interarrival_seconds, speedup, r.stats.relocations);
+    } else {
+      std::printf("%-9llu %9.1f s %11.2f s %7.2fx  %d\n",
+                  static_cast<unsigned long long>(spec.config_seed),
+                  r.completion_seconds, r.mean_interarrival_seconds, speedup,
+                  r.stats.relocations);
+    }
+  }
+
+  if (!opt.csv && opt.configs > 1) {
+    std::printf("\nsummary over %d configurations:\n", opt.configs);
+    std::printf("  completion   mean %9.1f s   median %9.1f s\n",
+                trace::mean_of(completions), trace::median_of(completions));
+    std::printf("  interarrival mean %9.2f s   median %9.2f s\n",
+                trace::mean_of(interarrivals),
+                trace::median_of(interarrivals));
+    if (opt.with_baseline) {
+      std::printf("  speedup      mean %9.2fx   median %9.2fx\n",
+                  trace::mean_of(speedups), trace::median_of(speedups));
+    }
+  }
+  return 0;
+}
