@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_barrier_priority.dir/ablation_barrier_priority.cc.o"
+  "CMakeFiles/ablation_barrier_priority.dir/ablation_barrier_priority.cc.o.d"
+  "ablation_barrier_priority"
+  "ablation_barrier_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_barrier_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_endpoint_congestion.dir/ablation_endpoint_congestion.cc.o"
+  "CMakeFiles/ablation_endpoint_congestion.dir/ablation_endpoint_congestion.cc.o.d"
+  "ablation_endpoint_congestion"
+  "ablation_endpoint_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_endpoint_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

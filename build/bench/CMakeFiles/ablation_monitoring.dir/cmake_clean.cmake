@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monitoring.dir/ablation_monitoring.cc.o"
+  "CMakeFiles/ablation_monitoring.dir/ablation_monitoring.cc.o.d"
+  "ablation_monitoring"
+  "ablation_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_config_convergence.dir/analysis_config_convergence.cc.o"
+  "CMakeFiles/analysis_config_convergence.dir/analysis_config_convergence.cc.o.d"
+  "analysis_config_convergence"
+  "analysis_config_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_config_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_relocation_traces.dir/analysis_relocation_traces.cc.o"
+  "CMakeFiles/analysis_relocation_traces.dir/analysis_relocation_traces.cc.o.d"
+  "analysis_relocation_traces"
+  "analysis_relocation_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_relocation_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

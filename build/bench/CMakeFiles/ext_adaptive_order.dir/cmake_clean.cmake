@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_order.dir/ext_adaptive_order.cc.o"
+  "CMakeFiles/ext_adaptive_order.dir/ext_adaptive_order.cc.o.d"
+  "ext_adaptive_order"
+  "ext_adaptive_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bandwidth_variation.dir/fig2_bandwidth_variation.cc.o"
+  "CMakeFiles/fig2_bandwidth_variation.dir/fig2_bandwidth_variation.cc.o.d"
+  "fig2_bandwidth_variation"
+  "fig2_bandwidth_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bandwidth_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

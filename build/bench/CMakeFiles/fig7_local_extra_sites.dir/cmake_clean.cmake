@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_local_extra_sites.dir/fig7_local_extra_sites.cc.o"
+  "CMakeFiles/fig7_local_extra_sites.dir/fig7_local_extra_sites.cc.o.d"
+  "fig7_local_extra_sites"
+  "fig7_local_extra_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_local_extra_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_server_scaling.cc" "bench/CMakeFiles/fig8_server_scaling.dir/fig8_server_scaling.cc.o" "gcc" "bench/CMakeFiles/fig8_server_scaling.dir/fig8_server_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/wadc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/wadc_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wadc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/wadc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wadc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wadc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wadc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wadc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wadc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_server_scaling.dir/fig8_server_scaling.cc.o"
+  "CMakeFiles/fig8_server_scaling.dir/fig8_server_scaling.cc.o.d"
+  "fig8_server_scaling"
+  "fig8_server_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_server_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

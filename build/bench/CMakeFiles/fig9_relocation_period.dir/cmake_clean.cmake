@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_relocation_period.dir/fig9_relocation_period.cc.o"
+  "CMakeFiles/fig9_relocation_period.dir/fig9_relocation_period.cc.o.d"
+  "fig9_relocation_period"
+  "fig9_relocation_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_relocation_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_search_merge.dir/federated_search_merge.cpp.o"
+  "CMakeFiles/federated_search_merge.dir/federated_search_merge.cpp.o.d"
+  "federated_search_merge"
+  "federated_search_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_search_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

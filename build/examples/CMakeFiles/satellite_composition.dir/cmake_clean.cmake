@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_composition.dir/satellite_composition.cpp.o"
+  "CMakeFiles/satellite_composition.dir/satellite_composition.cpp.o.d"
+  "satellite_composition"
+  "satellite_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_common.dir/assert.cc.o"
+  "CMakeFiles/wadc_common.dir/assert.cc.o.d"
+  "CMakeFiles/wadc_common.dir/rng.cc.o"
+  "CMakeFiles/wadc_common.dir/rng.cc.o.d"
+  "libwadc_common.a"
+  "libwadc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combination_tree.cc" "src/core/CMakeFiles/wadc_core.dir/combination_tree.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/combination_tree.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/wadc_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/local_rule.cc" "src/core/CMakeFiles/wadc_core.dir/local_rule.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/local_rule.cc.o.d"
+  "/root/repo/src/core/one_shot.cc" "src/core/CMakeFiles/wadc_core.dir/one_shot.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/one_shot.cc.o.d"
+  "/root/repo/src/core/operator_directory.cc" "src/core/CMakeFiles/wadc_core.dir/operator_directory.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/operator_directory.cc.o.d"
+  "/root/repo/src/core/order_planner.cc" "src/core/CMakeFiles/wadc_core.dir/order_planner.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/order_planner.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/wadc_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/wadc_core.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wadc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wadc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/wadc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wadc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wadc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_core.dir/combination_tree.cc.o"
+  "CMakeFiles/wadc_core.dir/combination_tree.cc.o.d"
+  "CMakeFiles/wadc_core.dir/cost_model.cc.o"
+  "CMakeFiles/wadc_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/wadc_core.dir/local_rule.cc.o"
+  "CMakeFiles/wadc_core.dir/local_rule.cc.o.d"
+  "CMakeFiles/wadc_core.dir/one_shot.cc.o"
+  "CMakeFiles/wadc_core.dir/one_shot.cc.o.d"
+  "CMakeFiles/wadc_core.dir/operator_directory.cc.o"
+  "CMakeFiles/wadc_core.dir/operator_directory.cc.o.d"
+  "CMakeFiles/wadc_core.dir/order_planner.cc.o"
+  "CMakeFiles/wadc_core.dir/order_planner.cc.o.d"
+  "CMakeFiles/wadc_core.dir/placement.cc.o"
+  "CMakeFiles/wadc_core.dir/placement.cc.o.d"
+  "libwadc_core.a"
+  "libwadc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

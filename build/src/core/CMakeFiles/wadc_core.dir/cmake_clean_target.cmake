@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwadc_core.a"
+)

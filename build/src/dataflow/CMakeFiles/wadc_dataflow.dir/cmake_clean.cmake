@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_dataflow.dir/engine.cc.o"
+  "CMakeFiles/wadc_dataflow.dir/engine.cc.o.d"
+  "libwadc_dataflow.a"
+  "libwadc_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_exp.dir/experiment.cc.o"
+  "CMakeFiles/wadc_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/wadc_exp.dir/export.cc.o"
+  "CMakeFiles/wadc_exp.dir/export.cc.o.d"
+  "CMakeFiles/wadc_exp.dir/network_config.cc.o"
+  "CMakeFiles/wadc_exp.dir/network_config.cc.o.d"
+  "CMakeFiles/wadc_exp.dir/report.cc.o"
+  "CMakeFiles/wadc_exp.dir/report.cc.o.d"
+  "libwadc_exp.a"
+  "libwadc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

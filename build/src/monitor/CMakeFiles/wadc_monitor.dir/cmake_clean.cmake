@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_monitor.dir/bandwidth_cache.cc.o"
+  "CMakeFiles/wadc_monitor.dir/bandwidth_cache.cc.o.d"
+  "CMakeFiles/wadc_monitor.dir/monitoring_system.cc.o"
+  "CMakeFiles/wadc_monitor.dir/monitoring_system.cc.o.d"
+  "libwadc_monitor.a"
+  "libwadc_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

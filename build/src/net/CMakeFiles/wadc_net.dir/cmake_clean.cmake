@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_net.dir/link_table.cc.o"
+  "CMakeFiles/wadc_net.dir/link_table.cc.o.d"
+  "CMakeFiles/wadc_net.dir/network.cc.o"
+  "CMakeFiles/wadc_net.dir/network.cc.o.d"
+  "libwadc_net.a"
+  "libwadc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

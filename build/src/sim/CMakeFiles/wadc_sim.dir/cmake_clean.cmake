@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/wadc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/wadc_sim.dir/simulation.cc.o"
+  "CMakeFiles/wadc_sim.dir/simulation.cc.o.d"
+  "libwadc_sim.a"
+  "libwadc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

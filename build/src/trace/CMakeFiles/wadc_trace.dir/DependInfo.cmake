@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bandwidth_trace.cc" "src/trace/CMakeFiles/wadc_trace.dir/bandwidth_trace.cc.o" "gcc" "src/trace/CMakeFiles/wadc_trace.dir/bandwidth_trace.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/wadc_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/wadc_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/wadc_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/wadc_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/library.cc" "src/trace/CMakeFiles/wadc_trace.dir/library.cc.o" "gcc" "src/trace/CMakeFiles/wadc_trace.dir/library.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/wadc_trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/wadc_trace.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wadc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wadc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

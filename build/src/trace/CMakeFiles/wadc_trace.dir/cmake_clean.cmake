@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_trace.dir/bandwidth_trace.cc.o"
+  "CMakeFiles/wadc_trace.dir/bandwidth_trace.cc.o.d"
+  "CMakeFiles/wadc_trace.dir/generator.cc.o"
+  "CMakeFiles/wadc_trace.dir/generator.cc.o.d"
+  "CMakeFiles/wadc_trace.dir/io.cc.o"
+  "CMakeFiles/wadc_trace.dir/io.cc.o.d"
+  "CMakeFiles/wadc_trace.dir/library.cc.o"
+  "CMakeFiles/wadc_trace.dir/library.cc.o.d"
+  "CMakeFiles/wadc_trace.dir/stats.cc.o"
+  "CMakeFiles/wadc_trace.dir/stats.cc.o.d"
+  "libwadc_trace.a"
+  "libwadc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_workload.dir/image_workload.cc.o"
+  "CMakeFiles/wadc_workload.dir/image_workload.cc.o.d"
+  "libwadc_workload.a"
+  "libwadc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/when_all_test.dir/when_all_test.cc.o"
+  "CMakeFiles/when_all_test.dir/when_all_test.cc.o.d"
+  "when_all_test"
+  "when_all_test.pdb"
+  "when_all_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/when_all_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/when_all_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/core_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/core_directory_test[1]_include.cmake")
+include("/root/repo/build/tests/order_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_ablation_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")

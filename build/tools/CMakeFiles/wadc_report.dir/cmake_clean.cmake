@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_report.dir/wadc_report.cc.o"
+  "CMakeFiles/wadc_report.dir/wadc_report.cc.o.d"
+  "wadc_report"
+  "wadc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

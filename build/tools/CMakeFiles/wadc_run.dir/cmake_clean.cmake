@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wadc_run.dir/wadc_run.cc.o"
+  "CMakeFiles/wadc_run.dir/wadc_run.cc.o.d"
+  "wadc_run"
+  "wadc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wadc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
