@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "common/assert.h"
@@ -99,6 +100,31 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
   client_data_ = std::make_unique<sim::Mailbox<DataMessage>>(sim_);
   client_control_ = std::make_unique<sim::Mailbox<BarrierReport>>(sim_);
 
+  obs_ = params_.obs;
+  if (obs_.metrics) {
+    relocations_counter_ = &obs_.metrics->counter("engine.relocations");
+    replans_counter_ = &obs_.metrics->counter("engine.replans");
+    barriers_initiated_counter_ =
+        &obs_.metrics->counter("engine.barriers_initiated");
+    barriers_completed_counter_ =
+        &obs_.metrics->counter("engine.barriers_completed");
+    forwards_counter_ = &obs_.metrics->counter("engine.messages_forwarded");
+    barrier_round_seconds_ = &obs_.metrics->histogram(
+        "engine.barrier_round_seconds", obs::exponential_buckets(0.1, 2, 12));
+  }
+  if (obs_.tracer) {
+    for (net::HostId h = 0; h < tree.num_hosts(); ++h) {
+      obs_.tracer->name_process(
+          h, h == tree.client_host() ? "host" + std::to_string(h) + " (client)"
+                                     : "host" + std::to_string(h));
+      obs_.tracer->name_thread(h, obs::kControlLane, "control");
+      for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
+        obs_.tracer->name_thread(h, obs::operator_lane(op),
+                                 "op" + std::to_string(op));
+      }
+    }
+  }
+
   actual_location_.assign(static_cast<std::size_t>(tree.num_operators()),
                           tree.client_host());
   epochs_.push_back(PlanEpoch{0, tree, start});
@@ -187,6 +213,7 @@ RunStats Engine::run() {
 sim::Task<void> Engine::orchestrate() {
   core::CombinationTree initial_tree = tree_;
   core::Placement initial = core::Placement::all_at_client(tree_);
+  const sim::SimTime plan_begin = sim_.now();
   if (adapts_order()) {
     // Extension: choose the combination order and the placement jointly
     // from probed bandwidth.
@@ -198,6 +225,12 @@ sim::Task<void> Engine::orchestrate() {
     // starts, measuring (probing) only the links the search touches.
     auto outcome = co_await plan_with_probes(initial);
     initial = std::move(outcome.placement);
+  }
+  if (obs_.tracer &&
+      params_.algorithm != core::AlgorithmKind::kDownloadAll) {
+    obs_.tracer->complete("plan", "initial_plan", tree_.client_host(),
+                          obs::kControlLane, plan_begin, sim_.now(),
+                          {{"plan_rounds", stats_.plan_rounds}});
   }
 
   // Install operators at their start-up locations: control message per
@@ -335,8 +368,14 @@ sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
     WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
     const net::HostId next =
         actual_location_[static_cast<std::size_t>(target)];
+    if (obs_.tracer) {
+      obs_.tracer->instant("engine", "stale_forward", at,
+                           obs::operator_lane(target), sim_.now(),
+                           {{"op", target}, {"next", next}});
+    }
     co_await hop(at, next, bytes, priority);
     ++stats_.messages_forwarded;
+    if (forwards_counter_) forwards_counter_->add();
     at = next;
   }
   co_return at;
@@ -411,6 +450,11 @@ sim::Task<void> Engine::client_process() {
                   "composed image lineage mismatch at iteration ", iter);
     }
     stats_.arrival_seconds.push_back(sim_.now());
+    if (obs_.tracer) {
+      obs_.tracer->instant("client", "image_arrival", tree_.client_host(),
+                           obs::kControlLane, sim_.now(),
+                           {{"iteration", iter}});
+    }
     if (iter % 20 == 0) {
       WADC_DEBUGLOG("[t=%9.1f] client received iteration %d", sim_.now(),
                     iter);
@@ -568,7 +612,14 @@ sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,
   m.image = image;
   m.iteration = iteration;
   m.producer_side = operator_side(tree_for(iteration), op);
+  const net::HostId host = actual_location_[static_cast<std::size_t>(op)];
+  const sim::SimTime begin = sim_.now();
   co_await send_data_to_consumer(op, m);
+  if (obs_.tracer) {
+    obs_.tracer->complete("engine", "dispatch", host, obs::operator_lane(op),
+                          begin, sim_.now(),
+                          {{"iteration", iteration}, {"bytes", image.bytes}});
+  }
 }
 
 sim::Task<void> Engine::compute_at(net::HostId host, double seconds) {
@@ -592,6 +643,7 @@ sim::Task<void> Engine::relocation_window(core::OperatorId op,
   // If we have already propagated a pending placement toward the servers,
   // do not fetch further until the switch iteration is known: this closes
   // the race between the release broadcast and resumed data flow.
+  const sim::SimTime stall_begin = sim_.now();
   while (active_barrier_ &&
          st.pending_version_forwarded >= active_barrier_->version &&
          host_state(actual_location_[static_cast<std::size_t>(op)])
@@ -601,6 +653,14 @@ sim::Task<void> Engine::relocation_window(core::OperatorId op,
                   actual_location_[static_cast<std::size_t>(op)]);
     co_await host_state(actual_location_[static_cast<std::size_t>(op)])
         .release_event->wait();
+  }
+  if (obs_.tracer && sim_.now() > stall_begin) {
+    // The operator sat out the change-over waiting for the release
+    // broadcast — dead time the barrier design charges this host.
+    obs_.tracer->complete(
+        "barrier", "barrier_stall",
+        actual_location_[static_cast<std::size_t>(op)],
+        obs::operator_lane(op), stall_begin, sim_.now(), {{"op", op}});
   }
 
   if (active_barrier_ && active_barrier_->switch_iteration &&
@@ -616,8 +676,7 @@ sim::Task<void> Engine::relocation_window(core::OperatorId op,
     if (active_barrier_ && active_barrier_->version == version) {
       if (++active_barrier_->moves_applied == tree_.num_operators() &&
           active_barrier_->broadcast_done) {
-        active_barrier_.reset();
-        ++stats_.barriers_completed;
+        complete_barrier();
       }
     }
   }
@@ -694,11 +753,20 @@ sim::Task<void> Engine::relocate_operator(core::OperatorId op,
                                           net::HostId to) {
   const net::HostId from = actual_location_[static_cast<std::size_t>(op)];
   WADC_ASSERT(from != to, "relocating operator to its current host");
+  const sim::SimTime begin = sim_.now();
   // Light-move: the operator holds no output in this window, so its state
   // is one small control message.
   co_await hop(from, to, params_.operator_move_bytes,
                params_.control_priority);
   actual_location_[static_cast<std::size_t>(op)] = to;
+  if (obs_.tracer) {
+    obs_.tracer->complete("engine", "light_move", from,
+                          obs::operator_lane(op), begin, sim_.now(),
+                          {{"op", op}, {"from", from}, {"to", to}});
+    obs_.tracer->instant("engine", "relocated", to, obs::operator_lane(op),
+                         sim_.now(), {{"op", op}, {"from", from}});
+  }
+  if (relocations_counter_) relocations_counter_->add();
   if (is_local()) {
     // §2.3: "the original site updates the corresponding entry in the
     // location vector and increments ... the timestamp vector."
@@ -736,6 +804,7 @@ sim::Task<void> Engine::global_replanner_process() {
 
     WADC_DEBUGLOG("[t=%9.1f] replanner: planning (client at %d)", sim_.now(),
                   client_next_iteration_);
+    const sim::SimTime replan_begin = sim_.now();
     core::CombinationTree new_tree = epochs_.back().tree;
     core::Placement new_placement = epochs_.back().placement;
     bool changed = false;
@@ -760,6 +829,13 @@ sim::Task<void> Engine::global_replanner_process() {
       new_placement = std::move(outcome.placement);
     }
     ++stats_.replans;
+    if (replans_counter_) replans_counter_->add();
+    if (obs_.tracer) {
+      obs_.tracer->complete("plan", "replan", tree_.client_host(),
+                            obs::kControlLane, replan_begin, sim_.now(),
+                            {{"changed", changed ? 1 : 0},
+                             {"client_iteration", client_next_iteration_}});
+    }
     WADC_DEBUGLOG("[t=%9.1f] replanner: %s", sim_.now(),
                   changed ? "CHANGED" : "unchanged");
     if (done_) co_return;
@@ -771,14 +847,22 @@ sim::Task<void> Engine::global_replanner_process() {
     b.version = next_version_++;
     b.new_tree = std::move(new_tree);
     b.new_placement = std::move(new_placement);
+    b.initiated_at = sim_.now();
     active_barrier_ = std::move(b);
     ++stats_.barriers_initiated;
+    if (barriers_initiated_counter_) barriers_initiated_counter_->add();
+    if (obs_.tracer) {
+      obs_.tracer->instant("barrier", "barrier_initiated",
+                           tree_.client_host(), obs::kControlLane, sim_.now(),
+                           {{"version", active_barrier_->version}});
+    }
     sim_.spawn(barrier_coordinator(active_barrier_->version));
   }
 }
 
 sim::Task<void> Engine::barrier_coordinator(int version) {
   // Gather one report per server (§2.2).
+  const sim::SimTime collect_begin = sim_.now();
   int reports = 0;
   int max_reported = 0;
   const int servers = tree_.num_servers();
@@ -787,9 +871,21 @@ sim::Task<void> Engine::barrier_coordinator(int version) {
     if (r.version != version) continue;  // stale duplicate
     ++reports;
     max_reported = std::max(max_reported, r.iteration);
+    if (obs_.tracer) {
+      obs_.tracer->instant("barrier", "barrier_report", tree_.client_host(),
+                           obs::kControlLane, sim_.now(),
+                           {{"version", version},
+                            {"server", r.server},
+                            {"iteration", r.iteration}});
+    }
     WADC_DEBUGLOG("[t=%9.1f] barrier v%d: report %d/%d (server %d @ iter %d)",
                   sim_.now(), version, reports, servers, r.server,
                   r.iteration);
+  }
+  if (obs_.tracer) {
+    obs_.tracer->complete("barrier", "barrier_collect", tree_.client_host(),
+                          obs::kControlLane, collect_begin, sim_.now(),
+                          {{"version", version}, {"reports", reports}});
   }
 
   // Switch strictly after every partition in flight: atomic change-over.
@@ -811,6 +907,7 @@ sim::Task<void> Engine::barrier_coordinator(int version) {
   // Broadcast the release — high-priority barrier messages (§2.2). The
   // client host releases locally: operators co-located with the client wait
   // on the same per-host event.
+  const sim::SimTime broadcast_begin = sim_.now();
   {
     HostState& hs = host_state(tree_.client_host());
     hs.released_version = version;
@@ -825,13 +922,33 @@ sim::Task<void> Engine::barrier_coordinator(int version) {
     WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
                   version, h);
   }
+  if (obs_.tracer) {
+    obs_.tracer->complete("barrier", "barrier_broadcast", tree_.client_host(),
+                          obs::kControlLane, broadcast_begin, sim_.now(),
+                          {{"version", version},
+                           {"switch_iteration", switch_iteration}});
+  }
 
   if (active_barrier_ && active_barrier_->version == version) {
     active_barrier_->broadcast_done = true;
     if (active_barrier_->moves_applied == tree_.num_operators()) {
-      active_barrier_.reset();
-      ++stats_.barriers_completed;
+      complete_barrier();
     }
+  }
+}
+
+void Engine::complete_barrier() {
+  WADC_ASSERT(active_barrier_, "no barrier to complete");
+  const sim::SimTime round = sim_.now() - active_barrier_->initiated_at;
+  const int version = active_barrier_->version;
+  active_barrier_.reset();
+  ++stats_.barriers_completed;
+  if (barriers_completed_counter_) barriers_completed_counter_->add();
+  if (barrier_round_seconds_) barrier_round_seconds_->observe(round);
+  if (obs_.tracer) {
+    obs_.tracer->instant("barrier", "barrier_complete", tree_.client_host(),
+                         obs::kControlLane, sim_.now(),
+                         {{"version", version}, {"round_s", round}});
   }
 }
 

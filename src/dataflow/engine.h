@@ -122,6 +122,7 @@ class Engine {
     // Operators that have passed their relocation check for this version;
     // the barrier retires when all have (and the release is broadcast).
     int moves_applied = 0;
+    sim::SimTime initiated_at = 0;  // for the barrier-round-duration metric
   };
 
   // ---- processes ---------------------------------------------------------
@@ -196,6 +197,9 @@ class Engine {
   int total_iterations() const { return workload_.iterations(); }
   void note_pending_version(OperatorState& st, const Demand& d);
   double directory_bytes() const;
+  // Retires the active barrier: counts it completed and observes the
+  // initiated->retired round duration.
+  void complete_barrier();
 
   sim::Simulation& sim_;
   net::Network& network_;
@@ -208,6 +212,15 @@ class Engine {
   core::OneShotPlanner planner_;
   core::LocalRule local_rule_;
   Rng rng_;
+
+  // Observability (== params_.obs; pointers null when detached).
+  obs::Obs obs_;
+  obs::Counter* relocations_counter_ = nullptr;
+  obs::Counter* replans_counter_ = nullptr;
+  obs::Counter* barriers_initiated_counter_ = nullptr;
+  obs::Counter* barriers_completed_counter_ = nullptr;
+  obs::Counter* forwards_counter_ = nullptr;
+  obs::Histogram* barrier_round_seconds_ = nullptr;
 
   std::vector<OperatorState> operators_;
   std::vector<ServerState> servers_;

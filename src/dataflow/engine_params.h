@@ -8,6 +8,7 @@
 #include "core/combination_tree.h"
 #include "core/operator_directory.h"
 #include "net/types.h"
+#include "obs/obs.h"
 #include "sim/types.h"
 
 namespace wadc::dataflow {
@@ -69,6 +70,11 @@ struct EngineParams {
 
   // Seed for engine-local randomness (the local rule's k extra sites).
   std::uint64_t seed = 1;
+
+  // Observability sink (tracing + metrics). Defaults to the null sink;
+  // attach the same Obs to the Network and MonitoringSystem so one run's
+  // events land in one trace (exp::run_experiment does this).
+  obs::Obs obs;
 };
 
 struct RelocationEvent {

@@ -16,6 +16,7 @@ dataflow::EngineParams ExperimentSpec::engine_params(
   ep.relocation_period_seconds = relocation_period_seconds;
   ep.local_extra_candidates = local_extra_candidates;
   ep.seed = seed;
+  ep.obs = obs;
   return ep;
 }
 
@@ -32,6 +33,10 @@ RunResult run_experiment(const trace::TraceLibrary& library,
       library, num_hosts, spec.config_seed, spec.config);
   net::Network network(sim, links, spec.network);
   monitor::MonitoringSystem monitoring(network, spec.monitor);
+  if (spec.obs.enabled()) {
+    network.set_obs(spec.obs);
+    monitoring.set_obs(spec.obs);
+  }
   const core::CombinationTree tree =
       core::CombinationTree::make(spec.tree_shape, spec.num_servers);
 

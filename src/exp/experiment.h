@@ -10,6 +10,7 @@
 #include "dataflow/engine_params.h"
 #include "exp/network_config.h"
 #include "monitor/monitoring_system.h"
+#include "obs/obs.h"
 #include "trace/library.h"
 #include "workload/image_workload.h"
 
@@ -37,6 +38,13 @@ struct ExperimentSpec {
   // Seed identifying the network configuration (the trace→link assignment)
   // and the workload draw.
   std::uint64_t config_seed = 1;
+
+  // Observability sink for the run: attached to the network, the monitoring
+  // subsystem, and the engine, so one run's transfer/relocation/barrier/
+  // probe events and metrics land in one trace. Null by default (no
+  // overhead); sweeps that reuse one spec across configurations accumulate
+  // into the same registry/tracer.
+  obs::Obs obs;
 
   dataflow::EngineParams engine_params(std::uint64_t seed) const;
 };

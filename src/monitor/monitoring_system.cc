@@ -19,6 +19,35 @@ MonitoringSystem::MonitoringSystem(net::Network& network,
   }
 }
 
+void MonitoringSystem::set_obs(const obs::Obs& obs) {
+  obs_ = obs;
+  passive_counter_ = nullptr;
+  cache_hits_ = nullptr;
+  cache_stale_ = nullptr;
+  cache_misses_ = nullptr;
+  piggyback_samples_ = nullptr;
+  piggyback_bytes_ = nullptr;
+  probes_counter_ = nullptr;
+  probes_delegated_ = nullptr;
+  probe_bytes_counter_ = nullptr;
+  cache_age_seconds_ = nullptr;
+  if (obs_.metrics) {
+    passive_counter_ = &obs_.metrics->counter("monitor.passive_samples");
+    cache_hits_ = &obs_.metrics->counter("monitor.cache_hits");
+    cache_stale_ = &obs_.metrics->counter("monitor.cache_stale");
+    cache_misses_ = &obs_.metrics->counter("monitor.cache_misses");
+    piggyback_samples_ =
+        &obs_.metrics->counter("monitor.piggyback_samples_delivered");
+    piggyback_bytes_ =
+        &obs_.metrics->counter("monitor.piggyback_bytes_delivered");
+    probes_counter_ = &obs_.metrics->counter("monitor.probes_issued");
+    probes_delegated_ = &obs_.metrics->counter("monitor.probes_delegated");
+    probe_bytes_counter_ = &obs_.metrics->counter("monitor.probe_bytes");
+    cache_age_seconds_ = &obs_.metrics->histogram(
+        "monitor.cache_age_seconds", obs::exponential_buckets(1, 2, 10));
+  }
+}
+
 BandwidthCache& MonitoringSystem::cache(net::HostId h) {
   WADC_ASSERT(h >= 0 && h < network_.num_hosts(), "host id out of range");
   return *caches_[static_cast<std::size_t>(h)];
@@ -38,6 +67,7 @@ void MonitoringSystem::on_transfer(const net::TransferRecord& rec) {
   cache(rec.src).record(rec.src, rec.dst, bw, rec.completed);
   cache(rec.dst).record(rec.src, rec.dst, bw, rec.completed);
   ++passive_samples_;
+  if (passive_counter_) passive_counter_->add();
 }
 
 std::vector<PairSample> MonitoringSystem::piggyback_payload(
@@ -57,6 +87,10 @@ void MonitoringSystem::deliver_payload(
     net::HostId dst, const std::vector<PairSample>& payload) {
   if (payload.empty()) return;
   cache(dst).merge(payload);
+  if (piggyback_samples_) {
+    piggyback_samples_->add(static_cast<double>(payload.size()));
+    piggyback_bytes_->add(payload_bytes(payload));
+  }
 }
 
 std::optional<double> MonitoringSystem::cached_bandwidth(
@@ -69,17 +103,28 @@ std::optional<double> MonitoringSystem::cached_bandwidth(
 sim::Task<void> MonitoringSystem::run_probe(net::HostId a, net::HostId b) {
   ++probes_issued_;
   probe_bytes_sent_ += 2 * params_.probe_bytes;
+  if (probes_counter_) {
+    probes_counter_->add();
+    probe_bytes_counter_->add(2 * params_.probe_bytes);
+  }
+  const sim::SimTime begin = network_.simulation().now();
   // A 16KB transfer in each direction; the passive monitor records both
   // legs at both endpoints (each leg is >= S_thres by construction).
   co_await network_.transfer(a, b, params_.probe_bytes,
                              net::kControlPriority);
   co_await network_.transfer(b, a, params_.probe_bytes,
                              net::kControlPriority);
+  if (obs_.tracer) {
+    obs_.tracer->complete("monitor", "probe", a, obs::kControlLane, begin,
+                          network_.simulation().now(),
+                          {{"peer", b}, {"bytes", 2 * params_.probe_bytes}});
+  }
 }
 
 sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
     net::HostId requester, net::HostId a, net::HostId b) {
   WADC_ASSERT(a != b, "bandwidth of a host pair with itself");
+  record_lookup_obs(requester, a, b);
   if (auto bw = cached_bandwidth(requester, a, b)) co_return bw;
   if (!params_.probing_enabled) {
     // Fall back to a stale sample if one exists.
@@ -94,6 +139,12 @@ sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
     // messages. The reply always carries the fresh measurement (that is the
     // response payload, independent of opportunistic piggybacking), plus a
     // regular piggyback payload when enabled.
+    if (probes_delegated_) probes_delegated_->add();
+    if (obs_.tracer) {
+      obs_.tracer->instant("monitor", "probe_delegated", requester,
+                           obs::kControlLane, network_.simulation().now(),
+                           {{"delegate", a}, {"peer", b}});
+    }
     co_await network_.transfer(requester, a, params_.control_bytes,
                                net::kControlPriority);
     co_await run_probe(a, b);
@@ -113,6 +164,35 @@ sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
   if (auto bw = cached_bandwidth(requester, a, b)) co_return bw;
   if (auto s = cache(requester).lookup_any_age(a, b)) co_return s->bandwidth;
   co_return std::nullopt;
+}
+
+void MonitoringSystem::record_lookup_obs(net::HostId requester, net::HostId a,
+                                         net::HostId b) {
+  if (!obs_.enabled()) return;
+  const sim::SimTime now = network_.simulation().now();
+  const auto entry = cache(requester).lookup_any_age(a, b);
+  const char* outcome;
+  if (!entry) {
+    outcome = "miss";
+    if (cache_misses_) cache_misses_->add();
+  } else {
+    const sim::SimTime age = now - entry->measured_at;
+    if (cache_age_seconds_) cache_age_seconds_->observe(age);
+    if (age <= params_.t_thres_seconds) {
+      outcome = "hit";
+      if (cache_hits_) cache_hits_->add();
+    } else {
+      outcome = "stale";
+      if (cache_stale_) cache_stale_->add();
+    }
+  }
+  if (obs_.tracer) {
+    std::vector<obs::TraceArg> args{
+        {"a", a}, {"b", b}, {"outcome", outcome}};
+    if (entry) args.emplace_back("age_s", now - entry->measured_at);
+    obs_.tracer->instant("monitor", "cache_lookup", requester,
+                         obs::kControlLane, now, std::move(args));
+  }
 }
 
 }  // namespace wadc::monitor

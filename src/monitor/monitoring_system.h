@@ -20,6 +20,7 @@
 
 #include "monitor/bandwidth_cache.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/task.h"
 
 namespace wadc::monitor {
@@ -44,6 +45,11 @@ class MonitoringSystem {
   MonitoringSystem& operator=(const MonitoringSystem&) = delete;
 
   const MonitorParams& params() const { return params_; }
+
+  // Attaches tracing/metrics: probe spans on the requester's control lane,
+  // passive-sample / cache-outcome / piggyback counters, and a cache-age
+  // histogram sampled at each fetch_bandwidth lookup.
+  void set_obs(const obs::Obs& obs);
 
   BandwidthCache& cache(net::HostId h);
   const BandwidthCache& cache(net::HostId h) const;
@@ -81,6 +87,9 @@ class MonitoringSystem {
   void on_transfer(const net::TransferRecord& rec);
   // Direct round-trip probe between endpoints a and b.
   sim::Task<void> run_probe(net::HostId a, net::HostId b);
+  // Classifies the state of `requester`'s cache entry for {a, b} right
+  // before a fetch (hit / stale / miss) and samples the entry's age.
+  void record_lookup_obs(net::HostId requester, net::HostId a, net::HostId b);
 
   net::Network& network_;
   MonitorParams params_;
@@ -88,6 +97,19 @@ class MonitoringSystem {
   std::uint64_t passive_samples_ = 0;
   std::uint64_t probes_issued_ = 0;
   double probe_bytes_sent_ = 0;
+
+  // Observability (all null when detached).
+  obs::Obs obs_;
+  obs::Counter* passive_counter_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_stale_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* piggyback_samples_ = nullptr;
+  obs::Counter* piggyback_bytes_ = nullptr;
+  obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* probes_delegated_ = nullptr;
+  obs::Counter* probe_bytes_counter_ = nullptr;
+  obs::Histogram* cache_age_seconds_ = nullptr;
 };
 
 }  // namespace wadc::monitor

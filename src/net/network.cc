@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.h"
 
@@ -18,6 +19,44 @@ Network::Network(sim::Simulation& sim, const LinkTable& links,
 
 void Network::add_observer(TransferObserver observer) {
   observers_.push_back(std::move(observer));
+}
+
+void Network::set_obs(const obs::Obs& obs) {
+  obs_ = obs;
+  overtakes_counter_ = nullptr;
+  transfers_counter_ = nullptr;
+  bytes_counter_ = nullptr;
+  transfer_seconds_ = nullptr;
+  queue_wait_seconds_ = nullptr;
+  transfer_bytes_ = nullptr;
+  link_bytes_.assign(
+      static_cast<std::size_t>(num_hosts()) *
+          static_cast<std::size_t>(num_hosts()),
+      nullptr);
+  if (obs_.metrics) {
+    overtakes_counter_ = &obs_.metrics->counter("net.priority_overtakes");
+    transfers_counter_ = &obs_.metrics->counter("net.transfers_completed");
+    bytes_counter_ = &obs_.metrics->counter("net.bytes_delivered");
+    transfer_seconds_ = &obs_.metrics->histogram(
+        "net.transfer_seconds", obs::exponential_buckets(0.01, 2, 16));
+    std::vector<double> wait_bounds{0.0};
+    for (const double b : obs::exponential_buckets(0.05, 2, 14)) {
+      wait_bounds.push_back(b);
+    }
+    queue_wait_seconds_ = &obs_.metrics->histogram("net.queue_wait_seconds",
+                                                   std::move(wait_bounds));
+    transfer_bytes_ = &obs_.metrics->histogram(
+        "net.transfer_bytes", obs::exponential_buckets(256, 4, 12));
+  }
+  if (obs_.tracer) {
+    for (HostId src = 0; src < num_hosts(); ++src) {
+      for (HostId dst = 0; dst < num_hosts(); ++dst) {
+        if (src == dst) continue;
+        obs_.tracer->name_thread(src, obs::link_lane(dst),
+                                 "link->host" + std::to_string(dst));
+      }
+    }
+  }
 }
 
 bool Network::host_busy(HostId h) const {
@@ -55,7 +94,22 @@ sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
                          [&](const Pending& p) {
                            return p.priority < pending.priority;
                          });
+  const auto overtaken = static_cast<int>(pending_.end() - it);
   pending_.insert(it, pending);
+  if (obs_.tracer) {
+    obs_.tracer->instant("net", "enqueue", src, obs::link_lane(dst),
+                         record.requested,
+                         {{"bytes", bytes}, {"priority", priority}});
+    if (overtaken > 0) {
+      // A control/barrier message jumped ahead of queued data (§2.2).
+      obs_.tracer->instant("net", "priority_overtake", src,
+                           obs::link_lane(dst), record.requested,
+                           {{"priority", priority}, {"overtaken", overtaken}});
+    }
+  }
+  if (overtaken > 0 && overtakes_counter_) {
+    overtakes_counter_->add(overtaken);
+  }
   try_start_transfers();
 
   co_await done.wait();
@@ -97,10 +151,46 @@ void Network::start(const Pending& p) {
     p.record->completed = end;
     ++transfers_completed_;
     bytes_delivered_ += p.bytes;
+    record_transfer_obs(*p.record);
     for (const auto& observer : observers_) observer(*p.record);
     p.done->set();
     try_start_transfers();
   });
+}
+
+void Network::record_transfer_obs(const TransferRecord& rec) {
+  const double wait = rec.queue_wait();
+  if (obs_.tracer) {
+    const int lane = obs::link_lane(rec.dst);
+    if (wait > 0) {
+      // Endpoint-congestion wait: the single-NIC model blocked this message
+      // behind other traffic at one of its endpoints.
+      obs_.tracer->complete("net", "queue_wait", rec.src, lane, rec.requested,
+                            rec.started, {{"priority", rec.priority}});
+    }
+    obs_.tracer->complete("net", "transfer", rec.src, lane, rec.started,
+                          rec.completed,
+                          {{"bytes", rec.bytes},
+                           {"priority", rec.priority},
+                           {"dst", rec.dst},
+                           {"queue_wait_s", wait}});
+  }
+  if (obs_.metrics) {
+    transfers_counter_->add();
+    bytes_counter_->add(rec.bytes);
+    transfer_seconds_->observe(rec.completed - rec.started);
+    queue_wait_seconds_->observe(wait);
+    transfer_bytes_->observe(rec.bytes);
+    const auto idx = static_cast<std::size_t>(rec.src) *
+                         static_cast<std::size_t>(num_hosts()) +
+                     static_cast<std::size_t>(rec.dst);
+    if (!link_bytes_[idx]) {
+      link_bytes_[idx] = &obs_.metrics->counter(
+          "net.link_bytes.host" + std::to_string(rec.src) + "->host" +
+          std::to_string(rec.dst));
+    }
+    link_bytes_[idx]->add(rec.bytes);
+  }
 }
 
 }  // namespace wadc::net

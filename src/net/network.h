@@ -22,6 +22,7 @@
 
 #include "net/link_table.h"
 #include "net/types.h"
+#include "obs/obs.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -80,6 +81,12 @@ class Network {
 
   void add_observer(TransferObserver observer);
 
+  // Attaches tracing/metrics (see obs::Obs). Emits per-transfer enqueue /
+  // queue-wait / transfer events on the source host's link lanes plus
+  // latency, queue-wait, size, and per-link byte metrics. Call before
+  // traffic flows; a default Obs detaches.
+  void set_obs(const obs::Obs& obs);
+
   sim::Simulation& simulation() { return sim_; }
   const LinkTable& links() const { return links_; }
   const NetworkParams& params() const { return params_; }
@@ -106,6 +113,8 @@ class Network {
   // FIFO) order.
   void try_start_transfers();
   void start(const Pending& p);
+  // Trace/metric emission for one completed transfer.
+  void record_transfer_obs(const TransferRecord& rec);
 
   sim::Simulation& sim_;
   const LinkTable& links_;
@@ -116,6 +125,16 @@ class Network {
   std::uint64_t next_seq_ = 0;
   std::uint64_t transfers_completed_ = 0;
   double bytes_delivered_ = 0;
+
+  // Observability (all null when detached).
+  obs::Obs obs_;
+  obs::Counter* overtakes_counter_ = nullptr;
+  obs::Counter* transfers_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Histogram* transfer_seconds_ = nullptr;
+  obs::Histogram* queue_wait_seconds_ = nullptr;
+  obs::Histogram* transfer_bytes_ = nullptr;
+  std::vector<obs::Counter*> link_bytes_;  // indexed src * num_hosts + dst
 };
 
 }  // namespace wadc::net

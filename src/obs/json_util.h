@@ -1,0 +1,53 @@
+// Minimal JSON string escaping shared by the trace and metrics exporters.
+//
+// The observability files are consumed by external tools (Perfetto, jq), so
+// strings must be escaped exactly per RFC 8259: quote, backslash, and all
+// control characters below 0x20.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace wadc::obs {
+
+inline void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\b':
+        out << "\\b";
+        break;
+      case '\f':
+        out << "\\f";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace wadc::obs

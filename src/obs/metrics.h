@@ -1,0 +1,103 @@
+// Run-wide metrics: counters, gauges, fixed-bucket histograms.
+//
+// A MetricsRegistry owns named instruments with stable addresses:
+// instrumented components resolve `Counter*` / `Histogram*` once (at
+// set_obs time) and update through the pointer on the hot path, so the
+// per-event cost is an increment — and a single null check when metrics are
+// disabled.
+//
+// Exports are deterministic: instruments serialize in name order
+// (std::map), and all values derive from deterministic simulation state, so
+// same-seed runs dump byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wadc::obs {
+
+class Counter {
+ public:
+  void add(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Fixed-bucket histogram with Prometheus-style upper-inclusive bounds: an
+// observation v lands in the first bucket with v <= bound, or in the
+// implicit overflow bucket past the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // 0 when count() == 0
+  double max() const { return max_; }
+  std::size_t num_buckets() const { return counts_.size(); }  // incl overflow
+  double upper_bound(std::size_t i) const { return bounds_[i]; }  // i < size-1
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+ private:
+  std::vector<double> bounds_;          // strictly ascending
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// `count` bounds starting at `start`, each `factor` times the previous —
+// the usual shape for latencies and byte sizes.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name; returned references stay valid for the registry
+  // lifetime. A histogram's bucket bounds are fixed by its first caller.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with instruments
+  // sorted by name.
+  void write_json(std::ostream& out) const;
+  void write_json_file(const std::string& path) const;
+  // One instrument per line, `name value` / histogram summary — for eyes.
+  void write_text(std::ostream& out) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wadc::obs

@@ -1,0 +1,23 @@
+// The observability handle threaded through the system.
+//
+// An Obs is a pair of non-owning pointers; default-constructed it is the
+// null sink, and every instrumented call site guards with a pointer check,
+// so a run without observability pays nothing beyond predictable branches.
+// The experiment harness (exp::run_experiment) attaches one Obs to the
+// network, the monitoring subsystem, and the engine so a run's trace and
+// metrics land in one place.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace wadc::obs {
+
+struct Obs {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace wadc::obs

@@ -1,0 +1,107 @@
+// Structured tracing over simulated time.
+//
+// The Tracer records typed span ("complete") and instant events stamped with
+// simulated time and exports them as Chrome trace-event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. The wadc
+// convention maps hosts to trace processes (`pid`) and per-host activity
+// lanes — operators, outgoing links, the control plane — to trace threads
+// (`tid`); see docs/OBSERVABILITY.md for the full event taxonomy.
+//
+// Everything is keyed on deterministic simulation state (simulated time,
+// event order), so two runs with the same seed serialize to byte-identical
+// files — the trace doubles as a regression oracle.
+//
+// Instrumented components hold an obs::Obs handle whose tracer pointer is
+// null when tracing is off; the null check at the call site is the entire
+// disabled-path cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace wadc::obs {
+
+// One key/value argument attached to a trace event (the Chrome "args" dict).
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  TraceArg(std::string k, std::int64_t v)
+      : key(std::move(k)), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string k, int v)
+      : TraceArg(std::move(k), static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string k, std::uint64_t v)
+      : TraceArg(std::move(k), static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string k, double v)
+      : key(std::move(k)), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), string_value(std::move(v)) {}
+  TraceArg(std::string k, const char* v)
+      : TraceArg(std::move(k), std::string(v)) {}
+
+  std::string key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+};
+
+// Lane (tid) conventions used by the wadc instrumentation. Each host is a
+// trace process; within it, lane 0 is the control plane, operators occupy
+// 1 + op, and outgoing links occupy 1000 + destination host.
+inline constexpr int kControlLane = 0;
+inline constexpr int operator_lane(int op) { return 1 + op; }
+inline constexpr int link_lane(int dst_host) { return 1000 + dst_host; }
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Span covering [begin, end] in simulated seconds (Chrome 'X' event).
+  void complete(const char* cat, const char* name, int pid, int tid,
+                sim::SimTime begin, sim::SimTime end,
+                std::vector<TraceArg> args = {});
+
+  // Point-in-time event (Chrome 'i' event, thread scope).
+  void instant(const char* cat, const char* name, int pid, int tid,
+               sim::SimTime t, std::vector<TraceArg> args = {});
+
+  // Display names for Perfetto's process/thread tracks. Idempotent; later
+  // names win.
+  void name_process(int pid, std::string name);
+  void name_thread(int pid, int tid, std::string name);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  // Serializes every event (metadata first, then records in emission order)
+  // as a Chrome trace-event JSON object. Deterministic: identical event
+  // sequences produce identical bytes.
+  void write_chrome_json(std::ostream& out) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;  // 'X' = complete span, 'i' = instant
+    const char* cat;
+    const char* name;
+    int pid;
+    int tid;
+    sim::SimTime begin;
+    sim::SimTime end;  // == begin for instants
+    std::vector<TraceArg> args;
+  };
+
+  std::vector<Event> events_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+};
+
+}  // namespace wadc::obs

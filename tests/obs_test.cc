@@ -1,0 +1,206 @@
+// Tests for the observability subsystem: histogram bucketing, Chrome-trace
+// serialization and escaping, null-sink behavior, and the determinism
+// guarantee (same seed => byte-identical trace and metrics files).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exp/experiment.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/tracer.h"
+#include "trace/library.h"
+
+namespace wadc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+
+  h.observe(0.5);   // <= 1         -> bucket 0
+  h.observe(1.0);   // == bound 1   -> bucket 0 (upper-inclusive)
+  h.observe(1.5);   // <= 2         -> bucket 1
+  h.observe(2.0);   // == bound 2   -> bucket 1
+  h.observe(4.0);   // == bound 4   -> bucket 2
+  h.observe(4.001); // >  4         -> overflow
+  h.observe(100.0); // overflow
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.001 + 100.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeroes) {
+  obs::Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, ExponentialBuckets) {
+  const auto b = obs::exponential_buckets(0.5, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 0.5);
+  EXPECT_DOUBLE_EQ(b[1], 1.0);
+  EXPECT_DOUBLE_EQ(b[2], 2.0);
+  EXPECT_DOUBLE_EQ(b[3], 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableInstruments) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("a.count");
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(reg.counter("a.count").value(), 3.5);
+  EXPECT_EQ(&reg.counter("a.count"), &c);
+
+  reg.gauge("a.gauge").set(7);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.gauge").value(), 7);
+
+  obs::Histogram& h = reg.histogram("a.hist", {1.0, 2.0});
+  h.observe(1.5);
+  // Second caller's bounds are ignored; the instrument is shared.
+  EXPECT_EQ(&reg.histogram("a.hist", {99.0}), &h);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, JsonDumpIsSortedAndWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last").add(2);
+  reg.counter("a.first").add(1);
+  reg.histogram("m.hist", {10.0}).observe(3);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string s = out.str();
+  EXPECT_LT(s.find("a.first"), s.find("z.last"));
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"buckets\": [1,0]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, EscapesStringsInChromeTraceJson) {
+  obs::Tracer tracer;
+  tracer.name_process(0, "host \"zero\"\\path");
+  tracer.instant("cat", "evil\nname", 0, 0, 1.0,
+                 {{"note", std::string("tab\there ctrl\x01")}});
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string s = out.str();
+
+  EXPECT_NE(s.find("host \\\"zero\\\"\\\\path"), std::string::npos);
+  EXPECT_NE(s.find("evil\\nname"), std::string::npos);
+  EXPECT_NE(s.find("tab\\there ctrl\\u0001"), std::string::npos);
+  // No raw control characters may survive in the output.
+  for (const char c : s) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control char in JSON output";
+  }
+}
+
+TEST(Tracer, CompleteEventsCarryMicrosecondTimes) {
+  obs::Tracer tracer;
+  tracer.complete("net", "transfer", 1, 1001, 2.0, 2.5, {{"bytes", 42}});
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"ts\":2000000"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\":500000"), std::string::npos);
+  EXPECT_NE(s.find("\"bytes\":42"), std::string::npos);
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Null sink & end-to-end determinism
+
+exp::ExperimentSpec small_global_spec() {
+  exp::ExperimentSpec spec;
+  spec.algorithm = core::AlgorithmKind::kGlobal;
+  spec.num_servers = 4;
+  spec.iterations = 40;
+  spec.relocation_period_seconds = 120;
+  spec.config_seed = 7;
+  return spec;
+}
+
+TEST(Obs, NullSinkIsDisabledAndDoesNotPerturbTheSimulation) {
+  const obs::Obs null_obs;
+  EXPECT_FALSE(null_obs.enabled());
+
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 11);
+  exp::ExperimentSpec spec = small_global_spec();
+  const exp::RunResult plain = exp::run_experiment(library, spec);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  spec.obs = obs::Obs{&tracer, &metrics};
+  const exp::RunResult observed = exp::run_experiment(library, spec);
+
+  // Observability must be a pure observer: identical simulated outcomes.
+  EXPECT_EQ(plain.completion_seconds, observed.completion_seconds);
+  EXPECT_EQ(plain.stats.arrival_seconds, observed.stats.arrival_seconds);
+  EXPECT_EQ(plain.stats.relocations, observed.stats.relocations);
+  EXPECT_GT(tracer.event_count(), 0u);
+  EXPECT_GT(metrics.size(), 0u);
+}
+
+TEST(Obs, SameSeedProducesByteIdenticalTraceAndMetrics) {
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 11);
+  std::string traces[2], dumps[2];
+  for (int i = 0; i < 2; ++i) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    exp::ExperimentSpec spec = small_global_spec();
+    spec.obs = obs::Obs{&tracer, &metrics};
+    (void)exp::run_experiment(library, spec);
+    std::ostringstream t, m;
+    tracer.write_chrome_json(t);
+    metrics.write_json(m);
+    traces[i] = t.str();
+    dumps[i] = m.str();
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(dumps[0], dumps[1]);
+
+  // The trace covers all three instrumented layers.
+  EXPECT_NE(traces[0].find("\"transfer\""), std::string::npos);
+  EXPECT_NE(traces[0].find("\"probe\""), std::string::npos);
+  EXPECT_NE(traces[0].find("\"cache_lookup\""), std::string::npos);
+  EXPECT_NE(dumps[0].find("net.transfers_completed"), std::string::npos);
+}
+
+// The engine's built-in counters and the metrics registry must agree: both
+// views observe the same protocol.
+TEST(Obs, MetricsAgreeWithRunStats) {
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 11);
+  obs::MetricsRegistry metrics;
+  exp::ExperimentSpec spec = small_global_spec();
+  spec.obs.metrics = &metrics;
+  const exp::RunResult r = exp::run_experiment(library, spec);
+
+  EXPECT_DOUBLE_EQ(metrics.counter("engine.relocations").value(),
+                   r.stats.relocations);
+  EXPECT_DOUBLE_EQ(metrics.counter("engine.replans").value(),
+                   static_cast<double>(r.stats.replans));
+  EXPECT_DOUBLE_EQ(metrics.counter("engine.barriers_completed").value(),
+                   r.stats.barriers_completed);
+}
+
+}  // namespace
+}  // namespace wadc

@@ -9,6 +9,15 @@
 //   wadc_run --algorithm=local --extras=3 --shape=left-deep --csv
 //   wadc_run --algorithm=one-shot --trace-set=mylinks.txt --seed=5
 //   wadc_run --dump-traces=pool.txt          # export the synthetic pool
+//
+// Observability (see docs/OBSERVABILITY.md): --trace-out records the final
+// configuration's run as Chrome trace-event JSON (open in
+// https://ui.perfetto.dev), --metrics-out dumps its counters/histograms.
+// Both files are byte-identical across same-seed runs:
+//   wadc_run --algorithm=global --trace-out=t.json --metrics-out=m.json
+#include <cerrno>
+#include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +28,9 @@
 #include "exp/experiment.h"
 #include "exp/export.h"
 #include "exp/report.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/tracer.h"
 #include "trace/io.h"
 #include "trace/library.h"
 #include "trace/stats.h"
@@ -42,6 +54,8 @@ struct Options {
   std::string trace_set_path;
   std::string dump_traces_path;
   std::string dump_run_path;  // JSON of the final configuration's run
+  std::string trace_out_path;    // Chrome trace JSON of the final run
+  std::string metrics_out_path;  // metrics JSON of the final run
 };
 
 void usage() {
@@ -61,6 +75,8 @@ void usage() {
       "  --trace-set=FILE       use traces from FILE instead of synthesizing\n"
       "  --dump-traces=FILE     write the synthetic pool to FILE and exit\n"
       "  --dump-run=FILE        write the last run's stats as JSON\n"
+      "  --trace-out=FILE       write the last run's Chrome trace-event JSON\n"
+      "  --metrics-out=FILE     write the last run's metrics as JSON\n"
       "  --no-baseline          skip the download-all baseline run\n"
       "  --csv                  machine-readable output\n");
 }
@@ -71,6 +87,44 @@ std::optional<std::string> flag_value(const char* arg, const char* name) {
     return std::string(arg + len + 1);
   }
   return std::nullopt;
+}
+
+// Strict numeric parsing: the whole value must be consumed, so typos like
+// --servers=8x or --period=fast are rejected instead of silently becoming 0.
+bool to_int(const std::string& s, const char* flag, int& out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (s.empty() || *end != '\0' || errno != 0 || v < INT_MIN || v > INT_MAX) {
+    std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag, s.c_str());
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool to_u64(const std::string& s, const char* flag, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || *end != '\0' || errno != 0 || s[0] == '-') {
+    std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag, s.c_str());
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool to_double(const std::string& s, const char* flag, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || *end != '\0' || errno != 0) {
+    std::fprintf(stderr, "invalid number for %s: '%s'\n", flag, s.c_str());
+    return false;
+  }
+  out = v;
+  return true;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -92,9 +146,9 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
     } else if (auto v2 = flag_value(arg, "--servers")) {
-      opt.servers = std::atoi(v2->c_str());
+      if (!to_int(*v2, "--servers", opt.servers)) return false;
     } else if (auto v3 = flag_value(arg, "--iterations")) {
-      opt.iterations = std::atoi(v3->c_str());
+      if (!to_int(*v3, "--iterations", opt.iterations)) return false;
     } else if (auto v4 = flag_value(arg, "--shape")) {
       if (*v4 == "binary") {
         opt.shape = core::TreeShape::kCompleteBinary;
@@ -107,21 +161,33 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
     } else if (auto v5 = flag_value(arg, "--period")) {
-      opt.period_seconds = std::atof(v5->c_str());
+      if (!to_double(*v5, "--period", opt.period_seconds)) return false;
     } else if (auto v6 = flag_value(arg, "--extras")) {
-      opt.extras = std::atoi(v6->c_str());
+      if (!to_int(*v6, "--extras", opt.extras)) return false;
     } else if (auto v7 = flag_value(arg, "--configs")) {
-      opt.configs = std::atoi(v7->c_str());
+      if (!to_int(*v7, "--configs", opt.configs)) return false;
     } else if (auto v8 = flag_value(arg, "--seed")) {
-      opt.seed = std::strtoull(v8->c_str(), nullptr, 10);
+      if (!to_u64(*v8, "--seed", opt.seed)) return false;
     } else if (auto v9 = flag_value(arg, "--library-seed")) {
-      opt.library_seed = std::strtoull(v9->c_str(), nullptr, 10);
+      if (!to_u64(*v9, "--library-seed", opt.library_seed)) return false;
     } else if (auto v10 = flag_value(arg, "--trace-set")) {
       opt.trace_set_path = *v10;
     } else if (auto v11 = flag_value(arg, "--dump-traces")) {
       opt.dump_traces_path = *v11;
     } else if (auto v12 = flag_value(arg, "--dump-run")) {
       opt.dump_run_path = *v12;
+    } else if (auto v13 = flag_value(arg, "--trace-out")) {
+      if (v13->empty()) {
+        std::fprintf(stderr, "--trace-out requires a file path\n");
+        return false;
+      }
+      opt.trace_out_path = *v13;
+    } else if (auto v14 = flag_value(arg, "--metrics-out")) {
+      if (v14->empty()) {
+        std::fprintf(stderr, "--metrics-out requires a file path\n");
+        return false;
+      }
+      opt.metrics_out_path = *v14;
     } else if (std::strcmp(arg, "--csv") == 0) {
       opt.csv = true;
     } else if (std::strcmp(arg, "--no-baseline") == 0) {
@@ -203,14 +269,27 @@ int main(int argc, char** argv) {
     std::printf("config    completion  interarrival  speedup  relocations\n");
   }
 
+  // Observability: attach a tracer/metrics registry to the final
+  // configuration's main-algorithm run (the same run --dump-run exports).
+  const bool want_obs =
+      !opt.trace_out_path.empty() || !opt.metrics_out_path.empty();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
   std::vector<double> speedups, completions, interarrivals;
   for (int c = 0; c < opt.configs; ++c) {
     spec.config_seed = opt.seed + static_cast<std::uint64_t>(c);
+    spec.obs = {};
+    if (want_obs && c == opt.configs - 1) {
+      spec.obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
+      spec.obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
+    }
 
     double base_time = 0;
     if (opt.with_baseline) {
       exp::ExperimentSpec base = spec;
       base.algorithm = core::AlgorithmKind::kDownloadAll;
+      base.obs = {};  // trace the algorithm under study, not the baseline
       base_time = exp::run_experiment(*library, base).completion_seconds;
     }
     const exp::RunResult r = exp::run_experiment(*library, spec);
@@ -237,6 +316,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(spec.config_seed),
                   r.completion_seconds, r.mean_interarrival_seconds, speedup,
                   r.stats.relocations);
+    }
+  }
+
+  if (!opt.trace_out_path.empty()) {
+    try {
+      tracer.write_chrome_json_file(opt.trace_out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write trace: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (!opt.metrics_out_path.empty()) {
+    try {
+      metrics.write_json_file(opt.metrics_out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write metrics: %s\n", e.what());
+      return 1;
     }
   }
 
