@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "exp/bench_support.h"
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "exp/report.h"
 #include "trace/library.h"
 
@@ -31,12 +33,17 @@ double mean_speedup(const trace::TraceLibrary& library,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchOptions bench =
+      exp::parse_bench_options(argc, argv, "ablation_monitoring");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(100);
   sweep.base_seed = exp::env_seed(1000);
+  sweep.jobs = bench.jobs;
+  const exp::WallTimer timer;
+  long long runs = 0;
 
   std::printf("=== Ablation: monitoring subsystem (global algorithm, %d "
               "configurations each) ===\n\n",
@@ -63,6 +70,7 @@ int main() {
     s.experiment.engine_base.oracle_bandwidth = v.oracle;
     std::printf("%s\t%.3f\n", v.name, mean_speedup(library, s));
     std::fflush(stdout);
+    runs += 2LL * sweep.configs;  // baseline + global
   }
 
   std::printf("\n# T_thres (cache timeout) sweep, full monitoring\n");
@@ -72,8 +80,19 @@ int main() {
     s.experiment.monitor.t_thres_seconds = ttl;
     std::printf("%.0f\t%.3f\n", ttl, mean_speedup(library, s));
     std::fflush(stdout);
+    runs += 2LL * sweep.configs;  // baseline + global
   }
   std::printf("\n(paper: T_thres = 40 s, chosen as just under half the "
               "~2 min expected time between significant changes)\n");
+
+  exp::BenchReport report;
+  report.name = "ablation_monitoring";
+  report.jobs = exp::resolve_jobs(sweep.jobs);
+  report.runs = runs;
+  report.wall_seconds = timer.seconds();
+  exp::print_bench_report(report);
+  if (!bench.bench_out.empty()) {
+    exp::write_bench_json_file(report, bench.bench_out);
+  }
   return 0;
 }

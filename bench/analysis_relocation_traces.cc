@@ -20,7 +20,9 @@
 #include <map>
 #include <vector>
 
+#include "exp/bench_support.h"
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "trace/library.h"
 #include "trace/stats.h"
 
@@ -77,10 +79,15 @@ TraceMetrics analyze(const std::vector<dataflow::RunStats>& runs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::BenchOptions bench =
+      exp::parse_bench_options(argc, argv, "analysis_relocation_traces");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
   const int configs = exp::env_configs(60);
   const std::uint64_t base_seed = exp::env_seed(1000);
+  const int jobs = exp::resolve_jobs(bench.jobs);
+  const exp::WallTimer timer;
+  long long sim_runs = 0;
 
   std::printf("=== Relocation-trace analysis (%d configurations) ===\n\n",
               configs);
@@ -89,14 +96,17 @@ int main() {
   for (const int servers : {8, 16}) {
     for (const auto algorithm :
          {core::AlgorithmKind::kGlobal, core::AlgorithmKind::kLocal}) {
-      std::vector<dataflow::RunStats> runs;
-      for (int c = 0; c < configs; ++c) {
+      // Index-keyed slots keep the analysis input in config order no matter
+      // how many workers execute the runs.
+      std::vector<dataflow::RunStats> runs(configs);
+      exp::parallel_for(configs, jobs, [&](int c) {
         exp::ExperimentSpec spec;
         spec.algorithm = algorithm;
         spec.num_servers = servers;
         spec.config_seed = base_seed + static_cast<std::uint64_t>(c);
-        runs.push_back(exp::run_experiment(library, spec).stats);
-      }
+        runs[c] = exp::run_experiment(library, spec).stats;
+      });
+      sim_runs += configs;
       const TraceMetrics m = analyze(runs, /*episode_window=*/120);
       std::printf("%-12s %-7d %9.2f %10.1f %13.2f\n",
                   core::algorithm_name(algorithm), servers, m.moves_per_run,
@@ -111,5 +121,15 @@ int main() {
       "moves that did not reduce the critical\n path; the global algorithm "
       "moves in coordinated multi-operator bursts with\n little ping-pong, "
       "and the contrast sharpens with scale)\n");
+
+  exp::BenchReport report;
+  report.name = "analysis_relocation_traces";
+  report.jobs = jobs;
+  report.runs = sim_runs;
+  report.wall_seconds = timer.seconds();
+  exp::print_bench_report(report);
+  if (!bench.bench_out.empty()) {
+    exp::write_bench_json_file(report, bench.bench_out);
+  }
   return 0;
 }

@@ -18,19 +18,26 @@
 //                     single slow link)
 #include <cstdio>
 
+#include "exp/bench_support.h"
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "exp/report.h"
 #include "trace/library.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
+  const exp::BenchOptions bench =
+      exp::parse_bench_options(argc, argv, "ext_adaptive_order");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(100);
   sweep.base_seed = exp::env_seed(1000);
+  sweep.jobs = bench.jobs;
+  const exp::WallTimer timer;
+  long long runs = 0;
 
   std::printf("=== Extension: adaptive combination order, %d configurations "
               "===\n\n",
@@ -51,6 +58,7 @@ int main() {
     speedups.push_back(series[1].speedup);
     names.push_back("reorder-only");
     speedups.push_back(series[2].speedup);
+    runs += 4LL * sweep.configs;  // baseline + 3 algorithms
   }
   {
     exp::SweepSpec s = sweep;
@@ -58,6 +66,17 @@ int main() {
     const auto series = exp::run_sweep(library, s, {AlgorithmKind::kGlobal});
     names.push_back("global/left-deep");
     speedups.push_back(series[0].speedup);
+    runs += 2LL * sweep.configs;  // baseline + global
+  }
+
+  exp::BenchReport report;
+  report.name = "ext_adaptive_order";
+  report.jobs = exp::resolve_jobs(sweep.jobs);
+  report.runs = runs;
+  report.wall_seconds = timer.seconds();
+  exp::print_bench_report(report);
+  if (!bench.bench_out.empty()) {
+    exp::write_bench_json_file(report, bench.bench_out);
   }
 
   std::printf("# Speedup over download-all\n");

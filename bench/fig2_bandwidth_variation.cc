@@ -7,12 +7,19 @@
 // print the same two series for a generated cross-country trace.
 #include <cstdio>
 
+#include "exp/bench_support.h"
 #include "trace/generator.h"
 #include "trace/library.h"
 #include "trace/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wadc;
+
+  // No simulation sweep here (trace analysis only); the flags are accepted
+  // for command-line uniformity with the other bench binaries.
+  const exp::BenchOptions bench =
+      exp::parse_bench_options(argc, argv, "fig2_bandwidth_variation");
+  const exp::WallTimer timer;
 
   const trace::TraceGenParams params;
   const trace::TraceGenerator gen(params, /*seed=*/2026);
@@ -48,5 +55,15 @@ int main() {
               "max %.1f, cv %.2f\n",
               s.mean / 1024, s.median / 1024, s.min / 1024, s.max / 1024,
               s.coeff_of_variation);
+
+  exp::BenchReport report;
+  report.name = "fig2_bandwidth_variation";
+  report.jobs = 1;  // trace analysis runs serially
+  report.runs = 0;  // no simulated runs
+  report.wall_seconds = timer.seconds();
+  exp::print_bench_report(report);
+  if (!bench.bench_out.empty()) {
+    exp::write_bench_json_file(report, bench.bench_out);
+  }
   return 0;
 }

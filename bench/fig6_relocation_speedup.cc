@@ -10,28 +10,35 @@
 // 17.1 s global).
 //
 // WADC_CONFIGS overrides the configuration count (default 300, as in the
-// paper); WADC_SEED the base seed.
+// paper); WADC_SEED the base seed; WADC_JOBS / --jobs the sweep worker
+// count (results are byte-identical for every jobs value).
 #include <cstdio>
 
+#include "exp/bench_support.h"
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "exp/report.h"
 #include "trace/library.h"
 #include "trace/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
+  const exp::BenchOptions bench =
+      exp::parse_bench_options(argc, argv, "fig6_relocation_speedup");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
+  sweep.jobs = bench.jobs;
 
   std::printf("=== Figure 6: speedup over download-all, %d configurations, "
               "8 servers ===\n",
               sweep.configs);
 
+  const exp::WallTimer timer;
   const auto series = exp::run_sweep(
       library, sweep,
       {AlgorithmKind::kOneShot, AlgorithmKind::kGlobal,
@@ -41,6 +48,16 @@ int main() {
           std::fprintf(stderr, "  ... %d/%d runs\n", done, total);
         }
       });
+  exp::BenchReport report;
+  report.name = "fig6_relocation_speedup";
+  report.jobs = exp::resolve_jobs(sweep.jobs);
+  report.runs = 4LL * sweep.configs;  // baseline + 3 algorithms
+  report.wall_seconds = timer.seconds();
+  exp::print_bench_report(report);
+  if (!bench.bench_out.empty()) {
+    exp::write_bench_json_file(report, bench.bench_out);
+  }
+
   const auto& one_shot = series[0];
   const auto& global = series[1];
   const auto& local = series[2];

@@ -1,13 +1,20 @@
 // Google-benchmark microbenchmarks for the substrate hot paths: the event
 // queue, trace integration, the branch-and-bound critical path, the one-shot
-// planner, piggyback payload construction, and a full end-to-end run.
+// planner, piggyback payload construction, callback dispatch (sim::Callback
+// vs std::function), the parallel sweep runner, and a full end-to-end run.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <thread>
 
 #include "core/bandwidth_resolver.h"
 #include "core/cost_model.h"
 #include "core/one_shot.h"
 #include "exp/experiment.h"
 #include "monitor/bandwidth_cache.h"
+#include "sim/callback.h"
 #include "sim/simulation.h"
 #include "trace/generator.h"
 #include "trace/library.h"
@@ -30,6 +37,95 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+// Same schedule/run loop with a by-value capture larger than the Callback
+// inline buffer, forcing the heap storage path on every event.
+void BM_EventQueueScheduleRunLargeCapture(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::array<unsigned char, 96> blob{};
+  for (auto _ : state) {
+    sim::Simulation sim;
+    long counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(static_cast<double>(i % 97),
+                      [&counter, blob] { counter += 1 + blob[0]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRunLargeCapture)->Arg(1024)->Arg(16384);
+
+// Construct + invoke + destroy cost of the SBO callback vs std::function,
+// with a pointer-sized capture (inline for both) and a 96-byte capture
+// (heap for sim::Callback, heap for std::function too).
+void BM_CallbackDispatchSmall(benchmark::State& state) {
+  long counter = 0;
+  for (auto _ : state) {
+    sim::Callback cb([&counter] { ++counter; });
+    cb();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CallbackDispatchSmall);
+
+void BM_StdFunctionDispatchSmall(benchmark::State& state) {
+  long counter = 0;
+  for (auto _ : state) {
+    std::function<void()> fn([&counter] { ++counter; });
+    fn();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_StdFunctionDispatchSmall);
+
+// 40-byte capture: the shape of the kernel's transfer-completion lambdas.
+// Inline for sim::Callback (40-byte buffer), heap for std::function (16-byte
+// buffer on libstdc++) — the case the SBO width was chosen for.
+void BM_CallbackDispatchMid(benchmark::State& state) {
+  long counter = 0;
+  std::array<unsigned char, 32> blob{};
+  for (auto _ : state) {
+    sim::Callback cb([&counter, blob] { counter += 1 + blob[0]; });
+    cb();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CallbackDispatchMid);
+
+void BM_StdFunctionDispatchMid(benchmark::State& state) {
+  long counter = 0;
+  std::array<unsigned char, 32> blob{};
+  for (auto _ : state) {
+    std::function<void()> fn([&counter, blob] { counter += 1 + blob[0]; });
+    fn();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_StdFunctionDispatchMid);
+
+void BM_CallbackDispatchLarge(benchmark::State& state) {
+  long counter = 0;
+  std::array<unsigned char, 96> blob{};
+  for (auto _ : state) {
+    sim::Callback cb([&counter, blob] { counter += 1 + blob[0]; });
+    cb();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CallbackDispatchLarge);
+
+void BM_StdFunctionDispatchLarge(benchmark::State& state) {
+  long counter = 0;
+  std::array<unsigned char, 96> blob{};
+  for (auto _ : state) {
+    std::function<void()> fn([&counter, blob] { counter += 1 + blob[0]; });
+    fn();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_StdFunctionDispatchLarge);
 
 void BM_TraceFinishTime(benchmark::State& state) {
   const trace::TraceGenerator gen(trace::TraceGenParams{}, 7);
@@ -111,6 +207,30 @@ void BM_PiggybackPayload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PiggybackPayload);
+
+// The parallel sweep runner over worker counts: 1 (serial path), 2, and all
+// hardware threads. Results are byte-identical across worker counts; only
+// the wall-clock should change.
+void BM_SweepParallel(benchmark::State& state) {
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
+  exp::SweepSpec sweep;
+  sweep.configs = 8;
+  sweep.base_seed = 1000;
+  sweep.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto series =
+        exp::run_sweep(library, sweep, {core::AlgorithmKind::kGlobal});
+    benchmark::DoNotOptimize(series[0].speedup.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * sweep.configs);
+}
+BENCHMARK(BM_SweepParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_EndToEndRun(benchmark::State& state) {
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);

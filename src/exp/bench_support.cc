@@ -1,0 +1,92 @@
+#include "exp/bench_support.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/parallel.h"
+
+namespace wadc::exp {
+
+namespace {
+
+bool parse_jobs_value(const char* s, int& out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (*s == '\0' || *end != '\0' || errno != 0 || v < 0 || v > 1 << 20) {
+    return false;
+  }
+  if (v == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    out = hw == 0 ? 1 : static_cast<int>(hw);
+  } else {
+    out = static_cast<int>(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv, const char* name) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!parse_jobs_value(arg + 7, opt.jobs)) {
+        std::fprintf(stderr, "invalid integer for --jobs: '%s'\n", arg + 7);
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--bench-out=", 12) == 0) {
+      if (arg[12] == '\0') {
+        std::fprintf(stderr, "--bench-out requires a file path\n");
+        std::exit(2);
+      }
+      opt.bench_out = arg + 12;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs=N] [--bench-out=FILE]\n"
+                   "  --jobs=N         sweep worker threads (0 = all "
+                   "hardware threads;\n"
+                   "                   default: WADC_JOBS, else serial)\n"
+                   "  --bench-out=FILE write a JSON perf report\n"
+                   "environment: WADC_CONFIGS, WADC_SEED, WADC_JOBS\n",
+                   name);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", name,
+                   arg);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+void print_bench_report(const BenchReport& report) {
+  std::fprintf(stderr, "[bench] %s: %lld runs in %.2f s (%.1f runs/s, "
+               "jobs=%d)\n",
+               report.name.c_str(), report.runs, report.wall_seconds,
+               report.runs_per_second(), report.jobs);
+}
+
+void write_bench_json_file(const BenchReport& report,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.precision(6);
+  out << "{\n"
+      << "  \"name\": \"" << report.name << "\",\n"
+      << "  \"jobs\": " << report.jobs << ",\n"
+      << "  \"runs\": " << report.runs << ",\n"
+      << "  \"wall_seconds\": " << std::fixed << report.wall_seconds
+      << ",\n"
+      << "  \"runs_per_second\": " << report.runs_per_second() << "\n"
+      << "}\n";
+}
+
+}  // namespace wadc::exp

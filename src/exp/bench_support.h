@@ -1,0 +1,56 @@
+// Shared scaffolding for the bench binaries: a --jobs/--bench-out command
+// line, a wall-clock timer, and a tiny JSON perf report so the repo can
+// accumulate a BENCH_*.json trajectory across PRs.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace wadc::exp {
+
+struct BenchOptions {
+  // Worker-count request passed to SweepSpec::jobs / resolve_jobs():
+  // 0 = default (WADC_JOBS if set, else serial). --jobs=0 on the command
+  // line resolves to all hardware threads at parse time.
+  int jobs = 0;
+  std::string bench_out;  // optional JSON perf-report path
+};
+
+// Parses --jobs=N and --bench-out=FILE; --help prints usage and exits 0;
+// unknown flags and malformed values are fatal (exit 2). `name` labels the
+// usage text and perf reports.
+BenchOptions parse_bench_options(int argc, char** argv, const char* name);
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct BenchReport {
+  std::string name;
+  int jobs = 1;
+  long long runs = 0;  // simulated runs executed
+  double wall_seconds = 0;
+
+  double runs_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(runs) / wall_seconds : 0;
+  }
+};
+
+// "[bench] name: R runs in W s (X runs/s, jobs=J)" on stderr, keeping the
+// figure data on stdout untouched.
+void print_bench_report(const BenchReport& report);
+
+// {"name": ..., "jobs": ..., "runs": ..., "wall_seconds": ...,
+//  "runs_per_second": ...}
+void write_bench_json_file(const BenchReport& report, const std::string& path);
+
+}  // namespace wadc::exp

@@ -1,10 +1,21 @@
 #include "exp/experiment.h"
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
 
 #include "common/assert.h"
 #include "dataflow/engine.h"
+#include "exp/parallel.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/simulation.h"
 
 namespace wadc::exp {
@@ -57,31 +68,111 @@ RunResult run_experiment(const trace::TraceLibrary& library,
 
 namespace {
 
-AlgorithmSeries run_series(const trace::TraceLibrary& library,
-                           const SweepSpec& sweep,
-                           core::AlgorithmKind algorithm, int extras,
-                           const std::vector<double>& baseline_completion,
-                           const ProgressFn& progress, int& done, int total) {
-  AlgorithmSeries series;
-  series.algorithm = algorithm;
-  series.local_extra_candidates = extras;
-  for (int c = 0; c < sweep.configs; ++c) {
+// One row of a sweep: an algorithm/extras pair run on every configuration.
+struct SeriesDesc {
+  core::AlgorithmKind algorithm;
+  int extras;
+};
+
+// Private per-run observability sinks, merged deterministically after all
+// workers join.
+struct CellObs {
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+// Runs descs.size() x sweep.configs independent cells on a fixed-size
+// worker pool. descs[0] must be the download-all baseline; every series'
+// speedup is measured against it. Cells share only the read-only trace
+// library and the (copied-per-cell) spec, and write results into
+// index-keyed slots, so the returned series — and the merged obs output —
+// are byte-identical for every worker count.
+std::vector<AlgorithmSeries> run_cells(const trace::TraceLibrary& library,
+                                       const SweepSpec& sweep,
+                                       const std::vector<SeriesDesc>& descs,
+                                       const ProgressFn& progress) {
+  // Each worker hands run_experiment a value copy of the spec; the library
+  // reference must stay shareable without synchronization.
+  static_assert(
+      std::is_nothrow_move_constructible_v<RunResult> ||
+          std::is_copy_constructible_v<RunResult>,
+      "RunResult must be slot-storable");
+
+  const int configs = sweep.configs;
+  const int num_series = static_cast<int>(descs.size());
+  const int total = configs * num_series;
+  const int jobs = resolve_jobs(sweep.jobs);
+
+  std::vector<std::vector<RunResult>> results(
+      static_cast<std::size_t>(num_series),
+      std::vector<RunResult>(static_cast<std::size_t>(configs)));
+
+  const obs::Obs sink = sweep.experiment.obs;
+  std::vector<CellObs> cell_obs(sink.enabled()
+                                    ? static_cast<std::size_t>(total)
+                                    : 0);
+
+  std::mutex progress_mu;
+  int done = 0;
+
+  parallel_for(total, jobs, [&](int idx) {
+    const int s = idx / configs;
+    const int c = idx % configs;
     ExperimentSpec spec = sweep.experiment;
-    spec.algorithm = algorithm;
-    spec.local_extra_candidates = extras;
+    spec.algorithm = descs[static_cast<std::size_t>(s)].algorithm;
+    spec.local_extra_candidates = descs[static_cast<std::size_t>(s)].extras;
     spec.config_seed = sweep.base_seed + static_cast<std::uint64_t>(c);
-    const RunResult r = run_experiment(library, spec);
-    series.completion_seconds.push_back(r.completion_seconds);
-    series.mean_interarrival.push_back(r.mean_interarrival_seconds);
-    series.relocations.push_back(r.stats.relocations);
-    if (!baseline_completion.empty()) {
-      series.speedup.push_back(baseline_completion[static_cast<std::size_t>(c)] /
-                               r.completion_seconds);
+    if (sink.enabled()) {
+      // Record into private sinks; merged below in deterministic order.
+      CellObs& slot = cell_obs[static_cast<std::size_t>(idx)];
+      spec.obs = {};
+      if (sink.tracer != nullptr) {
+        slot.tracer = std::make_unique<obs::Tracer>();
+        spec.obs.tracer = slot.tracer.get();
+      }
+      if (sink.metrics != nullptr) {
+        slot.metrics = std::make_unique<obs::MetricsRegistry>();
+        spec.obs.metrics = slot.metrics.get();
+      }
     }
-    ++done;
-    if (progress) progress(done, total);
+    results[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+        run_experiment(library, spec);
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(++done, total);
+    }
+  });
+
+  // Merge per-run observability into the sweep-level sink in fixed
+  // (series, configuration) order — the order the serial path visits runs —
+  // independent of how workers interleaved.
+  if (sink.enabled()) {
+    for (int idx = 0; idx < total; ++idx) {
+      CellObs& slot = cell_obs[static_cast<std::size_t>(idx)];
+      if (slot.tracer) sink.tracer->merge_from(std::move(*slot.tracer));
+      if (slot.metrics) sink.metrics->merge_from(*slot.metrics);
+    }
   }
-  return series;
+
+  const std::vector<RunResult>& baseline = results[0];
+  std::vector<AlgorithmSeries> out(static_cast<std::size_t>(num_series));
+  for (int s = 0; s < num_series; ++s) {
+    AlgorithmSeries& series = out[static_cast<std::size_t>(s)];
+    series.algorithm = descs[static_cast<std::size_t>(s)].algorithm;
+    series.local_extra_candidates = descs[static_cast<std::size_t>(s)].extras;
+    for (int c = 0; c < configs; ++c) {
+      const RunResult& r =
+          results[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+      series.completion_seconds.push_back(r.completion_seconds);
+      series.mean_interarrival.push_back(r.mean_interarrival_seconds);
+      series.relocations.push_back(r.stats.relocations);
+      series.speedup.push_back(
+          s == 0 ? 1.0
+                 : baseline[static_cast<std::size_t>(c)].completion_seconds /
+                       r.completion_seconds);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -90,33 +181,32 @@ std::vector<AlgorithmSeries> run_sweep(
     const trace::TraceLibrary& library, const SweepSpec& sweep,
     const std::vector<core::AlgorithmKind>& algorithms,
     const ProgressFn& progress) {
-  const int total = sweep.configs * (static_cast<int>(algorithms.size()) + 1);
-  int done = 0;
-
-  // Baseline first: download-all on every configuration.
-  AlgorithmSeries baseline =
-      run_series(library, sweep, core::AlgorithmKind::kDownloadAll,
-                 /*extras=*/0, {}, progress, done, total);
-  baseline.speedup.assign(baseline.completion_seconds.size(), 1.0);
+  // Baseline first (§5: "the download-all placement algorithm is used as
+  // the base-case"); it is run exactly once even when requested explicitly.
+  std::vector<SeriesDesc> descs{{core::AlgorithmKind::kDownloadAll, 0}};
+  for (const core::AlgorithmKind algorithm : algorithms) {
+    if (algorithm != core::AlgorithmKind::kDownloadAll) {
+      descs.push_back({algorithm, sweep.experiment.local_extra_candidates});
+    }
+  }
+  std::vector<AlgorithmSeries> cells =
+      run_cells(library, sweep, descs, progress);
 
   std::vector<AlgorithmSeries> out;
+  out.reserve(algorithms.size() + 1);
+  std::size_t next_cell = 1;
+  bool had_baseline = false;
   for (const core::AlgorithmKind algorithm : algorithms) {
     if (algorithm == core::AlgorithmKind::kDownloadAll) {
-      out.push_back(baseline);
-      continue;
+      out.push_back(cells[0]);
+      had_baseline = true;
+    } else {
+      out.push_back(std::move(cells[next_cell++]));
     }
-    out.push_back(run_series(library, sweep, algorithm,
-                             sweep.experiment.local_extra_candidates,
-                             baseline.completion_seconds, progress, done,
-                             total));
   }
   // Always expose the baseline at the end if it was not requested, so
   // callers can report absolute interarrival times.
-  bool had_baseline = false;
-  for (const core::AlgorithmKind a : algorithms) {
-    if (a == core::AlgorithmKind::kDownloadAll) had_baseline = true;
-  }
-  if (!had_baseline) out.push_back(std::move(baseline));
+  if (!had_baseline) out.push_back(std::move(cells[0]));
   return out;
 }
 
@@ -124,37 +214,43 @@ std::vector<AlgorithmSeries> run_local_extras_sweep(
     const trace::TraceLibrary& library, const SweepSpec& sweep,
     const std::vector<int>& extra_candidate_counts,
     const ProgressFn& progress) {
-  const int total =
-      sweep.configs * (static_cast<int>(extra_candidate_counts.size()) + 1);
-  int done = 0;
-
-  AlgorithmSeries baseline =
-      run_series(library, sweep, core::AlgorithmKind::kDownloadAll,
-                 /*extras=*/0, {}, progress, done, total);
-
-  std::vector<AlgorithmSeries> out;
+  std::vector<SeriesDesc> descs{{core::AlgorithmKind::kDownloadAll, 0}};
   for (const int k : extra_candidate_counts) {
-    out.push_back(run_series(library, sweep, core::AlgorithmKind::kLocal, k,
-                             baseline.completion_seconds, progress, done,
-                             total));
+    descs.push_back({core::AlgorithmKind::kLocal, k});
   }
-  return out;
+  std::vector<AlgorithmSeries> cells =
+      run_cells(library, sweep, descs, progress);
+  return {std::make_move_iterator(cells.begin() + 1),
+          std::make_move_iterator(cells.end())};
 }
 
 int env_configs(int fallback) {
-  if (const char* s = std::getenv("WADC_CONFIGS")) {
-    const int v = std::atoi(s);
-    if (v > 0) return v;
+  const char* s = std::getenv("WADC_CONFIGS");
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (*s == '\0' || *end != '\0' || errno != 0 || v <= 0 || v > INT_MAX) {
+    std::fprintf(stderr,
+                 "invalid WADC_CONFIGS: '%s' (want a positive integer)\n", s);
+    std::exit(2);
   }
-  return fallback;
+  return static_cast<int>(v);
 }
 
 std::uint64_t env_seed(std::uint64_t fallback) {
-  if (const char* s = std::getenv("WADC_SEED")) {
-    const auto v = std::strtoull(s, nullptr, 10);
-    if (v > 0) return v;
+  const char* s = std::getenv("WADC_SEED");
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (*s == '\0' || *end != '\0' || errno != 0 || s[0] == '-') {
+    std::fprintf(stderr,
+                 "invalid WADC_SEED: '%s' (want a non-negative integer)\n",
+                 s);
+    std::exit(2);
   }
-  return fallback;
+  return v;
 }
 
 }  // namespace wadc::exp

@@ -42,8 +42,10 @@ struct ExperimentSpec {
   // Observability sink for the run: attached to the network, the monitoring
   // subsystem, and the engine, so one run's transfer/relocation/barrier/
   // probe events and metrics land in one trace. Null by default (no
-  // overhead); sweeps that reuse one spec across configurations accumulate
-  // into the same registry/tracer.
+  // overhead). The sweep runners treat this as the sweep-level sink: each
+  // run records into a private tracer/registry which is merged into these
+  // pointers in (series, configuration) order after all workers join, so
+  // the combined output is byte-identical for any jobs count.
   obs::Obs obs;
 
   dataflow::EngineParams engine_params(std::uint64_t seed) const;
@@ -66,6 +68,13 @@ struct SweepSpec {
   int configs = 300;
   std::uint64_t base_seed = 1000;
   ExperimentSpec experiment;  // algorithm field is overridden per series
+
+  // Worker threads for the sweep: every (configuration x algorithm) cell is
+  // an independent run, so they execute on a fixed-size pool. 0 (the
+  // default) resolves through WADC_JOBS, falling back to serial; results,
+  // ordering and any attached obs output are byte-identical for every jobs
+  // value (see docs/PERFORMANCE.md).
+  int jobs = 0;
 };
 
 struct AlgorithmSeries {
@@ -77,6 +86,9 @@ struct AlgorithmSeries {
   std::vector<int> relocations;              // per configuration
 };
 
+// Sweep progress observer. The runner serializes invocations (one at a
+// time, under a lock) and `done` increases by exactly 1 per call, whatever
+// the worker count; callbacks need no synchronization of their own.
 using ProgressFn = std::function<void(int done, int total)>;
 
 // Runs every algorithm on every configuration. The first entry of
@@ -97,6 +109,9 @@ std::vector<AlgorithmSeries> run_local_extras_sweep(
 
 // Environment-variable helpers shared by the bench binaries:
 // WADC_CONFIGS overrides the configuration count, WADC_SEED the base seed.
+// Parsing is strict: the whole value must be a number in range, and
+// malformed values (WADC_CONFIGS=8x, WADC_SEED=abc) are fatal (exit 2)
+// instead of being silently truncated or ignored.
 int env_configs(int fallback);
 std::uint64_t env_seed(std::uint64_t fallback);
 

@@ -1,0 +1,82 @@
+#include "exp/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace wadc::exp {
+
+namespace {
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int env_jobs(int fallback) {
+  const char* s = std::getenv("WADC_JOBS");
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (*s == '\0' || *end != '\0' || errno != 0 || v < 0 || v > 1 << 20) {
+    std::fprintf(stderr,
+                 "invalid WADC_JOBS: '%s' (want a non-negative integer; "
+                 "0 = all hardware threads)\n",
+                 s);
+    std::exit(2);
+  }
+  return v == 0 ? hardware_jobs() : static_cast<int>(v);
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  return env_jobs(/*fallback=*/1);
+}
+
+void parallel_for(int n, int jobs, const std::function<void(int)>& fn) {
+  WADC_ASSERT(n >= 0, "parallel_for over negative range: ", n);
+  const int workers = std::min(jobs, n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }  // std::jthread joins on destruction
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wadc::exp

@@ -1,0 +1,28 @@
+// Fixed-size worker pool for the embarrassingly parallel experiment
+// sweeps: every (network-configuration x algorithm) cell builds its own
+// sim::Simulation / net::Network / dataflow::Engine, shares only the
+// read-only trace::TraceLibrary, and writes its result into an index-keyed
+// slot — so parallel execution is byte-identical to serial.
+#pragma once
+
+#include <functional>
+
+namespace wadc::exp {
+
+// Number of workers to use for a sweep. `requested` > 0 is taken as-is;
+// 0 means "default": the WADC_JOBS environment variable if set (where 0
+// selects all hardware threads), otherwise 1 (serial).
+int resolve_jobs(int requested);
+
+// WADC_JOBS override with strict parsing: a non-negative integer, where 0
+// selects all hardware threads. Garbage is fatal (exit 2), never silently
+// ignored.
+int env_jobs(int fallback);
+
+// Runs fn(i) exactly once for every i in [0, n), on up to `jobs` worker
+// threads (std::jthread). fn must only write to slots keyed by its index.
+// The first exception thrown by fn stops new work from being claimed and
+// is rethrown here after all workers join.
+void parallel_for(int n, int jobs, const std::function<void(int)>& fn);
+
+}  // namespace wadc::exp

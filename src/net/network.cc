@@ -144,18 +144,23 @@ void Network::start(const Pending& p) {
 
   p.record->started = now;
 
-  sim_.schedule_at(end, [this, p, now, end] {
-    --active_[static_cast<std::size_t>(p.src)];
-    --active_[static_cast<std::size_t>(p.dst)];
-    p.record->started = now;
-    p.record->completed = end;
+  // Everything the completion needs is reachable through the record, so the
+  // capture stays pointer-sized fields only — small enough to ride in the
+  // event-queue entry's inline buffer instead of a per-transfer allocation.
+  auto complete = [this, rec = p.record, done = p.done, end] {
+    --active_[static_cast<std::size_t>(rec->src)];
+    --active_[static_cast<std::size_t>(rec->dst)];
+    rec->completed = end;
     ++transfers_completed_;
-    bytes_delivered_ += p.bytes;
-    record_transfer_obs(*p.record);
-    for (const auto& observer : observers_) observer(*p.record);
-    p.done->set();
+    bytes_delivered_ += rec->bytes;
+    record_transfer_obs(*rec);
+    for (const auto& observer : observers_) observer(*rec);
+    done->set();
     try_start_transfers();
-  });
+  };
+  static_assert(sim::Callback::fits_inline<decltype(complete)>(),
+                "transfer completions must stay allocation-free");
+  sim_.schedule_at(end, std::move(complete));
 }
 
 void Network::record_transfer_obs(const TransferRecord& rec) {

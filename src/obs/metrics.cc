@@ -32,6 +32,24 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  WADC_ASSERT(bounds_ == other.bounds_,
+              "merging histograms with different bucket bounds");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
 std::vector<double> exponential_buckets(double start, double factor,
                                         int count) {
   WADC_ASSERT(start > 0 && factor > 1 && count > 0,
@@ -63,6 +81,23 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).set(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto& slot = histograms_[name];
+    if (!slot) {
+      slot = std::make_unique<Histogram>(*h);
+    } else {
+      slot->merge_from(*h);
+    }
+  }
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {

@@ -47,6 +47,10 @@ class Histogram {
 
   void observe(double v);
 
+  // Folds another histogram with identical bounds into this one:
+  // bucket-wise count addition, sum addition, min/max widening.
+  void merge_from(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return min_; }  // 0 when count() == 0
@@ -86,6 +90,15 @@ class MetricsRegistry {
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  // Deterministically folds another registry into this one: counters add,
+  // gauges take the donor's value (so merging run registries in run order
+  // reproduces serial last-write-wins), histograms merge bucket-wise
+  // (bounds must match). Instruments missing here are created. The sweep
+  // runner uses this to combine per-run registries after joining its
+  // workers, in a fixed (series, configuration) order, so the merged dump
+  // is byte-identical no matter how many workers ran the sweep.
+  void merge_from(const MetricsRegistry& other);
 
   // {"counters":{...},"gauges":{...},"histograms":{...}} with instruments
   // sorted by name.

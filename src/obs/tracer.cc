@@ -1,6 +1,7 @@
 #include "obs/tracer.h"
 
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 
 #include "common/assert.h"
@@ -56,6 +57,21 @@ void Tracer::name_process(int pid, std::string name) {
 
 void Tracer::name_thread(int pid, int tid, std::string name) {
   thread_names_[{pid, tid}] = std::move(name);
+}
+
+void Tracer::merge_from(Tracer&& other) {
+  events_.insert(events_.end(),
+                 std::make_move_iterator(other.events_.begin()),
+                 std::make_move_iterator(other.events_.end()));
+  other.events_.clear();
+  for (auto& [pid, name] : other.process_names_) {
+    process_names_[pid] = std::move(name);
+  }
+  other.process_names_.clear();
+  for (auto& [key, name] : other.thread_names_) {
+    thread_names_[key] = std::move(name);
+  }
+  other.thread_names_.clear();
 }
 
 void Tracer::write_chrome_json(std::ostream& out) const {

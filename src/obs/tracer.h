@@ -81,6 +81,14 @@ class Tracer {
 
   std::size_t event_count() const { return events_.size(); }
 
+  // Appends another tracer's events after this one's, in the donor's
+  // emission order, and folds its process/thread names (later merges win).
+  // The parallel sweep runner records each run into a private tracer and
+  // merges them in a fixed (series, configuration) order after joining, so
+  // the combined trace is byte-identical regardless of worker count. The
+  // donor is left empty.
+  void merge_from(Tracer&& other);
+
   // Serializes every event (metadata first, then records in emission order)
   // as a Chrome trace-event JSON object. Deterministic: identical event
   // sequences produce identical bytes.

@@ -1,0 +1,169 @@
+// Small-buffer-optimized, move-only callable for simulation events.
+//
+// The event queue dispatches hundreds of thousands of wake-ups per run and
+// nearly all of them are tiny captures — a coroutine handle, a pointer or
+// two, a couple of doubles. std::function type-erases those through a heap
+// allocation once the capture outgrows its small buffer (16 bytes on
+// libstdc++), and drags in copyability the kernel never uses. Callback
+// stores any nothrow-movable capture up to kInlineSize bytes inline with
+// the queue entry, supports move-only captures (so events can own
+// resources), and costs one indirect call to invoke.
+//
+// Moves matter as much as allocations here: a binary-heap sift moves
+// O(log n) entries per push/pop, so Callback relocation must not cost an
+// indirect call each time. Trivially copyable callables (every hot-path
+// lambda: pointers, handles, doubles) and heap-stored callables (one owning
+// pointer) relocate with a branch-free fixed-size memcpy; only non-trivial
+// inline captures (e.g. a unique_ptr held by value) go through the Ops
+// vtable.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace wadc::sim {
+
+class Callback {
+ public:
+  // Sized so coroutine-resume thunks and the kernel's transfer-completion
+  // lambdas (a handful of pointers and doubles) fit without allocating,
+  // while keeping an EventQueue::Entry (time + seq + Callback) at exactly
+  // one 64-byte cache line.
+  static constexpr std::size_t kInlineSize = 40;
+
+  // True when a callable of type F is stored in the inline buffer rather
+  // than on the heap. Exposed so hot-path call sites can static_assert
+  // that their captures stay allocation-free.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineSize &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  Callback() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      void* p = new D(std::forward<F>(f));
+      std::memcpy(storage_, &p, sizeof(p));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { steal(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // True when the held callable lives in the inline buffer (false when
+  // empty or heap-stored).
+  bool stored_inline() const noexcept { return ops_ && ops_->stored_inline; }
+
+  void operator()() {
+    WADC_ASSERT(ops_ != nullptr, "invoking an empty Callback");
+    ops_->invoke(object());
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      if (!ops_->trivial_destroy) ops_->destroy(object());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    // Move-constructs from `from_storage` into `to_storage` and destroys
+    // the source representation (for heap storage this just moves the
+    // owning pointer). Only consulted when trivial_relocate is false.
+    void (*relocate)(void* from_storage, void* to_storage) noexcept;
+    // Only consulted when trivial_destroy is false.
+    void (*destroy)(void* obj) noexcept;
+    bool stored_inline;
+    // Relocation is a raw storage copy: trivially copyable inline
+    // callables, and heap storage (the owning pointer). Keeps heap-sift
+    // moves free of indirect calls.
+    bool trivial_relocate;
+    // Destruction is a no-op (trivially destructible inline callables).
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void invoke(void* obj) { (*static_cast<D*>(obj))(); }
+    static void relocate(void* from_storage, void* to_storage) noexcept {
+      D* src = std::launder(reinterpret_cast<D*>(from_storage));
+      ::new (to_storage) D(std::move(*src));
+      src->~D();
+    }
+    static void destroy(void* obj) noexcept { static_cast<D*>(obj)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy,
+                             /*stored_inline=*/true,
+                             std::is_trivially_copyable_v<D>,
+                             std::is_trivially_destructible_v<D>};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* held(void* obj) { return static_cast<D*>(obj); }
+    static void invoke(void* obj) { (*held(obj))(); }
+    static void relocate(void* from_storage, void* to_storage) noexcept {
+      std::memcpy(to_storage, from_storage, sizeof(void*));
+    }
+    static void destroy(void* obj) noexcept { delete held(obj); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy,
+                             /*stored_inline=*/false,
+                             /*trivial_relocate=*/true,
+                             /*trivial_destroy=*/false};
+  };
+
+  void* object() noexcept {
+    if (ops_->stored_inline) return storage_;
+    void* p;
+    std::memcpy(&p, storage_, sizeof(p));
+    return p;
+  }
+
+  void steal(Callback& other) noexcept {
+    if (other.ops_) {
+      ops_ = other.ops_;
+      if (ops_->trivial_relocate) {
+        // Fixed-size copy: branch-free, fully inlined. Trailing bytes past
+        // the callable are unused either way.
+        std::memcpy(storage_, other.storage_, kInlineSize);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wadc::sim

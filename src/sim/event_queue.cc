@@ -11,8 +11,7 @@ SimTime EventQueue::next_time() const {
   return heap_.front().time;
 }
 
-void EventQueue::push(SimTime time, EventSeq seq,
-                      std::function<void()> action) {
+void EventQueue::push(SimTime time, EventSeq seq, Callback action) {
   heap_.push_back(Entry{time, seq, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), later);
 }

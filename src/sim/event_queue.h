@@ -1,22 +1,24 @@
 // Deterministic pending-event set for the simulation kernel.
 #pragma once
 
-#include <functional>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/types.h"
 
 namespace wadc::sim {
 
 // A binary min-heap of (time, seq)-ordered events. Events at equal times
 // execute in the order they were scheduled, which makes runs exactly
-// reproducible.
+// reproducible. Actions are small-buffer-optimized Callbacks, so the
+// common case (coroutine-resume thunks and small completion lambdas)
+// schedules without touching the heap allocator.
 class EventQueue {
  public:
   struct Entry {
     SimTime time;
     EventSeq seq;
-    std::function<void()> action;
+    Callback action;
   };
 
   bool empty() const { return heap_.empty(); }
@@ -25,7 +27,7 @@ class EventQueue {
   // Time of the earliest pending event; queue must be non-empty.
   SimTime next_time() const;
 
-  void push(SimTime time, EventSeq seq, std::function<void()> action);
+  void push(SimTime time, EventSeq seq, Callback action);
 
   // Removes and returns the earliest event; queue must be non-empty.
   Entry pop();

@@ -9,13 +9,13 @@ namespace wadc::sim {
 
 Simulation::~Simulation() { terminate_all(); }
 
-void Simulation::schedule_at(SimTime t, std::function<void()> action) {
+void Simulation::schedule_at(SimTime t, Callback action) {
   if (tearing_down_) return;  // wake-ups during teardown are dropped
   WADC_ASSERT(t >= now_, "scheduling into the past: t=", t, " now=", now_);
   queue_.push(t, next_seq_++, std::move(action));
 }
 
-void Simulation::schedule_in(SimTime dt, std::function<void()> action) {
+void Simulation::schedule_in(SimTime dt, Callback action) {
   WADC_ASSERT(dt >= 0, "negative delay: ", dt);
   schedule_at(now_ + dt, std::move(action));
 }

@@ -18,9 +18,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <unordered_map>
 
+#include "sim/callback.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
 #include "sim/types.h"
@@ -43,10 +43,12 @@ class Simulation {
 
   SimTime now() const { return now_; }
 
-  // Schedules `action` to run at absolute time `t` (>= now).
-  void schedule_at(SimTime t, std::function<void()> action);
+  // Schedules `action` to run at absolute time `t` (>= now). Actions are
+  // move-only Callbacks; captures up to Callback::kInlineSize bytes are
+  // stored inline in the queue entry (no allocation).
+  void schedule_at(SimTime t, Callback action);
   // Schedules `action` to run `dt` seconds from now (dt >= 0).
-  void schedule_in(SimTime dt, std::function<void()> action);
+  void schedule_in(SimTime dt, Callback action);
 
   // Starts a detached process. The process begins at the current time (via
   // the event queue, not synchronously). Returns a process id. The frame is
@@ -78,7 +80,10 @@ class Simulation {
       SimTime dt;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        sim.schedule_in(dt, [h] { h.resume(); });
+        auto thunk = [h] { h.resume(); };
+        static_assert(Callback::fits_inline<decltype(thunk)>(),
+                      "resume thunks must stay allocation-free");
+        sim.schedule_in(dt, thunk);
       }
       void await_resume() const noexcept {}
     };

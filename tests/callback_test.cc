@@ -1,0 +1,146 @@
+// Tests for the small-buffer-optimized sim::Callback: inline vs heap
+// storage selection, move-only captures, and destruction accounting across
+// moves, assignment and reset.
+#include "sim/callback.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace wadc::sim {
+namespace {
+
+TEST(CallbackTest, DefaultConstructedIsEmpty) {
+  Callback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.stored_inline());
+}
+
+TEST(CallbackTest, SmallCaptureStoredInline) {
+  int hits = 0;
+  Callback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.stored_inline());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(CallbackTest, FitsInlineIsCompileTimeAccurate) {
+  int x = 0;
+  auto small = [&x] { ++x; };
+  static_assert(Callback::fits_inline<decltype(small)>());
+
+  std::array<char, Callback::kInlineSize + 1> big{};
+  auto large = [big]() mutable { big[0] = 1; };
+  static_assert(!Callback::fits_inline<decltype(large)>());
+}
+
+TEST(CallbackTest, OversizedCaptureFallsBackToHeap) {
+  std::array<int, 64> payload{};  // 256 bytes, over the 64-byte buffer
+  payload[13] = 42;
+  int seen = 0;
+  Callback cb([payload, &seen] { seen = payload[13]; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.stored_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(CallbackTest, MoveOnlyCaptureInline) {
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  Callback cb([p = std::move(owned), &seen] { seen = *p; });
+  EXPECT_TRUE(cb.stored_inline());
+  cb();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(CallbackTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  Callback a([&hits] { ++hits; });
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Callback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+// Counts live instances so leaks or double-destroys show up as a non-zero
+// balance at the end of the test.
+struct InstanceCounter {
+  static int live;
+  InstanceCounter() { ++live; }
+  InstanceCounter(const InstanceCounter&) { ++live; }
+  InstanceCounter(InstanceCounter&&) noexcept { ++live; }
+  ~InstanceCounter() { --live; }
+};
+int InstanceCounter::live = 0;
+
+TEST(CallbackTest, InlineDestructionBalancedAcrossMoves) {
+  InstanceCounter::live = 0;
+  {
+    Callback a([c = InstanceCounter{}] { (void)c; });
+    EXPECT_TRUE(a.stored_inline());
+    EXPECT_EQ(InstanceCounter::live, 1);
+    Callback b(std::move(a));
+    EXPECT_EQ(InstanceCounter::live, 1);
+    Callback c;
+    c = std::move(b);
+    EXPECT_EQ(InstanceCounter::live, 1);
+    c.reset();
+    EXPECT_EQ(InstanceCounter::live, 0);
+    EXPECT_FALSE(static_cast<bool>(c));
+  }
+  EXPECT_EQ(InstanceCounter::live, 0);
+}
+
+TEST(CallbackTest, HeapDestructionBalancedAcrossMoves) {
+  InstanceCounter::live = 0;
+  {
+    std::array<char, Callback::kInlineSize> pad{};
+    Callback a([c = InstanceCounter{}, pad] { (void)c, (void)pad; });
+    EXPECT_FALSE(a.stored_inline());
+    EXPECT_EQ(InstanceCounter::live, 1);
+    Callback b(std::move(a));
+    EXPECT_EQ(InstanceCounter::live, 1);
+    b = Callback([] {});  // assignment destroys the held heap callable
+    EXPECT_EQ(InstanceCounter::live, 0);
+  }
+  EXPECT_EQ(InstanceCounter::live, 0);
+}
+
+TEST(CallbackTest, AssignmentReleasesPreviousCallable) {
+  InstanceCounter::live = 0;
+  Callback cb([c = InstanceCounter{}] { (void)c; });
+  EXPECT_EQ(InstanceCounter::live, 1);
+  cb = Callback([c = InstanceCounter{}] { (void)c; });
+  EXPECT_EQ(InstanceCounter::live, 1);
+  cb.reset();
+  EXPECT_EQ(InstanceCounter::live, 0);
+}
+
+TEST(CallbackTest, SimulationAcceptsMoveOnlyEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  auto first = std::make_unique<int>(1);
+  auto second = std::make_unique<int>(2);
+  sim.schedule_in(2.0, [p = std::move(second), &order] { order.push_back(*p); });
+  sim.schedule_in(1.0, [p = std::move(first), &order] { order.push_back(*p); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace wadc::sim

@@ -171,5 +171,29 @@ TEST(EnvHelpers, ReadOverrides) {
   unsetenv("WADC_SEED");
 }
 
+TEST(EnvHelpers, SeedZeroIsAValidOverride) {
+  setenv("WADC_SEED", "0", 1);
+  EXPECT_EQ(env_seed(7), 0u);
+  unsetenv("WADC_SEED");
+}
+
+TEST(EnvHelpersDeathTest, TrailingGarbageInConfigsIsFatal) {
+  setenv("WADC_CONFIGS", "8x", 1);
+  EXPECT_EXIT(env_configs(1), testing::ExitedWithCode(2), "WADC_CONFIGS");
+  unsetenv("WADC_CONFIGS");
+}
+
+TEST(EnvHelpersDeathTest, NegativeConfigsIsFatal) {
+  setenv("WADC_CONFIGS", "-2", 1);
+  EXPECT_EXIT(env_configs(1), testing::ExitedWithCode(2), "WADC_CONFIGS");
+  unsetenv("WADC_CONFIGS");
+}
+
+TEST(EnvHelpersDeathTest, NonNumericSeedIsFatal) {
+  setenv("WADC_SEED", "abc", 1);
+  EXPECT_EXIT(env_seed(1), testing::ExitedWithCode(2), "WADC_SEED");
+  unsetenv("WADC_SEED");
+}
+
 }  // namespace
 }  // namespace wadc::exp

@@ -5,6 +5,8 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/experiment.h"
 #include "obs/metrics.h"
@@ -200,6 +202,83 @@ TEST(Obs, MetricsAgreeWithRunStats) {
                    static_cast<double>(r.stats.replans));
   EXPECT_DOUBLE_EQ(metrics.counter("engine.barriers_completed").value(),
                    r.stats.barriers_completed);
+}
+
+// ---- merge_from: the primitives behind the parallel sweep's obs merge ----
+
+TEST(MetricsMerge, CountersAddAndGaugesTakeDonorValue) {
+  obs::MetricsRegistry a, b;
+  a.counter("runs").add(3);
+  b.counter("runs").add(2);
+  b.counter("only_in_donor").add(1);
+  a.gauge("last_seed").set(10);
+  b.gauge("last_seed").set(20);
+
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.counter("runs").value(), 5);
+  EXPECT_DOUBLE_EQ(a.counter("only_in_donor").value(), 1);
+  EXPECT_DOUBLE_EQ(a.gauge("last_seed").value(), 20);
+}
+
+TEST(MetricsMerge, HistogramsMergeBucketWise) {
+  const std::vector<double> bounds = {1.0, 10.0};
+  obs::MetricsRegistry a, b;
+  a.histogram("lat", bounds).observe(0.5);
+  b.histogram("lat", bounds).observe(5.0);
+  b.histogram("lat", bounds).observe(100.0);
+
+  a.merge_from(b);
+  const auto& h = a.histogram("lat", bounds);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // <= 1
+  EXPECT_EQ(h.bucket_count(1), 1u);  // <= 10
+  EXPECT_EQ(h.bucket_count(2), 1u);  // overflow
+}
+
+TEST(MetricsMerge, MergeOrderReproducesSerialJson) {
+  // Merging per-run registries in run order must match one registry that
+  // observed both runs serially — the parallel sweep's determinism hinges
+  // on this.
+  obs::MetricsRegistry serial;
+  serial.counter("c").add(1);
+  serial.gauge("g").set(1);
+  serial.counter("c").add(2);
+  serial.gauge("g").set(2);
+
+  obs::MetricsRegistry run1, run2, merged;
+  run1.counter("c").add(1);
+  run1.gauge("g").set(1);
+  run2.counter("c").add(2);
+  run2.gauge("g").set(2);
+  merged.merge_from(run1);
+  merged.merge_from(run2);
+
+  std::ostringstream expect_out, merged_out;
+  serial.write_json(expect_out);
+  merged.write_json(merged_out);
+  EXPECT_EQ(merged_out.str(), expect_out.str());
+}
+
+TEST(TracerMerge, AppendsEventsInDonorOrderAndEmptiesDonor) {
+  obs::Tracer a, b;
+  a.instant("cat", "first", 0, 0, 1.0);
+  b.instant("cat", "second", 0, 0, 2.0);
+  b.instant("cat", "third", 0, 0, 0.5);  // order preserved, not re-sorted
+  b.name_process(0, "donor-process");
+
+  a.merge_from(std::move(b));
+  EXPECT_EQ(a.event_count(), 3u);
+  EXPECT_EQ(b.event_count(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  std::ostringstream out;
+  a.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("donor-process"), std::string::npos);
+  EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
+  EXPECT_LT(json.find("\"second\""), json.find("\"third\""));
 }
 
 }  // namespace

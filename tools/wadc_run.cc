@@ -15,6 +15,7 @@
 // https://ui.perfetto.dev), --metrics-out dumps its counters/histograms.
 // Both files are byte-identical across same-seed runs:
 //   wadc_run --algorithm=global --trace-out=t.json --metrics-out=m.json
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdint>
@@ -23,10 +24,13 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exp/bench_support.h"
 #include "exp/experiment.h"
 #include "exp/export.h"
+#include "exp/parallel.h"
 #include "exp/report.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -47,6 +51,7 @@ struct Options {
   double period_seconds = 600;
   int extras = 0;
   int configs = 1;
+  int jobs = -1;  // -1 = unset (resolve via WADC_JOBS); 0 = all hw threads
   std::uint64_t seed = 1000;
   std::uint64_t library_seed = 2026;
   bool csv = false;
@@ -56,6 +61,7 @@ struct Options {
   std::string dump_run_path;  // JSON of the final configuration's run
   std::string trace_out_path;    // Chrome trace JSON of the final run
   std::string metrics_out_path;  // metrics JSON of the final run
+  std::string bench_out_path;    // JSON perf report for the whole invocation
 };
 
 void usage() {
@@ -70,6 +76,10 @@ void usage() {
       "  --period=SECONDS       relocation period (default 600)\n"
       "  --extras=K             local algorithm's extra candidates (default 0)\n"
       "  --configs=N            network configurations to run (default 1)\n"
+      "  --jobs=N               worker threads for the configuration runs\n"
+      "                         (0 = all hardware threads; default: WADC_JOBS,"
+      "\n                         else serial). Output is byte-identical for\n"
+      "                         every jobs value.\n"
       "  --seed=N               base configuration seed (default 1000)\n"
       "  --library-seed=N       trace pool seed (default 2026)\n"
       "  --trace-set=FILE       use traces from FILE instead of synthesizing\n"
@@ -77,6 +87,8 @@ void usage() {
       "  --dump-run=FILE        write the last run's stats as JSON\n"
       "  --trace-out=FILE       write the last run's Chrome trace-event JSON\n"
       "  --metrics-out=FILE     write the last run's metrics as JSON\n"
+      "  --bench-out=FILE       write a JSON perf report (name, jobs, runs,\n"
+      "                         wall_seconds, runs_per_second)\n"
       "  --no-baseline          skip the download-all baseline run\n"
       "  --csv                  machine-readable output\n");
 }
@@ -166,6 +178,13 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!to_int(*v6, "--extras", opt.extras)) return false;
     } else if (auto v7 = flag_value(arg, "--configs")) {
       if (!to_int(*v7, "--configs", opt.configs)) return false;
+    } else if (auto vj = flag_value(arg, "--jobs")) {
+      if (!to_int(*vj, "--jobs", opt.jobs)) return false;
+      if (opt.jobs < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0 (0 = all hardware "
+                     "threads)\n");
+        return false;
+      }
     } else if (auto v8 = flag_value(arg, "--seed")) {
       if (!to_u64(*v8, "--seed", opt.seed)) return false;
     } else if (auto v9 = flag_value(arg, "--library-seed")) {
@@ -188,6 +207,12 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.metrics_out_path = *v14;
+    } else if (auto v15 = flag_value(arg, "--bench-out")) {
+      if (v15->empty()) {
+        std::fprintf(stderr, "--bench-out requires a file path\n");
+        return false;
+      }
+      opt.bench_out_path = *v15;
     } else if (std::strcmp(arg, "--csv") == 0) {
       opt.csv = true;
     } else if (std::strcmp(arg, "--no-baseline") == 0) {
@@ -271,28 +296,53 @@ int main(int argc, char** argv) {
 
   // Observability: attach a tracer/metrics registry to the final
   // configuration's main-algorithm run (the same run --dump-run exports).
+  // Only that one job touches the sinks, so no merging is needed here.
   const bool want_obs =
       !opt.trace_out_path.empty() || !opt.metrics_out_path.empty();
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
 
-  std::vector<double> speedups, completions, interarrivals;
-  for (int c = 0; c < opt.configs; ++c) {
-    spec.config_seed = opt.seed + static_cast<std::uint64_t>(c);
-    spec.obs = {};
-    if (want_obs && c == opt.configs - 1) {
-      spec.obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
-      spec.obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
-    }
-
+  // Every configuration (baseline + algorithm under study) is an
+  // independent job; results land in index-keyed slots and are printed in
+  // configuration order afterwards, so output is byte-identical for any
+  // --jobs value.
+  const int jobs = opt.jobs < 0    ? exp::resolve_jobs(0)
+                   : opt.jobs == 0 ? static_cast<int>(std::max(
+                                         1u,
+                                         std::thread::hardware_concurrency()))
+                                   : opt.jobs;
+  struct ConfigOutcome {
     double base_time = 0;
+    exp::RunResult run;
+  };
+  std::vector<ConfigOutcome> outcomes(
+      static_cast<std::size_t>(opt.configs));
+  const exp::WallTimer timer;
+  exp::parallel_for(opt.configs, jobs, [&](int c) {
+    exp::ExperimentSpec s = spec;
+    s.config_seed = opt.seed + static_cast<std::uint64_t>(c);
+    s.obs = {};
+    if (want_obs && c == opt.configs - 1) {
+      s.obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
+      s.obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
+    }
+    ConfigOutcome& out = outcomes[static_cast<std::size_t>(c)];
     if (opt.with_baseline) {
-      exp::ExperimentSpec base = spec;
+      exp::ExperimentSpec base = s;
       base.algorithm = core::AlgorithmKind::kDownloadAll;
       base.obs = {};  // trace the algorithm under study, not the baseline
-      base_time = exp::run_experiment(*library, base).completion_seconds;
+      out.base_time = exp::run_experiment(*library, base).completion_seconds;
     }
-    const exp::RunResult r = exp::run_experiment(*library, spec);
+    out.run = exp::run_experiment(*library, s);
+  });
+  const double wall_seconds = timer.seconds();
+
+  std::vector<double> speedups, completions, interarrivals;
+  for (int c = 0; c < opt.configs; ++c) {
+    const ConfigOutcome& out = outcomes[static_cast<std::size_t>(c)];
+    const exp::RunResult& r = out.run;
+    const std::uint64_t config_seed =
+        opt.seed + static_cast<std::uint64_t>(c);
     if (!opt.dump_run_path.empty() && c == opt.configs - 1) {
       try {
         exp::write_run_json_file(r.stats, opt.dump_run_path);
@@ -301,21 +351,36 @@ int main(int argc, char** argv) {
       }
     }
     const double speedup =
-        opt.with_baseline ? base_time / r.completion_seconds : 0.0;
+        opt.with_baseline ? out.base_time / r.completion_seconds : 0.0;
     speedups.push_back(speedup);
     completions.push_back(r.completion_seconds);
     interarrivals.push_back(r.mean_interarrival_seconds);
 
     if (opt.csv) {
       std::printf("%llu,%s,%.3f,%.3f,%.3f,%d\n",
-                  static_cast<unsigned long long>(spec.config_seed),
+                  static_cast<unsigned long long>(config_seed),
                   core::algorithm_name(opt.algorithm), r.completion_seconds,
                   r.mean_interarrival_seconds, speedup, r.stats.relocations);
     } else {
       std::printf("%-9llu %9.1f s %11.2f s %7.2fx  %d\n",
-                  static_cast<unsigned long long>(spec.config_seed),
+                  static_cast<unsigned long long>(config_seed),
                   r.completion_seconds, r.mean_interarrival_seconds, speedup,
                   r.stats.relocations);
+    }
+  }
+
+  if (!opt.bench_out_path.empty()) {
+    exp::BenchReport report;
+    report.name = "wadc_run";
+    report.jobs = jobs;
+    report.runs = static_cast<long long>(opt.configs) *
+                  (opt.with_baseline ? 2 : 1);
+    report.wall_seconds = wall_seconds;
+    try {
+      exp::write_bench_json_file(report, opt.bench_out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
+      return 1;
     }
   }
 
