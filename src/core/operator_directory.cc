@@ -1,5 +1,7 @@
 #include "core/operator_directory.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 #include "core/placement.h"
 
@@ -73,6 +75,21 @@ bool OperatorDirectory::merge(const OperatorDirectory& incoming) {
     }
   }
   return changed;
+}
+
+void OperatorDirectory::set_host_alive(net::HostId host, bool alive) {
+  const auto it =
+      std::lower_bound(dead_hosts_.begin(), dead_hosts_.end(), host);
+  const bool known_dead = it != dead_hosts_.end() && *it == host;
+  if (alive && known_dead) {
+    dead_hosts_.erase(it);
+  } else if (!alive && !known_dead) {
+    dead_hosts_.insert(it, host);
+  }
+}
+
+bool OperatorDirectory::host_alive(net::HostId host) const {
+  return !std::binary_search(dead_hosts_.begin(), dead_hosts_.end(), host);
 }
 
 }  // namespace wadc::core

@@ -62,10 +62,17 @@ class OperatorDirectory {
   const std::vector<net::HostId>& locations() const { return locations_; }
   const std::vector<std::uint64_t>& timestamps() const { return timestamps_; }
 
+  // Host liveness, fed by failure detection. Liveness is engine-global
+  // knowledge (fault notifications), not part of the gossiped vectors, so
+  // merge() deliberately ignores it.
+  void set_host_alive(net::HostId host, bool alive);
+  bool host_alive(net::HostId host) const;
+
  private:
   MergeRule rule_ = MergeRule::kEntryWise;
   std::vector<net::HostId> locations_;
   std::vector<std::uint64_t> timestamps_;
+  std::vector<net::HostId> dead_hosts_;  // sorted, unique
 };
 
 }  // namespace wadc::core

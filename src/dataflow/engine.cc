@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -67,11 +69,19 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
       cost_model_(tree, cost_params_from(workload.params(), network.params())),
       planner_(cost_model_),
       local_rule_(cost_model_),
-      rng_(Rng(params.seed).fork(0xe1e1)) {
+      rng_(Rng(params.seed).fork(0xe1e1)),
+      retry_rng_(Rng(params.seed).fork(0xfa17)),
+      faults_active_(params.fault_injector != nullptr) {
   WADC_ASSERT(network.num_hosts() == tree.num_hosts(),
               "network/tree host count mismatch");
   WADC_ASSERT(workload.num_servers() == tree.num_servers(),
               "workload/tree server count mismatch");
+  const std::string problem = validate(params_);
+  WADC_ASSERT(problem.empty(), "bad EngineParams: ", problem);
+  if (faults_active_) {
+    params_.fault_injector->add_listener(
+        [this](const fault::FaultEvent& ev) { on_fault_event(ev); });
+  }
 
   operators_.resize(static_cast<std::size_t>(tree.num_operators()));
   for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
@@ -200,11 +210,268 @@ void Engine::note_pending_version(OperatorState& st, const Demand& d) {
 
 RunStats Engine::run() {
   sim_.spawn(orchestrate());
-  const auto status = sim_.run();
-  WADC_ASSERT(done_, "simulation ended before the computation completed ",
-              "(status ", static_cast<int>(status), ", t=", sim_.now(), ")");
-  stats_.completed = true;
+  if (!faults_active_) {
+    const auto status = sim_.run();
+    WADC_ASSERT(done_, "simulation ended before the computation completed ",
+                "(status ", static_cast<int>(status), ", t=", sim_.now(), ")");
+    stats_.completed = true;
+    return stats_;
+  }
+
+  // Fault-tolerant mode: bound the run and report what happened instead of
+  // asserting. A run that cannot complete (client dead, server data gone,
+  // link permanently dark) returns completed=false with the reason.
+  const auto status = sim_.run(params_.run_deadline_seconds);
+  FailureSummary& fs = stats_.failure_summary;
+  fs.active = true;
+  fs.transfers_failed = network_.transfers_failed();
+  fs.transfers_timed_out = network_.transfers_timed_out();
+  stats_.completed = done_;
+  if (!done_ && fs.abort_reason.empty()) {
+    fs.abort_reason = status == sim::Simulation::RunStatus::kTimeLimit
+                          ? "run deadline exceeded"
+                          : "simulation stalled before completion";
+  }
   return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// failure recovery
+
+void Engine::abort_run(std::string reason) {
+  if (aborted_) return;
+  aborted_ = true;
+  stats_.failure_summary.abort_reason = std::move(reason);
+  sim_.request_stop();
+}
+
+double Engine::transfer_timeout(double bytes) const {
+  // Base timeout plus the worst-case transmission time at the pessimistic
+  // bandwidth: a transfer that is actually moving on a live link never
+  // times out, only ones stuck behind a dead endpoint or dark link.
+  return params_.transfer_timeout_seconds +
+         bytes / cost_model_.params().pessimistic_bandwidth;
+}
+
+double Engine::retry_backoff(int attempt) {
+  double delay = params_.retry_backoff_base_seconds;
+  for (int i = 0; i < attempt && delay < params_.retry_backoff_max_seconds;
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, params_.retry_backoff_max_seconds);
+  // Deterministic jitter in [0.75, 1.25) de-synchronizes retry storms.
+  return delay * (0.75 + 0.5 * retry_rng_.next_double());
+}
+
+void Engine::note_retry(net::HostId from, net::HostId to, int attempt) {
+  ++stats_.failure_summary.transfer_retries;
+  if (obs_.metrics) {
+    if (!retries_counter_) {
+      retries_counter_ = &obs_.metrics->counter("engine.retries");
+    }
+    retries_counter_->add();
+  }
+  if (obs_.tracer) {
+    obs_.tracer->instant("engine", "retry", from, obs::kControlLane,
+                         sim_.now(), {{"to", to}, {"attempt", attempt}});
+  }
+}
+
+void Engine::on_fault_event(const fault::FaultEvent& ev) {
+  FailureSummary& fs = stats_.failure_summary;
+  fs.active = true;
+  ++fs.faults_injected;
+  switch (ev.kind) {
+    case fault::FaultEvent::Kind::kHostDown: {
+      ++fs.host_crashes;
+      for (auto& hs : hosts_) hs.directory->set_host_alive(ev.host, false);
+      // Measurements through the corpse describe a network that no longer
+      // exists; planning from them would steer operators into it.
+      monitoring_.invalidate_host(ev.host);
+      if (!params_.fault_injector->host_restarts_after(ev.host, sim_.now())) {
+        // Operators relocate around a dead host; the client and the servers
+        // cannot. Losing one permanently makes completion impossible, so
+        // report that now instead of retrying until the run deadline.
+        if (ev.host == tree_.client_host()) {
+          abort_run("client host crashed permanently");
+          return;
+        }
+        for (int s = 0; s < tree_.num_servers(); ++s) {
+          if (tree_.server_host(s) == ev.host) {
+            abort_run("server host " + std::to_string(ev.host) +
+                      " crashed permanently");
+            return;
+          }
+        }
+      }
+      if (done_ || aborted_ || recovery_in_progress_) return;
+      for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
+        if (actual_location_[static_cast<std::size_t>(op)] == ev.host) {
+          recovery_in_progress_ = true;
+          sim_.spawn(recovery_replan_process());
+          break;
+        }
+      }
+      return;
+    }
+    case fault::FaultEvent::Kind::kHostUp:
+      ++fs.host_restarts;
+      for (auto& hs : hosts_) hs.directory->set_host_alive(ev.host, true);
+      return;
+    case fault::FaultEvent::Kind::kBlackoutBegin:
+      ++fs.link_blackouts;
+      return;
+    case fault::FaultEvent::Kind::kBlackoutEnd:
+      ++fs.link_blackout_ends;
+      return;
+  }
+}
+
+net::HostId Engine::choose_repair_host(core::OperatorId op) {
+  const net::HostId client = tree_.client_host();
+  const core::CombinationTree& t = epochs_.back().tree;
+  const auto site = [&](const core::Child& c) {
+    return c.is_server() ? tree_.server_host(c.index)
+                         : actual_location_[static_cast<std::size_t>(c.index)];
+  };
+  const net::HostId p0 = site(t.left_child(op));
+  const net::HostId p1 = site(t.right_child(op));
+  const core::OperatorId parent = t.parent(op);
+  const net::HostId consumer =
+      parent == core::kNoOperator
+          ? client
+          : actual_location_[static_cast<std::size_t>(parent)];
+
+  // Score every live host with the local-rule cost using the client's cache
+  // (repair is coordinated at the client). Hosts whose links are unmeasured
+  // are skipped; if nothing live is scorable the operator degrades to the
+  // client — with every operator there, the run is effectively
+  // download-all, which needs no cooperation from anyone but the servers.
+  core::CacheResolver resolver(monitoring_.cache(client), sim_.now(),
+                               sim_.now());
+  net::HostId best = client;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (net::HostId h = 0; h < tree_.num_hosts(); ++h) {
+    if (!network_.host_alive(h)) continue;
+    std::set<core::HostPair> unknown;
+    const double cost =
+        local_rule_.local_cost(h, p0, p1, consumer, resolver, &unknown);
+    if (!unknown.empty()) continue;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = h;
+    }
+  }
+  return best;
+}
+
+void Engine::apply_repair_move(core::OperatorId op, net::HostId to) {
+  const net::HostId from = actual_location_[static_cast<std::size_t>(op)];
+  actual_location_[static_cast<std::size_t>(op)] = to;
+  ++stats_.relocations;
+  ++stats_.failure_summary.repair_relocations;
+  if (relocations_counter_) relocations_counter_->add();
+  stats_.relocation_trace.push_back(RelocationEvent{sim_.now(), op, from, to});
+  if (obs_.tracer) {
+    obs_.tracer->instant("engine", "repair_relocated", to,
+                         obs::operator_lane(op), sim_.now(),
+                         {{"op", op}, {"from", from}});
+  }
+  if (is_local()) {
+    // The dead origin cannot gossip its own move; the client records it on
+    // the origin's behalf so directories converge on the repair location.
+    core::OperatorDirectory& cdir =
+        *host_state(tree_.client_host()).directory;
+    cdir.record_move(op, to);
+    host_state(to).directory->apply_entry(op, to, cdir.timestamp(op));
+  } else {
+    // Placement-based routing is authoritative for the global family:
+    // patch every epoch (and any pending barrier placement) that still
+    // maps the operator to the dead host.
+    for (auto& epoch : epochs_) {
+      if (epoch.placement.location(op) == from) {
+        epoch.placement.set_location(op, to);
+      }
+    }
+    if (active_barrier_ && active_barrier_->new_placement.location(op) == from) {
+      active_barrier_->new_placement.set_location(op, to);
+    }
+  }
+  // Anything parked on the dead host's release event (barrier stall loops
+  // re-check their condition on wake) must notice the operator has moved.
+  host_state(from).release_event->trigger();
+  WADC_DEBUGLOG("[t=%9.1f] repair: relocated operator %d off dead host %d "
+                "-> host %d",
+                sim_.now(), op, from, to);
+}
+
+sim::Task<void> Engine::recovery_replan_process() {
+  const sim::SimTime began = sim_.now();
+  ++stats_.failure_summary.recovery_replans;
+  if (obs_.metrics) {
+    if (!recovery_replans_counter_) {
+      recovery_replans_counter_ =
+          &obs_.metrics->counter("engine.recovery_replans");
+    }
+    recovery_replans_counter_->add();
+  }
+  if (obs_.tracer) {
+    obs_.tracer->instant("engine", "recovery_replan", tree_.client_host(),
+                         obs::kControlLane, sim_.now(), {});
+  }
+  // Repair until no operator sits on a dead host (more hosts may die while
+  // we work; the sweep restarts until the placement is clean).
+  for (;;) {
+    if (done_ || aborted_) break;
+    core::OperatorId stranded = core::kNoOperator;
+    for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
+      if (!network_.host_alive(
+              actual_location_[static_cast<std::size_t>(op)])) {
+        stranded = op;
+        break;
+      }
+    }
+    if (stranded == core::kNoOperator) break;
+    const net::HostId to = choose_repair_host(stranded);
+    // The move is a re-install from the client's code repository (§3): the
+    // dead host cannot ship state, and the light-move window guarantees the
+    // operator holds no output. Free when the target is the client itself.
+    co_await hop(tree_.client_host(), to, params_.operator_move_bytes,
+                 params_.control_priority);
+    if (done_ || aborted_) break;
+    if (!network_.host_alive(
+            actual_location_[static_cast<std::size_t>(stranded)])) {
+      apply_repair_move(stranded,
+                        network_.host_alive(to) ? to : tree_.client_host());
+    }
+  }
+  stats_.failure_summary.recovery_seconds_total += sim_.now() - began;
+  recovery_in_progress_ = false;
+}
+
+sim::Task<void> Engine::release_host(net::HostId h, int version) {
+  int round = 0;
+  while (!co_await hop(tree_.client_host(), h, params_.control_bytes,
+                       params_.control_priority)) {
+    if (done_ || aborted_) co_return;
+    co_await sim_.delay(retry_backoff(round++));
+  }
+  HostState& hs = host_state(h);
+  if (version > hs.released_version) {
+    hs.released_version = version;
+    hs.release_event->trigger();
+  }
+  WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
+                version, h);
+}
+
+void Engine::sanitize_placement(core::Placement& placement) const {
+  for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
+    if (!network_.host_alive(placement.location(op))) {
+      placement.set_location(op, tree_.client_host());
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -235,14 +502,22 @@ sim::Task<void> Engine::orchestrate() {
 
   // Install operators at their start-up locations: control message per
   // off-client operator ("installing all the code at all servers and using
-  // control messages to transfer operators", §3).
+  // control messages to transfer operators", §3). Under faults a planned
+  // host may already be dead (or die during the install); such operators
+  // start at the client and recovery replanning picks them up from there.
   for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
-    const net::HostId loc = initial.location(op);
-    actual_location_[static_cast<std::size_t>(op)] = loc;
-    if (loc != tree_.client_host()) {
-      co_await hop(tree_.client_host(), loc, params_.operator_move_bytes,
-                   params_.control_priority);
+    net::HostId loc = initial.location(op);
+    if (faults_active_ && !network_.host_alive(loc)) {
+      loc = tree_.client_host();
     }
+    if (loc != tree_.client_host()) {
+      if (!co_await hop(tree_.client_host(), loc, params_.operator_move_bytes,
+                        params_.control_priority)) {
+        loc = tree_.client_host();
+      }
+    }
+    if (loc != initial.location(op)) initial.set_location(op, loc);
+    actual_location_[static_cast<std::size_t>(op)] = loc;
   }
   epochs_.clear();
   epochs_.push_back(PlanEpoch{0, std::move(initial_tree), initial});
@@ -317,22 +592,37 @@ sim::Task<core::OrderPlanOutcome> Engine::plan_order_with_probes() {
 // ---------------------------------------------------------------------------
 // messaging
 
-sim::Task<void> Engine::hop(net::HostId from, net::HostId to, double bytes,
+sim::Task<bool> Engine::hop(net::HostId from, net::HostId to, double bytes,
                             int priority) {
-  if (from == to) co_return;
-  const auto payload = monitoring_.piggyback_payload(from);
-  double total = bytes + monitoring_.payload_bytes(payload);
-  std::unique_ptr<core::OperatorDirectory> directory_snapshot;
-  if (is_local()) {
-    // §2.3: location/timestamp vectors ride on every outgoing message.
-    total += directory_bytes();
-    directory_snapshot = std::make_unique<core::OperatorDirectory>(
-        *host_state(from).directory);
-  }
-  co_await network_.transfer(from, to, total, priority);
-  monitoring_.deliver_payload(to, payload);
-  if (directory_snapshot) {
-    host_state(to).directory->merge(*directory_snapshot);
+  if (from == to) co_return true;
+  for (int attempt = 0;; ++attempt) {
+    // Rebuild the piggyback payload and directory snapshot per attempt:
+    // the sender's knowledge may have advanced during the backoff.
+    const auto payload = monitoring_.piggyback_payload(from);
+    double total = bytes + monitoring_.payload_bytes(payload);
+    std::unique_ptr<core::OperatorDirectory> directory_snapshot;
+    if (is_local()) {
+      // §2.3: location/timestamp vectors ride on every outgoing message.
+      total += directory_bytes();
+      directory_snapshot = std::make_unique<core::OperatorDirectory>(
+          *host_state(from).directory);
+    }
+    const double timeout =
+        faults_active_ ? transfer_timeout(total) : net::kNoTransferTimeout;
+    const auto rec =
+        co_await network_.transfer(from, to, total, priority, timeout);
+    if (rec.ok()) {
+      monitoring_.deliver_payload(to, payload);
+      if (directory_snapshot) {
+        host_state(to).directory->merge(*directory_snapshot);
+      }
+      co_return true;
+    }
+    if (attempt >= params_.max_transfer_retries || done_ || aborted_) {
+      co_return false;
+    }
+    note_retry(from, to, attempt);
+    co_await sim_.delay(retry_backoff(attempt));
   }
 }
 
@@ -351,7 +641,9 @@ sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
                                                  int iteration, double bytes,
                                                  int priority) {
   const net::HostId believed = believed_location(from, target, iteration);
-  co_await hop(from, believed, bytes, priority);
+  if (!co_await hop(from, believed, bytes, priority)) {
+    co_return net::kInvalidHost;
+  }
   if (!is_local()) {
     // Placement-based routing is authoritative: the change-over protocol
     // guarantees the operator is (or is about to be) at this host for this
@@ -363,9 +655,15 @@ sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
   net::HostId at = believed;
   int forwards = 0;
   while (at != actual_location_[static_cast<std::size_t>(target)]) {
-    WADC_ASSERT(params_.forwarding_enabled,
-                "stale operator route with forwarding disabled");
-    WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
+    if (faults_active_) {
+      // Repair can move an operator several times while a message chases
+      // it; give up (and let the caller re-resolve) rather than assert.
+      if (++forwards > 8 + tree_.num_hosts()) co_return net::kInvalidHost;
+    } else {
+      WADC_ASSERT(params_.forwarding_enabled,
+                  "stale operator route with forwarding disabled");
+      WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
+    }
     const net::HostId next =
         actual_location_[static_cast<std::size_t>(target)];
     if (obs_.tracer) {
@@ -373,7 +671,9 @@ sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
                            obs::operator_lane(target), sim_.now(),
                            {{"op", target}, {"next", next}});
     }
-    co_await hop(at, next, bytes, priority);
+    if (!co_await hop(at, next, bytes, priority)) {
+      co_return net::kInvalidHost;
+    }
     ++stats_.messages_forwarded;
     if (forwards_counter_) forwards_counter_->add();
     at = next;
@@ -381,7 +681,7 @@ sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
   co_return at;
 }
 
-sim::Task<void> Engine::send_demand_to_child(core::OperatorId from_op,
+sim::Task<bool> Engine::send_demand_to_child(core::OperatorId from_op,
                                              const core::Child& child,
                                              Demand demand) {
   OperatorState& st = op_state(from_op);
@@ -392,31 +692,43 @@ sim::Task<void> Engine::send_demand_to_child(core::OperatorId from_op,
         std::max(st.pending_version_forwarded, demand.pending_version);
   }
   if (child.is_server()) {
-    co_await hop(from, tree_.server_host(child.index), params_.demand_bytes,
-                 net::kDataPriority);
+    if (!co_await hop(from, tree_.server_host(child.index),
+                      params_.demand_bytes, net::kDataPriority)) {
+      co_return false;
+    }
     servers_[static_cast<std::size_t>(child.index)].demands->send(demand);
   } else {
-    co_await route_to_operator(from, child.index, demand.iteration,
-                               params_.demand_bytes, net::kDataPriority);
+    if (co_await route_to_operator(from, child.index, demand.iteration,
+                                   params_.demand_bytes, net::kDataPriority) ==
+        net::kInvalidHost) {
+      co_return false;
+    }
     op_state(child.index).demands->send(demand);
   }
+  co_return true;
 }
 
-sim::Task<void> Engine::send_data_to_consumer(core::OperatorId producer,
+sim::Task<bool> Engine::send_data_to_consumer(core::OperatorId producer,
                                               DataMessage message) {
   const net::HostId from =
       actual_location_[static_cast<std::size_t>(producer)];
   const core::OperatorId parent =
       tree_for(message.iteration).parent(producer);
   if (parent == core::kNoOperator) {
-    co_await hop(from, tree_.client_host(), message.image.bytes,
-                 net::kDataPriority);
+    if (!co_await hop(from, tree_.client_host(), message.image.bytes,
+                      net::kDataPriority)) {
+      co_return false;
+    }
     client_data_->send(message);
   } else {
-    co_await route_to_operator(from, parent, message.iteration,
-                               message.image.bytes, net::kDataPriority);
+    if (co_await route_to_operator(from, parent, message.iteration,
+                                   message.image.bytes, net::kDataPriority) ==
+        net::kInvalidHost) {
+      co_return false;
+    }
     op_state(parent).data->send(message);
   }
+  co_return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -436,8 +748,16 @@ sim::Task<void> Engine::client_process() {
     d.consumer_on_critical_path = true;
     d.pending_version = active_barrier_ ? active_barrier_->version : 0;
 
-    co_await route_to_operator(tree_.client_host(), root, iter,
-                               params_.demand_bytes, net::kDataPriority);
+    int round = 0;
+    while (co_await route_to_operator(tree_.client_host(), root, iter,
+                                      params_.demand_bytes,
+                                      net::kDataPriority) ==
+           net::kInvalidHost) {
+      // Fault mode only: the root is unreachable right now. Back off and
+      // re-resolve — recovery may relocate it meanwhile.
+      if (aborted_) co_return;
+      co_await sim_.delay(retry_backoff(std::min(round++, 5)));
+    }
     op_state(root).demands->send(d);
 
     DataMessage m = co_await client_data_->receive();
@@ -490,8 +810,12 @@ sim::Task<void> Engine::server_process(int server) {
       report.version = d.pending_version;
       report.server = server;
       report.iteration = d.iteration;
-      co_await hop(host, tree_.client_host(), params_.control_bytes,
-                   params_.control_priority);
+      int round = 0;
+      while (!co_await hop(host, tree_.client_host(), params_.control_bytes,
+                           params_.control_priority)) {
+        if (done_ || aborted_) co_return;
+        co_await sim_.delay(retry_backoff(std::min(round++, 5)));
+      }
       client_control_->send(report);
       HostState& hs = host_state(host);
       while (hs.released_version < d.pending_version) {
@@ -512,8 +836,13 @@ sim::Task<void> Engine::server_process(int server) {
     m.image = img;
     m.iteration = d.iteration;
     m.producer_side = side;
-    co_await route_to_operator(host, consumer, d.iteration, m.image.bytes,
-                               net::kDataPriority);
+    int send_round = 0;
+    while (co_await route_to_operator(host, consumer, d.iteration,
+                                      m.image.bytes, net::kDataPriority) ==
+           net::kInvalidHost) {
+      if (done_ || aborted_) co_return;
+      co_await sim_.delay(retry_backoff(std::min(send_round++, 5)));
+    }
     op_state(consumer).data->send(m);
   }
 }
@@ -578,7 +907,11 @@ sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
     d.marked_later = st.last_later_side == side;
     d.consumer_on_critical_path = st.on_critical_path;
     d.pending_version = st.pending_version_seen;
-    co_await send_demand_to_child(op, children[side], d);
+    int round = 0;
+    while (!co_await send_demand_to_child(op, children[side], d)) {
+      if (done_ || aborted_) co_return workload::ImageSpec{};
+      co_await sim_.delay(retry_backoff(std::min(round++, 5)));
+    }
   }
   DataMessage first = co_await st.data->receive();
   DataMessage second = co_await st.data->receive();
@@ -600,9 +933,11 @@ sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
 
 sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,
                                  const workload::ImageSpec& image) {
-  if (params_.check_invariants && !is_local()) {
+  if (params_.check_invariants && !is_local() && !faults_active_) {
     // Coordinated change-over invariant: data always flows along edges of
     // the placement in force for its iteration (the Figure 3 hazard).
+    // Repair moves are deliberately out-of-cycle, so the invariant does
+    // not hold while faults are being injected.
     WADC_ASSERT(actual_location_[static_cast<std::size_t>(op)] ==
                     placement_for(iteration).location(op),
                 "operator ", op, " dispatching iteration ", iteration,
@@ -614,7 +949,11 @@ sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,
   m.producer_side = operator_side(tree_for(iteration), op);
   const net::HostId host = actual_location_[static_cast<std::size_t>(op)];
   const sim::SimTime begin = sim_.now();
-  co_await send_data_to_consumer(op, m);
+  int round = 0;
+  while (!co_await send_data_to_consumer(op, m)) {
+    if (done_ || aborted_) co_return;
+    co_await sim_.delay(retry_backoff(std::min(round++, 5)));
+  }
   if (obs_.tracer) {
     obs_.tracer->complete("engine", "dispatch", host, obs::operator_lane(op),
                           begin, sim_.now(),
@@ -717,6 +1056,7 @@ sim::Task<void> Engine::local_epoch_action(core::OperatorId op) {
   if (params_.local_extra_candidates > 0) {
     std::vector<net::HostId> pool;
     for (net::HostId h = 0; h < tree_.num_hosts(); ++h) {
+      if (faults_active_ && !network_.host_alive(h)) continue;
       if (h != self && h != p0 && h != p1 && h != consumer) pool.push_back(h);
     }
     const std::size_t k =
@@ -745,6 +1085,7 @@ sim::Task<void> Engine::local_epoch_action(core::OperatorId op) {
     decision = local_rule_.choose(self, p0, p1, consumer, extras, fresh);
   }
   if (decision.moved) {
+    if (faults_active_ && !network_.host_alive(decision.chosen)) co_return;
     co_await relocate_operator(op, decision.chosen);
   }
 }
@@ -752,12 +1093,19 @@ sim::Task<void> Engine::local_epoch_action(core::OperatorId op) {
 sim::Task<void> Engine::relocate_operator(core::OperatorId op,
                                           net::HostId to) {
   const net::HostId from = actual_location_[static_cast<std::size_t>(op)];
+  if (faults_active_ && from == to) co_return;  // repaired to target already
   WADC_ASSERT(from != to, "relocating operator to its current host");
   const sim::SimTime begin = sim_.now();
   // Light-move: the operator holds no output in this window, so its state
   // is one small control message.
-  co_await hop(from, to, params_.operator_move_bytes,
-               params_.control_priority);
+  if (!co_await hop(from, to, params_.operator_move_bytes,
+                    params_.control_priority)) {
+    co_return;  // fault mode only: the move failed; stay put
+  }
+  if (faults_active_ &&
+      actual_location_[static_cast<std::size_t>(op)] != from) {
+    co_return;  // a repair relocated the operator while the move was in flight
+  }
   actual_location_[static_cast<std::size_t>(op)] = to;
   if (obs_.tracer) {
     obs_.tracer->complete("engine", "light_move", from,
@@ -839,6 +1187,12 @@ sim::Task<void> Engine::global_replanner_process() {
     WADC_DEBUGLOG("[t=%9.1f] replanner: %s", sim_.now(),
                   changed ? "CHANGED" : "unchanged");
     if (done_) co_return;
+    if (faults_active_) {
+      // The plan was computed from possibly-stale knowledge; never adopt a
+      // placement that targets a currently-dead host.
+      sanitize_placement(new_placement);
+      changed = changed || !(new_placement == epochs_.back().placement);
+    }
     if (!changed) continue;
     if (active_barrier_) continue;
     if (too_late()) co_return;  // probing took time; re-check
@@ -913,14 +1267,22 @@ sim::Task<void> Engine::barrier_coordinator(int version) {
     hs.released_version = version;
     hs.release_event->trigger();
   }
-  for (net::HostId h = 1; h < tree_.num_hosts(); ++h) {
-    co_await hop(tree_.client_host(), h, params_.control_bytes,
-                 params_.control_priority);
-    HostState& hs = host_state(h);
-    hs.released_version = version;
-    hs.release_event->trigger();
-    WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
-                  version, h);
+  if (faults_active_) {
+    // One independent release task per host: a dead host retries in the
+    // background without stalling the releases of live ones.
+    for (net::HostId h = 1; h < tree_.num_hosts(); ++h) {
+      sim_.spawn(release_host(h, version));
+    }
+  } else {
+    for (net::HostId h = 1; h < tree_.num_hosts(); ++h) {
+      co_await hop(tree_.client_host(), h, params_.control_bytes,
+                   params_.control_priority);
+      HostState& hs = host_state(h);
+      hs.released_version = version;
+      hs.release_event->trigger();
+      WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
+                    version, h);
+    }
   }
   if (obs_.tracer) {
     obs_.tracer->complete("barrier", "barrier_broadcast", tree_.client_host(),

@@ -40,6 +40,7 @@
 #include "core/operator_directory.h"
 #include "dataflow/engine_params.h"
 #include "dataflow/messages.h"
+#include "fault/injector.h"
 #include "monitor/monitoring_system.h"
 #include "net/network.h"
 #include "sim/mailbox.h"
@@ -145,21 +146,43 @@ class Engine {
   // out of order (possible only across order-changing change-overs).
   sim::Task<Demand> receive_demand_for(core::OperatorId op, int iteration);
 
+  // ---- failure recovery --------------------------------------------------
+  // Synchronous fault notification (runs inside the injector's event).
+  void on_fault_event(const fault::FaultEvent& ev);
+  // Out-of-cycle repair: relocates every operator stranded on a dead host
+  // to the best live site (the client when nothing better is alive).
+  sim::Task<void> recovery_replan_process();
+  net::HostId choose_repair_host(core::OperatorId op);
+  void apply_repair_move(core::OperatorId op, net::HostId to);
+  // Fault-mode release broadcast: one independent task per host, so a dead
+  // host cannot stall the releases of live ones.
+  sim::Task<void> release_host(net::HostId h, int version);
+  // Moves any operator placed on a dead host to the client.
+  void sanitize_placement(core::Placement& placement) const;
+  void abort_run(std::string reason);
+  double transfer_timeout(double bytes) const;
+  double retry_backoff(int attempt);
+  void note_retry(net::HostId from, net::HostId to, int attempt);
+
   // ---- messaging ---------------------------------------------------------
   // One physical hop with monitoring piggyback (and, for the local
-  // algorithm, directory propagation).
-  sim::Task<void> hop(net::HostId from, net::HostId to, double bytes,
+  // algorithm, directory propagation). Fault mode adds per-attempt timeouts
+  // and capped-backoff retries; returns false once retries are exhausted
+  // (never in fault-free mode).
+  sim::Task<bool> hop(net::HostId from, net::HostId to, double bytes,
                       int priority);
   // Routes a message to an operator's believed location, forwarding from a
-  // stale location if necessary. Returns the host actually delivered to.
+  // stale location if necessary. Returns the host actually delivered to, or
+  // kInvalidHost (fault mode only) if delivery failed — the caller should
+  // re-resolve and try again.
   sim::Task<net::HostId> route_to_operator(net::HostId from,
                                            core::OperatorId target,
                                            int iteration, double bytes,
                                            int priority);
-  sim::Task<void> send_demand_to_child(core::OperatorId from_op,
+  sim::Task<bool> send_demand_to_child(core::OperatorId from_op,
                                        const core::Child& child,
                                        Demand demand);
-  sim::Task<void> send_data_to_consumer(core::OperatorId producer,
+  sim::Task<bool> send_data_to_consumer(core::OperatorId producer,
                                         DataMessage message);
 
   // Where `from_host` believes operator `target` lives, for a message
@@ -212,6 +235,12 @@ class Engine {
   core::OneShotPlanner planner_;
   core::LocalRule local_rule_;
   Rng rng_;
+  // Retry jitter draws from a separate stream so fault-free runs (which
+  // never draw from it) keep identical rng_ sequences.
+  Rng retry_rng_;
+  bool faults_active_ = false;
+  bool aborted_ = false;
+  bool recovery_in_progress_ = false;
 
   // Observability (== params_.obs; pointers null when detached).
   obs::Obs obs_;
@@ -220,6 +249,8 @@ class Engine {
   obs::Counter* barriers_initiated_counter_ = nullptr;
   obs::Counter* barriers_completed_counter_ = nullptr;
   obs::Counter* forwards_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;           // lazy: fault runs only
+  obs::Counter* recovery_replans_counter_ = nullptr;  // lazy: fault runs only
   obs::Histogram* barrier_round_seconds_ = nullptr;
 
   std::vector<OperatorState> operators_;

@@ -1,7 +1,9 @@
 // Configuration and result types for the dataflow engine.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/algorithm_kind.h"
@@ -10,6 +12,10 @@
 #include "net/types.h"
 #include "obs/obs.h"
 #include "sim/types.h"
+
+namespace wadc::fault {
+class FaultInjector;
+}  // namespace wadc::fault
 
 namespace wadc::dataflow {
 
@@ -71,17 +77,147 @@ struct EngineParams {
   // Seed for engine-local randomness (the local rule's k extra sites).
   std::uint64_t seed = 1;
 
+  // ---- failure recovery (active only when fault_injector is set) --------
+  // When non-null, the engine runs fault-tolerant: transfers carry
+  // timeouts, failed hops are retried with capped exponential backoff, and
+  // operators stranded on dead hosts are repaired by out-of-cycle
+  // relocation. When null (the default) the engine behaves exactly as the
+  // fault-free original — same events, same RNG draws, same output.
+  fault::FaultInjector* fault_injector = nullptr;
+
+  // Base timeout for one transfer attempt; the engine adds the message's
+  // worst-case transmission time at the cost model's pessimistic bandwidth,
+  // so an in-flight transfer on a live slow link never times out spuriously.
+  double transfer_timeout_seconds = 120;
+
+  // Retries per hop after the first attempt. Exhausting them surfaces the
+  // failure to the caller, which re-resolves the destination (the operator
+  // may have been repaired elsewhere) and tries again.
+  int max_transfer_retries = 5;
+
+  // Backoff between retry attempts: min(base * 2^attempt, max), with
+  // deterministic seeded jitter in [0.75, 1.25).
+  double retry_backoff_base_seconds = 2;
+  double retry_backoff_max_seconds = 60;
+
+  // Hard wall for fault-tolerant runs: if the computation has not finished
+  // by this simulated time, run() returns completed=false with a populated
+  // failure_summary instead of spinning forever.
+  double run_deadline_seconds = 14 * 86400.0;
+
   // Observability sink (tracing + metrics). Defaults to the null sink;
   // attach the same Obs to the Network and MonitoringSystem so one run's
   // events land in one trace (exp::run_experiment does this).
   obs::Obs obs;
 };
 
+// Returns an empty string if the parameters are usable, otherwise a
+// human-readable description of the first problem found. The Engine asserts
+// this at construction; wadc_run turns it into exit code 2.
+inline std::string validate(const EngineParams& p) {
+  const auto finite_positive = [](double v) {
+    return std::isfinite(v) && v > 0;
+  };
+  if (!finite_positive(p.relocation_period_seconds)) {
+    return "relocation_period_seconds must be finite and > 0, got " +
+           std::to_string(p.relocation_period_seconds);
+  }
+  if (p.local_extra_candidates < 0) {
+    return "local_extra_candidates must be >= 0, got " +
+           std::to_string(p.local_extra_candidates);
+  }
+  if (!finite_positive(p.demand_bytes)) {
+    return "demand_bytes must be finite and > 0, got " +
+           std::to_string(p.demand_bytes);
+  }
+  if (!finite_positive(p.control_bytes)) {
+    return "control_bytes must be finite and > 0, got " +
+           std::to_string(p.control_bytes);
+  }
+  if (!finite_positive(p.operator_move_bytes)) {
+    return "operator_move_bytes must be finite and > 0, got " +
+           std::to_string(p.operator_move_bytes);
+  }
+  if (!(p.directory_entry_bytes >= 0) ||
+      !std::isfinite(p.directory_entry_bytes)) {
+    return "directory_entry_bytes must be finite and >= 0, got " +
+           std::to_string(p.directory_entry_bytes);
+  }
+  if (p.max_plan_probe_rounds < 0) {
+    return "max_plan_probe_rounds must be >= 0, got " +
+           std::to_string(p.max_plan_probe_rounds);
+  }
+  if (p.barrier_guard_iterations < 0) {
+    return "barrier_guard_iterations must be >= 0, got " +
+           std::to_string(p.barrier_guard_iterations);
+  }
+  if (!std::isfinite(p.order_adoption_threshold) ||
+      p.order_adoption_threshold < 0) {
+    // 0 is legal: it means "never adopt a new order".
+    return "order_adoption_threshold must be finite and >= 0, got " +
+           std::to_string(p.order_adoption_threshold);
+  }
+  if (!finite_positive(p.transfer_timeout_seconds)) {
+    return "transfer_timeout_seconds must be finite and > 0, got " +
+           std::to_string(p.transfer_timeout_seconds);
+  }
+  if (p.max_transfer_retries < 0) {
+    return "max_transfer_retries must be >= 0, got " +
+           std::to_string(p.max_transfer_retries);
+  }
+  if (!finite_positive(p.retry_backoff_base_seconds)) {
+    return "retry_backoff_base_seconds must be finite and > 0, got " +
+           std::to_string(p.retry_backoff_base_seconds);
+  }
+  if (!std::isfinite(p.retry_backoff_max_seconds) ||
+      p.retry_backoff_max_seconds < p.retry_backoff_base_seconds) {
+    return "retry_backoff_max_seconds must be finite and >= the base, got " +
+           std::to_string(p.retry_backoff_max_seconds);
+  }
+  if (!finite_positive(p.run_deadline_seconds)) {
+    return "run_deadline_seconds must be finite and > 0, got " +
+           std::to_string(p.run_deadline_seconds);
+  }
+  return {};
+}
+
 struct RelocationEvent {
   sim::SimTime time = 0;
   core::OperatorId op = core::kNoOperator;
   net::HostId from = net::kInvalidHost;
   net::HostId to = net::kInvalidHost;
+};
+
+// What went wrong (and how recovery responded) in a fault-tolerant run.
+// active is false — and every field zero — unless a FaultInjector was
+// attached, so fault-free results are bit-for-bit what they always were.
+struct FailureSummary {
+  bool active = false;
+
+  // Faults actually injected before the run ended (events scheduled after
+  // completion never fire and are not counted).
+  int faults_injected = 0;
+  int host_crashes = 0;
+  int host_restarts = 0;
+  int link_blackouts = 0;
+  int link_blackout_ends = 0;
+
+  // Transport-level damage and the engine's response.
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t transfers_timed_out = 0;
+  std::uint64_t transfer_retries = 0;
+  int recovery_replans = 0;
+  int repair_relocations = 0;
+  double recovery_seconds_total = 0;
+
+  // Why the run did not complete; empty on success.
+  std::string abort_reason;
+
+  double mean_recovery_seconds() const {
+    return recovery_replans > 0
+               ? recovery_seconds_total / recovery_replans
+               : 0.0;
+  }
 };
 
 struct RunStats {
@@ -97,6 +233,9 @@ struct RunStats {
   std::uint64_t replans = 0;
 
   std::vector<RelocationEvent> relocation_trace;
+
+  // Populated (active=true) only for fault-tolerant runs.
+  FailureSummary failure_summary;
 
   // Mean time between consecutive image arrivals at the client (the §5
   // "average interarrival time for processed images").

@@ -13,6 +13,7 @@
 #include "common/assert.h"
 #include "dataflow/engine.h"
 #include "exp/parallel.h"
+#include "fault/injector.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -43,7 +44,27 @@ RunResult run_experiment(const trace::TraceLibrary& library,
   const net::LinkTable links = make_network_config(
       library, num_hosts, spec.config_seed, spec.config);
   net::Network network(sim, links, spec.network);
-  monitor::MonitoringSystem monitoring(network, spec.monitor);
+
+  const bool faults = !spec.fault.empty();
+  // Declared before the monitoring system and the engine: the injector must
+  // outlive the engine (which holds a listener into it) and is destroyed
+  // after the engine tears down its coroutine frames.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (faults) {
+    const std::string problem = spec.fault.validate(num_hosts);
+    WADC_ASSERT(problem.empty(), "bad fault spec: ", problem);
+    injector = std::make_unique<fault::FaultInjector>(
+        sim, network, spec.fault.build(num_hosts, spec.config_seed),
+        spec.config_seed);
+    if (spec.obs.enabled()) injector->set_obs(spec.obs);
+  }
+
+  monitor::MonitorParams mp = spec.monitor;
+  if (faults && mp.probe_timeout_seconds == 0) {
+    // A probe against a crashed host must resolve, not hang the planner.
+    mp.probe_timeout_seconds = 120;
+  }
+  monitor::MonitoringSystem monitoring(network, mp);
   if (spec.obs.enabled()) {
     network.set_obs(spec.obs);
     monitoring.set_obs(spec.obs);
@@ -56,8 +77,10 @@ RunResult run_experiment(const trace::TraceLibrary& library,
   const workload::ImageWorkload workload(wp, spec.num_servers,
                                          spec.config_seed);
 
-  dataflow::Engine engine(sim, network, monitoring, tree, workload,
-                          spec.engine_params(spec.config_seed));
+  dataflow::EngineParams ep = spec.engine_params(spec.config_seed);
+  ep.fault_injector = injector.get();
+  dataflow::Engine engine(sim, network, monitoring, tree, workload, ep);
+  if (injector) injector->arm();
 
   RunResult result;
   result.stats = engine.run();

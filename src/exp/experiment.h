@@ -9,6 +9,7 @@
 #include "core/combination_tree.h"
 #include "dataflow/engine_params.h"
 #include "exp/network_config.h"
+#include "fault/fault_schedule.h"
 #include "monitor/monitoring_system.h"
 #include "obs/obs.h"
 #include "trace/library.h"
@@ -38,6 +39,13 @@ struct ExperimentSpec {
   // Seed identifying the network configuration (the trace→link assignment)
   // and the workload draw.
   std::uint64_t config_seed = 1;
+
+  // Fault injection. Empty (the default) runs exactly the fault-free
+  // simulation — same events, same RNG draws, byte-identical output. When
+  // non-empty, run_experiment builds a FaultInjector from it (seeded with
+  // config_seed), arms it, and hands it to the engine, which then runs in
+  // fault-tolerant mode (timeouts, retries, relocation-based repair).
+  fault::FaultSpec fault;
 
   // Observability sink for the run: attached to the network, the monitoring
   // subsystem, and the engine, so one run's transfer/relocation/barrier/

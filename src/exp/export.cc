@@ -47,6 +47,28 @@ void write_run_json(const dataflow::RunStats& stats, std::ostream& out) {
   out << "  \"barriers_initiated\": " << stats.barriers_initiated << ",\n";
   out << "  \"barriers_completed\": " << stats.barriers_completed << ",\n";
   out << "  \"messages_forwarded\": " << stats.messages_forwarded << ",\n";
+  if (stats.failure_summary.active) {
+    // Emitted only for fault-tolerant runs so fault-free output stays
+    // byte-identical to what it was before fault injection existed.
+    const dataflow::FailureSummary& fs = stats.failure_summary;
+    out << "  \"failure_summary\": {\n";
+    out << "    \"faults_injected\": " << fs.faults_injected << ",\n";
+    out << "    \"host_crashes\": " << fs.host_crashes << ",\n";
+    out << "    \"host_restarts\": " << fs.host_restarts << ",\n";
+    out << "    \"link_blackouts\": " << fs.link_blackouts << ",\n";
+    out << "    \"link_blackout_ends\": " << fs.link_blackout_ends << ",\n";
+    out << "    \"transfers_failed\": " << fs.transfers_failed << ",\n";
+    out << "    \"transfers_timed_out\": " << fs.transfers_timed_out << ",\n";
+    out << "    \"transfer_retries\": " << fs.transfer_retries << ",\n";
+    out << "    \"recovery_replans\": " << fs.recovery_replans << ",\n";
+    out << "    \"repair_relocations\": " << fs.repair_relocations << ",\n";
+    out << "    \"recovery_seconds_total\": " << fs.recovery_seconds_total
+        << ",\n";
+    out << "    \"mean_recovery_seconds\": " << fs.mean_recovery_seconds()
+        << ",\n";
+    out << "    \"abort_reason\": \"" << fs.abort_reason << "\"\n";
+    out << "  },\n";
+  }
   out << "  \"arrival_seconds\": ";
   write_doubles(out, stats.arrival_seconds);
   out << ",\n  \"relocations\": [";

@@ -1,0 +1,29 @@
+// Text format for fault specifications (wadc_run --fault-spec=FILE).
+//
+// Line-oriented; '#' starts a comment, blank lines are ignored. Times are
+// simulated seconds, hosts are integer ids (0 is the client by convention).
+//
+//   drop <probability>                       # per-transfer silent loss
+//   crash <host> <at> [<restart_at>]         # omit restart => permanent
+//   blackout <a> <b> <begin> <end>           # link {a,b} dark in [begin,end)
+//   rate crash <per_hour> <mean_down_s>      # Poisson crash process
+//   rate blackout <per_hour> <mean_dark_s>   # Poisson blackout process
+//   horizon <seconds>                        # random-fault horizon
+//   protect_client <0|1>                     # host 0 immune to crashes
+//
+// Parse errors throw std::runtime_error with the offending line number.
+#pragma once
+
+#include <string>
+
+#include "fault/fault_schedule.h"
+
+namespace wadc::fault {
+
+// Parses the format above from a string.
+FaultSpec parse_fault_spec(const std::string& text);
+
+// Reads and parses a file; throws std::runtime_error if unreadable.
+FaultSpec load_fault_spec_file(const std::string& path);
+
+}  // namespace wadc::fault

@@ -66,6 +66,17 @@ void BandwidthCache::merge(const std::vector<PairSample>& samples) {
   }
 }
 
+void BandwidthCache::invalidate(net::HostId a, net::HostId b) {
+  entries_[net::pair_index(a, b, num_hosts_)] = Sample{};
+}
+
+void BandwidthCache::invalidate_host(net::HostId h) {
+  for (net::HostId other = 0; other < num_hosts_; ++other) {
+    if (other == h) continue;
+    entries_[net::pair_index(h, other, num_hosts_)] = Sample{};
+  }
+}
+
 std::size_t BandwidthCache::entry_count() const {
   std::size_t n = 0;
   for (const Sample& e : entries_) {

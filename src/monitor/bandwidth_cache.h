@@ -54,6 +54,13 @@ class BandwidthCache {
   // Merges foreign samples (from piggyback payloads); newer timestamp wins.
   void merge(const std::vector<PairSample>& samples);
 
+  // Drops the entry for {a, b} (back to "never measured").
+  void invalidate(net::HostId a, net::HostId b);
+
+  // Drops every entry for a pair involving `h` — measurements through a
+  // crashed host describe a network that no longer exists.
+  void invalidate_host(net::HostId h);
+
   std::size_t entry_count() const;
   std::size_t unexpired_count(sim::SimTime now) const;
 

@@ -30,6 +30,7 @@ void MonitoringSystem::set_obs(const obs::Obs& obs) {
   probes_counter_ = nullptr;
   probes_delegated_ = nullptr;
   probe_bytes_counter_ = nullptr;
+  invalidations_ = nullptr;
   cache_age_seconds_ = nullptr;
   if (obs_.metrics) {
     passive_counter_ = &obs_.metrics->counter("monitor.passive_samples");
@@ -59,6 +60,7 @@ const BandwidthCache& MonitoringSystem::cache(net::HostId h) const {
 }
 
 void MonitoringSystem::on_transfer(const net::TransferRecord& rec) {
+  if (!rec.ok()) return;  // failed/timed-out transfers measure nothing
   if (rec.src == rec.dst) return;  // local move: nothing to measure
   if (rec.bytes < params_.s_thres_bytes) return;
   const double bw = rec.app_bandwidth();
@@ -93,6 +95,21 @@ void MonitoringSystem::deliver_payload(
   }
 }
 
+void MonitoringSystem::invalidate_host(net::HostId h) {
+  for (auto& cache : caches_) cache->invalidate_host(h);
+  if (obs_.metrics) {
+    // Lazy: fault-free runs never create this counter.
+    if (!invalidations_) {
+      invalidations_ = &obs_.metrics->counter("monitor.host_invalidations");
+    }
+    invalidations_->add();
+  }
+  if (obs_.tracer) {
+    obs_.tracer->instant("monitor", "invalidate_host", h, obs::kControlLane,
+                         network_.simulation().now(), {{"host", h}});
+  }
+}
+
 std::optional<double> MonitoringSystem::cached_bandwidth(
     net::HostId h, net::HostId a, net::HostId b) const {
   const auto s = cache(h).lookup(a, b, network_.simulation().now());
@@ -100,25 +117,33 @@ std::optional<double> MonitoringSystem::cached_bandwidth(
   return s->bandwidth;
 }
 
-sim::Task<void> MonitoringSystem::run_probe(net::HostId a, net::HostId b) {
+sim::Task<bool> MonitoringSystem::run_probe(net::HostId a, net::HostId b) {
   ++probes_issued_;
   probe_bytes_sent_ += 2 * params_.probe_bytes;
   if (probes_counter_) {
     probes_counter_->add();
     probe_bytes_counter_->add(2 * params_.probe_bytes);
   }
+  const double timeout = params_.probe_timeout_seconds > 0
+                             ? params_.probe_timeout_seconds
+                             : net::kNoTransferTimeout;
   const sim::SimTime begin = network_.simulation().now();
   // A 16KB transfer in each direction; the passive monitor records both
   // legs at both endpoints (each leg is >= S_thres by construction).
-  co_await network_.transfer(a, b, params_.probe_bytes,
-                             net::kControlPriority);
-  co_await network_.transfer(b, a, params_.probe_bytes,
-                             net::kControlPriority);
+  const auto out = co_await network_.transfer(a, b, params_.probe_bytes,
+                                              net::kControlPriority, timeout);
+  bool ok = out.ok();
+  if (ok) {
+    const auto back = co_await network_.transfer(
+        b, a, params_.probe_bytes, net::kControlPriority, timeout);
+    ok = back.ok();
+  }
   if (obs_.tracer) {
     obs_.tracer->complete("monitor", "probe", a, obs::kControlLane, begin,
                           network_.simulation().now(),
                           {{"peer", b}, {"bytes", 2 * params_.probe_bytes}});
   }
+  co_return ok;
 }
 
 sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
@@ -134,28 +159,35 @@ sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
     co_return std::nullopt;
   }
 
+  const double timeout = params_.probe_timeout_seconds > 0
+                             ? params_.probe_timeout_seconds
+                             : net::kNoTransferTimeout;
   if (requester != a && requester != b) {
     // Third-party pair: delegate to endpoint `a` with small control
     // messages. The reply always carries the fresh measurement (that is the
     // response payload, independent of opportunistic piggybacking), plus a
-    // regular piggyback payload when enabled.
+    // regular piggyback payload when enabled. Any leg failing (dead
+    // delegate, blacked-out link) abandons the probe and falls back to
+    // whatever is cached below.
     if (probes_delegated_) probes_delegated_->add();
     if (obs_.tracer) {
       obs_.tracer->instant("monitor", "probe_delegated", requester,
                            obs::kControlLane, network_.simulation().now(),
                            {{"delegate", a}, {"peer", b}});
     }
-    co_await network_.transfer(requester, a, params_.control_bytes,
-                               net::kControlPriority);
-    co_await run_probe(a, b);
-    auto payload = piggyback_payload(a);
-    if (const auto fresh = cache(a).lookup_any_age(a, b)) {
-      payload.push_back(PairSample{a, b, *fresh});
+    const auto request = co_await network_.transfer(
+        requester, a, params_.control_bytes, net::kControlPriority, timeout);
+    if (request.ok()) {
+      co_await run_probe(a, b);
+      auto payload = piggyback_payload(a);
+      if (const auto fresh = cache(a).lookup_any_age(a, b)) {
+        payload.push_back(PairSample{a, b, *fresh});
+      }
+      const auto reply = co_await network_.transfer(
+          a, requester, params_.control_bytes + payload_bytes(payload),
+          net::kControlPriority, timeout);
+      if (reply.ok()) deliver_payload(requester, payload);
     }
-    co_await network_.transfer(
-        a, requester, params_.control_bytes + payload_bytes(payload),
-        net::kControlPriority);
-    deliver_payload(requester, payload);
   } else {
     co_await run_probe(a, b);
   }

@@ -35,6 +35,10 @@ struct MonitorParams {
   bool passive_enabled = true;             // ablations can disable these
   bool piggyback_enabled = true;
   bool probing_enabled = true;
+  // Timeout for the transfers a probe issues (0 = wait forever, the
+  // pre-fault behavior). Fault-tolerant runs set this so a probe against a
+  // crashed host resolves instead of hanging the placement decision.
+  double probe_timeout_seconds = 0;
 };
 
 class MonitoringSystem {
@@ -78,6 +82,11 @@ class MonitoringSystem {
   std::optional<double> cached_bandwidth(net::HostId h, net::HostId a,
                                          net::HostId b) const;
 
+  // Drops every cached sample (at every host) for pairs involving `h`.
+  // Called on host crash: measurements through a dead host are meaningless,
+  // and serving them would steer placement toward the corpse.
+  void invalidate_host(net::HostId h);
+
   // ---- statistics ----------------------------------------------------
   std::uint64_t passive_samples() const { return passive_samples_; }
   std::uint64_t probes_issued() const { return probes_issued_; }
@@ -85,8 +94,9 @@ class MonitoringSystem {
 
  private:
   void on_transfer(const net::TransferRecord& rec);
-  // Direct round-trip probe between endpoints a and b.
-  sim::Task<void> run_probe(net::HostId a, net::HostId b);
+  // Direct round-trip probe between endpoints a and b. Returns false if a
+  // leg failed or timed out (no measurement was produced).
+  sim::Task<bool> run_probe(net::HostId a, net::HostId b);
   // Classifies the state of `requester`'s cache entry for {a, b} right
   // before a fetch (hit / stale / miss) and samples the entry's age.
   void record_lookup_obs(net::HostId requester, net::HostId a, net::HostId b);
@@ -109,6 +119,7 @@ class MonitoringSystem {
   obs::Counter* probes_counter_ = nullptr;
   obs::Counter* probes_delegated_ = nullptr;
   obs::Counter* probe_bytes_counter_ = nullptr;
+  obs::Counter* invalidations_ = nullptr;  // lazy: fault runs only
   obs::Histogram* cache_age_seconds_ = nullptr;
 };
 

@@ -1,20 +1,46 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/assert.h"
 
 namespace wadc::net {
 
+std::string NetworkParams::validate() const {
+  if (!std::isfinite(startup_seconds) || startup_seconds < 0) {
+    return "startup_seconds must be finite and >= 0, got " +
+           std::to_string(startup_seconds);
+  }
+  if (host_capacity < 1) {
+    return "host_capacity must be >= 1, got " + std::to_string(host_capacity);
+  }
+  return {};
+}
+
+const char* transfer_outcome_name(TransferOutcome outcome) {
+  switch (outcome) {
+    case TransferOutcome::kCompleted:
+      return "completed";
+    case TransferOutcome::kFailed:
+      return "failed";
+    case TransferOutcome::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
 Network::Network(sim::Simulation& sim, const LinkTable& links,
                  const NetworkParams& params)
     : sim_(sim),
       links_(links),
       params_(params),
-      active_(static_cast<std::size_t>(links.num_hosts()), 0) {
-  WADC_ASSERT(params_.startup_seconds >= 0, "negative startup cost");
-  WADC_ASSERT(params_.host_capacity >= 1, "non-positive host capacity");
+      active_(static_cast<std::size_t>(links.num_hosts()), 0),
+      host_dead_(static_cast<std::size_t>(links.num_hosts()), 0),
+      blackout_depth_(pair_count(links.num_hosts()), 0) {
+  const std::string problem = params_.validate();
+  WADC_ASSERT(problem.empty(), "bad NetworkParams: ", problem);
 }
 
 void Network::add_observer(TransferObserver observer) {
@@ -26,6 +52,8 @@ void Network::set_obs(const obs::Obs& obs) {
   overtakes_counter_ = nullptr;
   transfers_counter_ = nullptr;
   bytes_counter_ = nullptr;
+  failed_counter_ = nullptr;
+  timed_out_counter_ = nullptr;
   transfer_seconds_ = nullptr;
   queue_wait_seconds_ = nullptr;
   transfer_bytes_ = nullptr;
@@ -47,6 +75,8 @@ void Network::set_obs(const obs::Obs& obs) {
                                                    std::move(wait_bounds));
     transfer_bytes_ = &obs_.metrics->histogram(
         "net.transfer_bytes", obs::exponential_buckets(256, 4, 12));
+    // Failure counters are created lazily in note_failure so fault-free
+    // runs keep their metrics output byte-identical.
   }
   if (obs_.tracer) {
     for (HostId src = 0; src < num_hosts(); ++src) {
@@ -69,11 +99,30 @@ int Network::host_active_transfers(HostId h) const {
   return active_[static_cast<std::size_t>(h)];
 }
 
+bool Network::host_alive(HostId h) const {
+  WADC_ASSERT(h >= 0 && h < num_hosts(), "host id out of range");
+  return !host_dead_[static_cast<std::size_t>(h)];
+}
+
+bool Network::link_blacked_out(HostId a, HostId b) const {
+  return blackout_depth_[pair_index(a, b, num_hosts())] > 0;
+}
+
+bool Network::endpoints_usable(HostId src, HostId dst) const {
+  if (host_dead_[static_cast<std::size_t>(src)] ||
+      host_dead_[static_cast<std::size_t>(dst)]) {
+    return false;
+  }
+  return blackout_depth_[pair_index(src, dst, num_hosts())] == 0;
+}
+
 sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
-                                            double bytes, int priority) {
+                                            double bytes, int priority,
+                                            double timeout_seconds) {
   WADC_ASSERT(src >= 0 && src < num_hosts(), "bad src host");
   WADC_ASSERT(dst >= 0 && dst < num_hosts(), "bad dst host");
   WADC_ASSERT(bytes >= 0, "negative transfer size");
+  WADC_ASSERT(timeout_seconds > 0, "non-positive transfer timeout");
 
   TransferRecord record;
   record.src = src;
@@ -88,7 +137,18 @@ sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
   }
 
   sim::Latch done(sim_);
-  Pending pending{src, dst, bytes, priority, next_seq_++, &done, &record};
+  const std::uint64_t seq = next_seq_++;
+  Pending pending{src,   dst,     bytes,
+                  priority, seq, &done,
+                  &record, sim::kTimeInfinity, sim::kNoEventSeq};
+  if (timeout_seconds != kNoTransferTimeout) {
+    pending.deadline = sim_.now() + timeout_seconds;
+    auto fire = [this, seq] { on_timeout(seq); };
+    static_assert(sim::Callback::fits_inline<decltype(fire)>(),
+                  "timeout thunks must stay allocation-free");
+    pending.timeout_event =
+        sim_.schedule_at_cancellable(pending.deadline, fire);
+  }
   // Insert keeping (priority desc, seq asc) order.
   auto it = std::find_if(pending_.begin(), pending_.end(),
                          [&](const Pending& p) {
@@ -119,10 +179,12 @@ sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
 void Network::try_start_transfers() {
   // Greedy in queue order: each startable transfer claims its endpoints,
   // which may block later (lower-priority) entries — exactly the behavior
-  // of per-NIC priority queues.
+  // of per-NIC priority queues. Transfers whose endpoints are dead or
+  // blacked out stay queued until conditions clear or their timeout fires.
   for (std::size_t i = 0; i < pending_.size();) {
     const Pending& p = pending_[i];
-    if (!host_busy(p.src) && !host_busy(p.dst)) {
+    if (!host_busy(p.src) && !host_busy(p.dst) &&
+        endpoints_usable(p.src, p.dst)) {
       Pending claimed = p;
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       start(claimed);
@@ -133,7 +195,7 @@ void Network::try_start_transfers() {
   }
 }
 
-void Network::start(const Pending& p) {
+void Network::start(Pending p) {
   ++active_[static_cast<std::size_t>(p.src)];
   ++active_[static_cast<std::size_t>(p.dst)];
 
@@ -144,23 +206,133 @@ void Network::start(const Pending& p) {
 
   p.record->started = now;
 
-  // Everything the completion needs is reachable through the record, so the
-  // capture stays pointer-sized fields only — small enough to ride in the
-  // event-queue entry's inline buffer instead of a per-transfer allocation.
-  auto complete = [this, rec = p.record, done = p.done, end] {
-    --active_[static_cast<std::size_t>(rec->src)];
-    --active_[static_cast<std::size_t>(rec->dst)];
-    rec->completed = end;
-    ++transfers_completed_;
-    bytes_delivered_ += rec->bytes;
-    record_transfer_obs(*rec);
-    for (const auto& observer : observers_) observer(*rec);
-    done->set();
-    try_start_transfers();
-  };
+  // A dropped transfer occupies its endpoints for the full duration and
+  // fails at delivery time — the receiver simply never sees the message.
+  const bool dropped = drop_probability_ > 0 && drop_rng_ &&
+                       drop_rng_->bernoulli(drop_probability_);
+
+  const std::uint64_t seq = p.seq;
+  auto complete = [this, seq] { on_complete(seq); };
   static_assert(sim::Callback::fits_inline<decltype(complete)>(),
                 "transfer completions must stay allocation-free");
-  sim_.schedule_at(end, std::move(complete));
+  const sim::EventSeq completion_event =
+      sim_.schedule_at_cancellable(end, complete);
+  active_transfers_.emplace(
+      seq, Active{p.src, p.dst, p.record, p.done, completion_event,
+                  p.timeout_event, dropped});
+}
+
+void Network::on_complete(std::uint64_t seq) {
+  const auto it = active_transfers_.find(seq);
+  WADC_ASSERT(it != active_transfers_.end(),
+              "completion for unknown transfer");
+  const TransferOutcome outcome = it->second.dropped
+                                      ? TransferOutcome::kFailed
+                                      : TransferOutcome::kCompleted;
+  finish_active(it, outcome, /*completion_fired=*/true,
+                /*timeout_fired=*/false);
+}
+
+void Network::on_timeout(std::uint64_t seq) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].seq == seq) {
+      fail_pending(i, TransferOutcome::kTimedOut);
+      return;
+    }
+  }
+  const auto it = active_transfers_.find(seq);
+  WADC_ASSERT(it != active_transfers_.end(), "timeout for unknown transfer");
+  finish_active(it, TransferOutcome::kTimedOut, /*completion_fired=*/false,
+                /*timeout_fired=*/true);
+}
+
+void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
+                            TransferOutcome outcome, bool completion_fired,
+                            bool timeout_fired) {
+  const Active a = it->second;
+  active_transfers_.erase(it);
+  if (!completion_fired) sim_.cancel_scheduled(a.completion_event);
+  if (!timeout_fired) sim_.cancel_scheduled(a.timeout_event);
+
+  --active_[static_cast<std::size_t>(a.src)];
+  --active_[static_cast<std::size_t>(a.dst)];
+  a.record->completed = sim_.now();
+  a.record->outcome = outcome;
+  if (outcome == TransferOutcome::kCompleted) {
+    ++transfers_completed_;
+    bytes_delivered_ += a.record->bytes;
+    record_transfer_obs(*a.record);
+  } else {
+    note_failure(*a.record);
+  }
+  for (const auto& observer : observers_) observer(*a.record);
+  a.done->set();
+  try_start_transfers();
+}
+
+void Network::fail_pending(std::size_t index, TransferOutcome outcome) {
+  const Pending p = pending_[index];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  // Only timeouts resolve queued transfers, so the timeout event has fired;
+  // there is no completion event yet — nothing to cancel.
+  p.record->started = p.record->completed = sim_.now();
+  p.record->outcome = outcome;
+  note_failure(*p.record);
+  for (const auto& observer : observers_) observer(*p.record);
+  p.done->set();
+}
+
+void Network::set_host_alive(HostId h, bool alive) {
+  WADC_ASSERT(h >= 0 && h < num_hosts(), "host id out of range");
+  host_dead_[static_cast<std::size_t>(h)] = alive ? 0 : 1;
+  if (alive) {
+    try_start_transfers();
+    return;
+  }
+  // Fail every in-flight transfer touching the dead host, in seq order.
+  // finish_active erases from the map (and may start unrelated queued
+  // transfers), so collect the victims first.
+  std::vector<std::uint64_t> victims;
+  for (const auto& [seq, a] : active_transfers_) {
+    if (a.src == h || a.dst == h) victims.push_back(seq);
+  }
+  for (const std::uint64_t seq : victims) {
+    const auto it = active_transfers_.find(seq);
+    if (it == active_transfers_.end()) continue;
+    finish_active(it, TransferOutcome::kFailed, /*completion_fired=*/false,
+                  /*timeout_fired=*/false);
+  }
+}
+
+void Network::set_link_blackout(HostId a, HostId b, bool blacked_out) {
+  const std::size_t idx = pair_index(a, b, num_hosts());
+  if (!blacked_out) {
+    WADC_ASSERT(blackout_depth_[idx] > 0, "ending a blackout never begun");
+    if (--blackout_depth_[idx] == 0) try_start_transfers();
+    return;
+  }
+  ++blackout_depth_[idx];
+  std::vector<std::uint64_t> victims;
+  for (const auto& [seq, act] : active_transfers_) {
+    if ((act.src == a && act.dst == b) || (act.src == b && act.dst == a)) {
+      victims.push_back(seq);
+    }
+  }
+  for (const std::uint64_t seq : victims) {
+    const auto it = active_transfers_.find(seq);
+    if (it == active_transfers_.end()) continue;
+    finish_active(it, TransferOutcome::kFailed, /*completion_fired=*/false,
+                  /*timeout_fired=*/false);
+  }
+}
+
+void Network::set_drop_probability(double p, std::uint64_t seed) {
+  WADC_ASSERT(p >= 0 && p <= 1, "drop probability out of range: ", p);
+  drop_probability_ = p;
+  if (p > 0 && !drop_rng_) {
+    // Dedicated stream: enabling drops must not perturb any other RNG.
+    drop_rng_.emplace(Rng(seed).fork(0xd209));
+  }
 }
 
 void Network::record_transfer_obs(const TransferRecord& rec) {
@@ -195,6 +367,33 @@ void Network::record_transfer_obs(const TransferRecord& rec) {
           std::to_string(rec.dst));
     }
     link_bytes_[idx]->add(rec.bytes);
+  }
+}
+
+void Network::note_failure(const TransferRecord& rec) {
+  if (rec.outcome == TransferOutcome::kTimedOut) {
+    ++transfers_timed_out_;
+    if (obs_.metrics) {
+      if (!timed_out_counter_) {
+        timed_out_counter_ = &obs_.metrics->counter("net.transfers_timed_out");
+      }
+      timed_out_counter_->add();
+    }
+  } else {
+    ++transfers_failed_;
+    if (obs_.metrics) {
+      if (!failed_counter_) {
+        failed_counter_ = &obs_.metrics->counter("net.transfers_failed");
+      }
+      failed_counter_->add();
+    }
+  }
+  if (obs_.tracer) {
+    obs_.tracer->instant("net", "transfer_failed", rec.src,
+                         obs::link_lane(rec.dst), rec.completed,
+                         {{"bytes", rec.bytes},
+                          {"dst", rec.dst},
+                          {"outcome", transfer_outcome_name(rec.outcome)}});
   }
 }
 

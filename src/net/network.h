@@ -12,14 +12,30 @@
 //     barrier messages overtake queued data messages (§2.2). Transfers in
 //     progress are never preempted.
 //
+// Fault extensions (beyond the paper, which assumes reliable hosts/links):
+//   - hosts can be marked dead (crash) and alive again (restart); links can
+//     enter blackout windows. Transfers touching a dead host or blacked-out
+//     link fail; queued transfers wait until conditions clear or they time
+//     out;
+//   - callers may pass a timeout: a transfer that has neither completed nor
+//     failed by its deadline ends with TransferOutcome::kTimedOut;
+//   - an optional per-transfer drop probability models silent message loss
+//     (the transfer occupies its endpoints for the full duration, then fails
+//     at delivery time — the receiver never sees it).
+//
 // Completed transfers are reported to registered observers; the passive
-// bandwidth monitor (§4) is implemented as such an observer.
+// bandwidth monitor (§4) is implemented as such an observer. Failed and
+// timed-out transfers are reported too, with outcome set accordingly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/link_table.h"
 #include "net/types.h"
 #include "obs/obs.h"
@@ -40,11 +56,27 @@ struct NetworkParams {
   // relaxed — raising this is the relaxation (see the endpoint-congestion
   // ablation bench).
   int host_capacity = 1;
+
+  // Returns an empty string if the parameters are usable, otherwise a
+  // human-readable description of the first problem found.
+  std::string validate() const;
 };
 
 // Priorities for transfer scheduling. Only the order matters.
 inline constexpr int kDataPriority = 0;
 inline constexpr int kControlPriority = 10;  // barrier & placement control
+
+// How a transfer ended.
+enum class TransferOutcome {
+  kCompleted,  // bytes delivered
+  kFailed,     // an endpoint died or the link blacked out mid-flight
+  kTimedOut,   // caller-supplied deadline passed first
+};
+
+const char* transfer_outcome_name(TransferOutcome outcome);
+
+// Passed as `timeout_seconds` to disable the deadline.
+inline constexpr double kNoTransferTimeout = sim::kTimeInfinity;
 
 struct TransferRecord {
   HostId src = kInvalidHost;
@@ -53,11 +85,16 @@ struct TransferRecord {
   int priority = kDataPriority;
   sim::SimTime requested = 0;  // when transfer() was called
   sim::SimTime started = 0;    // when both endpoints were acquired
-  sim::SimTime completed = 0;  // delivery time
+  sim::SimTime completed = 0;  // delivery (or failure/timeout) time
+  TransferOutcome outcome = TransferOutcome::kCompleted;
+
+  bool ok() const { return outcome == TransferOutcome::kCompleted; }
 
   // Application-level bandwidth as an endpoint would measure it (includes
-  // the startup cost, like the paper's 16KB round-trip probes).
+  // the startup cost, like the paper's 16KB round-trip probes). Zero for
+  // failed or timed-out transfers — no delivery, no sample.
   double app_bandwidth() const {
+    if (!ok()) return 0.0;
     return completed > started ? bytes / (completed - started) : 0.0;
   }
   sim::SimTime queue_wait() const { return started - requested; }
@@ -76,8 +113,13 @@ class Network {
   // Moves `bytes` from src to dst; the awaiting process resumes at delivery
   // time and receives the timing record. A transfer with src == dst is
   // local (shared memory) and completes instantly with no startup cost.
+  // If `timeout_seconds` is finite, the transfer resolves no later than
+  // now + timeout_seconds, with outcome kTimedOut if it had not finished.
+  // Callers must check record.ok() whenever faults can be active.
   sim::Task<TransferRecord> transfer(HostId src, HostId dst, double bytes,
-                                     int priority = kDataPriority);
+                                     int priority = kDataPriority,
+                                     double timeout_seconds =
+                                         kNoTransferTimeout);
 
   void add_observer(TransferObserver observer);
 
@@ -96,7 +138,30 @@ class Network {
   int host_active_transfers(HostId h) const;
   std::size_t pending_count() const { return pending_.size(); }
   std::uint64_t transfers_completed() const { return transfers_completed_; }
+  std::uint64_t transfers_failed() const { return transfers_failed_; }
+  std::uint64_t transfers_timed_out() const { return transfers_timed_out_; }
   double bytes_delivered() const { return bytes_delivered_; }
+
+  // ---- Fault injection (driven by fault::FaultInjector) ----
+
+  // Marks a host dead (alive=false) or restarts it. Killing a host fails
+  // every in-flight transfer touching it (outcome kFailed, resolved at the
+  // current time); queued transfers stay queued until the host returns or
+  // they time out. Restarting re-examines the queue.
+  void set_host_alive(HostId h, bool alive);
+  bool host_alive(HostId h) const;
+
+  // Begins/ends a blackout window on link {a, b}. Windows nest: the link is
+  // usable again only when every begun window has ended. Beginning a
+  // blackout fails in-flight transfers on the link.
+  void set_link_blackout(HostId a, HostId b, bool blacked_out);
+  bool link_blacked_out(HostId a, HostId b) const;
+
+  // Every subsequently *started* transfer independently fails with
+  // probability p (at its would-be delivery time, holding its endpoints the
+  // whole while). Draws come from a dedicated RNG stream seeded here, so
+  // enabling drops never perturbs other random state.
+  void set_drop_probability(double p, std::uint64_t seed);
 
  private:
   struct Pending {
@@ -107,30 +172,72 @@ class Network {
     std::uint64_t seq;
     sim::Latch* done;
     TransferRecord* record;
+    sim::SimTime deadline;       // kTimeInfinity when no timeout
+    sim::EventSeq timeout_event;  // kNoEventSeq when no timeout
   };
 
-  // Starts every queued transfer whose endpoints are free, in (priority,
-  // FIFO) order.
+  struct Active {
+    HostId src;
+    HostId dst;
+    TransferRecord* record;
+    sim::Latch* done;
+    sim::EventSeq completion_event;
+    sim::EventSeq timeout_event;  // kNoEventSeq when no timeout
+    bool dropped;                 // loses the race at delivery time
+  };
+
+  // Starts every queued transfer whose endpoints are free *and* usable
+  // (alive, link not blacked out), in (priority, FIFO) order.
   void try_start_transfers();
-  void start(const Pending& p);
+  void start(Pending p);
+  bool endpoints_usable(HostId src, HostId dst) const;
+
+  // Delivery-time handler for the active transfer with the given seq.
+  void on_complete(std::uint64_t seq);
+  // Deadline handler; the transfer may be pending or active.
+  void on_timeout(std::uint64_t seq);
+  // Resolves an active transfer. Exactly one of the bracketing events has
+  // fired (the caller's); the other is cancelled here.
+  void finish_active(std::map<std::uint64_t, Active>::iterator it,
+                     TransferOutcome outcome, bool completion_fired,
+                     bool timeout_fired);
+  // Resolves a queued (never-started) transfer as failed/timed out.
+  void fail_pending(std::size_t index, TransferOutcome outcome);
+
   // Trace/metric emission for one completed transfer.
   void record_transfer_obs(const TransferRecord& rec);
+  // Trace/metric emission for one failed/timed-out transfer. Counters are
+  // created lazily so fault-free runs keep byte-identical metrics output.
+  void note_failure(const TransferRecord& rec);
 
   sim::Simulation& sim_;
   const LinkTable& links_;
   NetworkParams params_;
   std::vector<int> active_;  // concurrent transfers per host
   std::vector<Pending> pending_;  // sorted: higher priority first, then seq
+  // Keyed by transfer seq; std::map keeps fault-handling iteration
+  // deterministic.
+  std::map<std::uint64_t, Active> active_transfers_;
   std::vector<TransferObserver> observers_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t transfers_completed_ = 0;
+  std::uint64_t transfers_failed_ = 0;
+  std::uint64_t transfers_timed_out_ = 0;
   double bytes_delivered_ = 0;
+
+  // Fault state.
+  std::vector<char> host_dead_;      // per host
+  std::vector<int> blackout_depth_;  // per unordered pair (nesting count)
+  double drop_probability_ = 0;
+  std::optional<Rng> drop_rng_;
 
   // Observability (all null when detached).
   obs::Obs obs_;
   obs::Counter* overtakes_counter_ = nullptr;
   obs::Counter* transfers_counter_ = nullptr;
   obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;     // lazy: fault runs only
+  obs::Counter* timed_out_counter_ = nullptr;  // lazy: fault runs only
   obs::Histogram* transfer_seconds_ = nullptr;
   obs::Histogram* queue_wait_seconds_ = nullptr;
   obs::Histogram* transfer_bytes_ = nullptr;

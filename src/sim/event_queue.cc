@@ -6,7 +6,18 @@
 
 namespace wadc::sim {
 
+void EventQueue::prune_top() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
 SimTime EventQueue::next_time() const {
+  prune_top();
   WADC_ASSERT(!heap_.empty(), "next_time on empty queue");
   return heap_.front().time;
 }
@@ -17,11 +28,17 @@ void EventQueue::push(SimTime time, EventSeq seq, Callback action) {
 }
 
 EventQueue::Entry EventQueue::pop() {
+  prune_top();
   WADC_ASSERT(!heap_.empty(), "pop on empty queue");
   std::pop_heap(heap_.begin(), heap_.end(), later);
   Entry e = std::move(heap_.back());
   heap_.pop_back();
   return e;
+}
+
+void EventQueue::cancel(EventSeq seq) {
+  WADC_DASSERT(!cancelled_.contains(seq), "double-cancel of event");
+  cancelled_.insert(seq);
 }
 
 }  // namespace wadc::sim

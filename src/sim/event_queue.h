@@ -1,6 +1,7 @@
 // Deterministic pending-event set for the simulation kernel.
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "sim/callback.h"
@@ -13,6 +14,11 @@ namespace wadc::sim {
 // reproducible. Actions are small-buffer-optimized Callbacks, so the
 // common case (coroutine-resume thunks and small completion lambdas)
 // schedules without touching the heap allocator.
+//
+// Cancellation is lazy: cancel(seq) records the sequence number, and the
+// entry is dropped when it reaches the top of the heap. A cancelled event
+// never observes its action running, and size()/empty()/next_time() account
+// for cancellations immediately.
 class EventQueue {
  public:
   struct Entry {
@@ -21,18 +27,28 @@ class EventQueue {
     Callback action;
   };
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size() == 0; }
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
 
-  // Time of the earliest pending event; queue must be non-empty.
+  // Time of the earliest pending (non-cancelled) event; queue must be
+  // non-empty.
   SimTime next_time() const;
 
   void push(SimTime time, EventSeq seq, Callback action);
 
-  // Removes and returns the earliest event; queue must be non-empty.
+  // Removes and returns the earliest pending event; queue must be non-empty.
   Entry pop();
 
-  void clear() { heap_.clear(); }
+  // Marks the event with the given sequence number as cancelled. The caller
+  // must ensure the event is still pending (pushed, not yet popped) and not
+  // already cancelled — cancelling a fired or unknown seq corrupts the size
+  // accounting.
+  void cancel(EventSeq seq);
+
+  void clear() {
+    heap_.clear();
+    cancelled_.clear();
+  }
 
  private:
   static bool later(const Entry& a, const Entry& b) {
@@ -40,7 +56,12 @@ class EventQueue {
     return a.seq > b.seq;
   }
 
-  std::vector<Entry> heap_;
+  // Drops cancelled entries sitting at the top of the heap. Logically const:
+  // observable state (pending events and their order) is unchanged.
+  void prune_top() const;
+
+  mutable std::vector<Entry> heap_;
+  mutable std::unordered_set<EventSeq> cancelled_;
 };
 
 }  // namespace wadc::sim

@@ -20,6 +20,19 @@ void Simulation::schedule_in(SimTime dt, Callback action) {
   schedule_at(now_ + dt, std::move(action));
 }
 
+EventSeq Simulation::schedule_at_cancellable(SimTime t, Callback action) {
+  if (tearing_down_) return kNoEventSeq;
+  WADC_ASSERT(t >= now_, "scheduling into the past: t=", t, " now=", now_);
+  const EventSeq id = next_seq_++;
+  queue_.push(t, id, std::move(action));
+  return id;
+}
+
+void Simulation::cancel_scheduled(EventSeq id) {
+  if (id == kNoEventSeq || tearing_down_ || id < stale_before_) return;
+  queue_.cancel(id);
+}
+
 Simulation::Driver Simulation::drive(Task<> process) {
   co_await std::move(process);
 }
@@ -60,6 +73,7 @@ Simulation::RunStatus Simulation::run(SimTime until) {
 void Simulation::terminate_all() {
   tearing_down_ = true;
   queue_.clear();
+  stale_before_ = next_seq_;  // every outstanding cancel handle is now stale
   // Destroying a frame can run destructors that touch other processes'
   // synchronization state; with the queue cleared and tearing_down_ set,
   // any wake-ups they try to schedule are dropped. Destruction can also

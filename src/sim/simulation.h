@@ -50,6 +50,16 @@ class Simulation {
   // Schedules `action` to run `dt` seconds from now (dt >= 0).
   void schedule_in(SimTime dt, Callback action);
 
+  // Like schedule_at, but returns a handle usable with cancel_scheduled.
+  // Returns kNoEventSeq if nothing was scheduled (teardown in progress).
+  EventSeq schedule_at_cancellable(SimTime t, Callback action);
+
+  // Cancels a pending event previously returned by schedule_at_cancellable.
+  // The event must not have fired yet; kNoEventSeq is ignored, as is any
+  // cancellation during teardown and any handle issued before the last
+  // terminate_all() (those events were already dropped with the queue).
+  void cancel_scheduled(EventSeq id);
+
   // Starts a detached process. The process begins at the current time (via
   // the event queue, not synchronously). Returns a process id. The frame is
   // reclaimed when the process finishes, or by terminate_all().
@@ -127,6 +137,9 @@ class Simulation {
   EventQueue queue_;
   SimTime now_ = 0;
   EventSeq next_seq_ = 0;
+  // Handles issued before the last terminate_all() point at events that no
+  // longer exist; cancel_scheduled ignores them.
+  EventSeq stale_before_ = 0;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;

@@ -18,4 +18,8 @@ inline constexpr SimTime kTimeInfinity =
 // the same instant, giving the kernel fully deterministic replay.
 using EventSeq = std::uint64_t;
 
+// Sentinel returned by Simulation::schedule_at_cancellable when no event was
+// actually scheduled (e.g. during teardown). Safe to pass to cancel_scheduled.
+inline constexpr EventSeq kNoEventSeq = ~static_cast<EventSeq>(0);
+
 }  // namespace wadc::sim

@@ -7,14 +7,26 @@
 
 namespace wadc::trace {
 
-BandwidthTrace::BandwidthTrace(double step_seconds, std::vector<double> values)
+BandwidthTrace::BandwidthTrace(double step_seconds, std::vector<double> values,
+                               double floor_bytes_per_second)
     : step_(step_seconds), values_(std::move(values)) {
   WADC_ASSERT(step_ > 0, "non-positive trace step");
   WADC_ASSERT(!values_.empty(), "empty trace");
+  WADC_ASSERT(std::isfinite(floor_bytes_per_second) &&
+                  floor_bytes_per_second >= 0,
+              "bandwidth floor must be finite and >= 0");
   prefix_.resize(values_.size() + 1);
   prefix_[0] = 0;
   for (std::size_t i = 0; i < values_.size(); ++i) {
-    WADC_ASSERT(values_[i] > 0, "non-positive bandwidth sample at index ", i);
+    WADC_ASSERT(std::isfinite(values_[i]),
+                "non-finite bandwidth sample at index ", i);
+    if (floor_bytes_per_second > 0) {
+      values_[i] = std::max(values_[i], floor_bytes_per_second);
+      WADC_DASSERT(values_[i] > 0, "clamp left a non-positive sample");
+    } else {
+      WADC_ASSERT(values_[i] > 0, "non-positive bandwidth sample at index ",
+                  i);
+    }
     prefix_[i + 1] = prefix_[i] + values_[i] * step_;
   }
 }

@@ -15,8 +15,14 @@ namespace wadc::trace {
 class BandwidthTrace {
  public:
   // `step_seconds` is the sampling cadence; `values` are bandwidths in
-  // bytes/second, all strictly positive.
-  BandwidthTrace(double step_seconds, std::vector<double> values);
+  // bytes/second. With `floor_bytes_per_second` == 0 (the default) every
+  // sample must already be strictly positive (hard assert). A positive
+  // floor instead clamps zero/negative/sub-floor samples up to the floor —
+  // use this when ingesting externally-measured traces that may contain
+  // probe failures recorded as 0 — and a debug assert double-checks the
+  // clamped values.
+  BandwidthTrace(double step_seconds, std::vector<double> values,
+                 double floor_bytes_per_second = 0);
 
   double step_seconds() const { return step_; }
   std::size_t sample_count() const { return values_.size(); }

@@ -93,10 +93,14 @@ BandwidthTrace TraceGenerator::generate(PairClass cls,
     const double jitter = rng.lognormal(0.0, params_.jitter_sigma);
 
     const double bw = base * level * diurnal * congestion_factor * jitter;
-    values.push_back(std::max(bw, params_.floor_bytes_per_second));
+    values.push_back(bw);
   }
 
-  return BandwidthTrace(params_.step_seconds, std::move(values));
+  // The floor clamp lives in the BandwidthTrace constructor so pathological
+  // parameter combinations (or future model terms) can never produce a
+  // trace with zero or negative bandwidth.
+  return BandwidthTrace(params_.step_seconds, std::move(values),
+                        params_.floor_bytes_per_second);
 }
 
 }  // namespace wadc::trace

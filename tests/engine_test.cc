@@ -260,5 +260,72 @@ TEST_P(ConfigSweepTest, AllAlgorithmsCompleteOnRandomConfigs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigSweepTest,
                          ::testing::Range<std::uint64_t>(200, 212));
 
+// ---- parameter validation ---------------------------------------------------
+
+TEST(EngineParamsValidation, DefaultsAreValid) {
+  EXPECT_EQ(validate(EngineParams{}), "");
+}
+
+TEST(EngineParamsValidation, EachBadFieldNamesItselfInTheMessage) {
+  const auto problem_with = [](auto&& mutate) {
+    EngineParams p;
+    mutate(p);
+    return validate(p);
+  };
+  EXPECT_NE(problem_with([](EngineParams& p) {
+              p.relocation_period_seconds = 0;
+            }).find("relocation_period_seconds"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) {
+              p.local_extra_candidates = -1;
+            }).find("local_extra_candidates"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) { p.demand_bytes = -2; })
+                .find("demand_bytes"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) {
+              p.transfer_timeout_seconds = 0;
+            }).find("transfer_timeout_seconds"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) { p.max_transfer_retries = -3; })
+                .find("max_transfer_retries"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) {
+              p.retry_backoff_base_seconds = 0;
+            }).find("retry_backoff_base_seconds"),
+            std::string::npos);
+  // The backoff cap must be at least the base.
+  EXPECT_NE(problem_with([](EngineParams& p) {
+              p.retry_backoff_base_seconds = 10;
+              p.retry_backoff_max_seconds = 5;
+            }).find("retry_backoff_max_seconds"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) { p.run_deadline_seconds = 0; })
+                .find("run_deadline_seconds"),
+            std::string::npos);
+  EXPECT_NE(problem_with([](EngineParams& p) {
+              p.order_adoption_threshold = -0.1;
+            }).find("order_adoption_threshold"),
+            std::string::npos);
+}
+
+TEST(EngineParamsValidation, ZeroAdoptionThresholdIsLegal) {
+  // 0 means "never adopt a new order" and is used by the order-planner
+  // tests; it must not be rejected.
+  EngineParams p;
+  p.order_adoption_threshold = 0.0;
+  EXPECT_EQ(validate(p), "");
+}
+
+TEST(NetworkParamsValidation, RejectsBadStartupAndCapacity) {
+  net::NetworkParams p;
+  EXPECT_EQ(p.validate(), "");
+  p.startup_seconds = -1;
+  EXPECT_NE(p.validate().find("startup"), std::string::npos);
+  p.startup_seconds = 0.05;
+  p.host_capacity = 0;
+  EXPECT_NE(p.validate().find("capacity"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wadc::dataflow

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <vector>
 
 #include "common/rng.h"
@@ -9,6 +11,67 @@
 
 namespace wadc::sim {
 namespace {
+
+// One round of randomized push/cancel/pop against a reference model.
+// Returns the number of events processed (for the bounded runner's count).
+int fuzz_round_with_cancellation(std::uint64_t seed, int steps) {
+  Rng rng(seed);
+  EventQueue queue;
+  struct Ref {
+    SimTime time;
+    EventSeq seq;
+  };
+  std::vector<Ref> live;  // pushed, not yet popped or cancelled
+  EventSeq seq = 0;
+  int processed = 0;
+
+  for (int step = 0; step < steps; ++step) {
+    const double dice = rng.next_double();
+    if (live.empty() || dice < 0.5) {
+      const SimTime t = static_cast<double>(rng.next_below(50));
+      queue.push(t, seq, [] {});
+      live.push_back(Ref{t, seq});
+      ++seq;
+    } else if (dice < 0.7) {
+      // Cancel a random live event (never one already cancelled/popped:
+      // that is the documented contract of cancel()).
+      const std::size_t pick = rng.next_below(live.size());
+      queue.cancel(live[pick].seq);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++processed;
+    } else {
+      const auto e = queue.pop();
+      // Must be the (time, seq) minimum of the *live* set — cancelled
+      // events must never surface.
+      auto it = std::min_element(live.begin(), live.end(),
+                                 [](const Ref& a, const Ref& b) {
+                                   if (a.time != b.time) return a.time < b.time;
+                                   return a.seq < b.seq;
+                                 });
+      EXPECT_EQ(e.time, it->time);
+      EXPECT_EQ(e.seq, it->seq);
+      live.erase(it);
+      ++processed;
+    }
+    EXPECT_EQ(queue.size(), live.size());
+    EXPECT_EQ(queue.empty(), live.empty());
+    if (!live.empty()) {
+      const auto expect_min =
+          *std::min_element(live.begin(), live.end(),
+                            [](const Ref& a, const Ref& b) {
+                              if (a.time != b.time) return a.time < b.time;
+                              return a.seq < b.seq;
+                            });
+      EXPECT_EQ(queue.next_time(), expect_min.time);
+    }
+    if (::testing::Test::HasFailure()) return processed;
+  }
+  while (!queue.empty()) {
+    queue.pop();
+    ++processed;
+  }
+  return processed;
+}
 
 class EventQueueFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -63,6 +126,42 @@ TEST_P(EventQueueFuzzTest, DrainsInTimeThenSequenceOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 11));
+
+class EventQueueCancelFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueCancelFuzzTest, CancelledEventsNeverSurface) {
+  fuzz_round_with_cancellation(GetParam(), 2000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueCancelFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Wall-clock-bounded fuzz for CI: runs rounds with fresh seeds until
+// WADC_FUZZ_SECONDS (default 2) of wall time have elapsed. The sanitizer
+// job sets WADC_FUZZ_SECONDS=60 for a deeper soak.
+TEST(EventQueueFuzzBounded, CancellationSoak) {
+  double budget_seconds = 2.0;
+  if (const char* env = std::getenv("WADC_FUZZ_SECONDS")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0) budget_seconds = v;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(budget_seconds));
+  std::uint64_t seed = 0x5eed;
+  long long processed = 0;
+  int rounds = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    processed += fuzz_round_with_cancellation(seed++, 4000);
+    ++rounds;
+    if (::testing::Test::HasFailure()) break;
+  }
+  RecordProperty("rounds", rounds);
+  EXPECT_GT(processed, 0);
+}
 
 }  // namespace
 }  // namespace wadc::sim

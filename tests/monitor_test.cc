@@ -261,5 +261,98 @@ TEST(MonitoringSystem, ProbeLegsFeedPassiveMonitoringEverywhere) {
   EXPECT_EQ(f.monitoring->passive_samples(), 2u);
 }
 
+// ---- cache-expiry and invalidation edge cases -----------------------------
+
+TEST(BandwidthCache, InvalidateDropsOnlyTheNamedPair) {
+  BandwidthCache cache(4, 40.0);
+  cache.record(0, 1, 100.0, 1.0);
+  cache.record(0, 2, 200.0, 1.0);
+  cache.invalidate(1, 0);  // order-insensitive
+  EXPECT_FALSE(cache.lookup_any_age(0, 1).has_value());
+  EXPECT_TRUE(cache.lookup_any_age(0, 2).has_value());
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(BandwidthCache, InvalidateHostDropsEveryPairTouchingIt) {
+  BandwidthCache cache(4, 40.0);
+  cache.record(0, 1, 100.0, 1.0);
+  cache.record(1, 2, 200.0, 1.0);
+  cache.record(1, 3, 300.0, 1.0);
+  cache.record(2, 3, 400.0, 1.0);
+  cache.invalidate_host(1);
+  EXPECT_FALSE(cache.lookup_any_age(0, 1).has_value());
+  EXPECT_FALSE(cache.lookup_any_age(1, 2).has_value());
+  EXPECT_FALSE(cache.lookup_any_age(1, 3).has_value());
+  EXPECT_TRUE(cache.lookup_any_age(2, 3).has_value());
+  // An invalidated entry can be re-learned afterwards.
+  cache.record(0, 1, 555.0, 2.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(0, 1, 3.0)->bandwidth, 555.0);
+}
+
+TEST(BandwidthCache, FreshestAndUnexpiredAgreeAtExactTtlBoundary) {
+  // Age == TTL is *fresh* everywhere (lookup, freshest, unexpired_count):
+  // the three consumers must share one expiry rule.
+  BandwidthCache cache(4, 40.0);
+  cache.record(0, 1, 100.0, 0.0);
+  EXPECT_TRUE(cache.lookup(0, 1, 40.0).has_value());
+  EXPECT_EQ(cache.freshest(40.0, 10).size(), 1u);
+  EXPECT_EQ(cache.unexpired_count(40.0), 1u);
+  EXPECT_FALSE(cache.lookup(0, 1, 40.0 + 1e-9).has_value());
+  EXPECT_EQ(cache.freshest(40.0 + 1e-9, 10).size(), 0u);
+  EXPECT_EQ(cache.unexpired_count(40.0 + 1e-9), 0u);
+}
+
+TEST(MonitoringSystem, ProbeRacingPassiveUpdateKeepsNewestSample) {
+  // A probe for {0, 1} and a large passive-measured transfer on the same
+  // pair contend for the same endpoints; whichever measurement lands last
+  // must win in both caches (newer-timestamp-wins, no clobbering by the
+  // slower path).
+  MonitorFixture f;
+  f.sim.spawn([](MonitoringSystem& m) -> sim::Task<> {
+    (void)co_await m.fetch_bandwidth(0, 0, 1);
+  }(*f.monitoring));
+  f.sim.spawn([](net::Network& n) -> sim::Task<> {
+    co_await n.transfer(0, 1, 64.0 * 1024);  // passive: >= S_thres
+  }(*f.network));
+  f.sim.run();
+  EXPECT_GE(f.monitoring->passive_samples(), 3u);  // 2 probe legs + transfer
+  const auto at0 = f.monitoring->cache(0).lookup_any_age(0, 1);
+  const auto at1 = f.monitoring->cache(1).lookup_any_age(0, 1);
+  ASSERT_TRUE(at0.has_value());
+  ASSERT_TRUE(at1.has_value());
+  // Both endpoints observed every measurement, so they agree on the newest.
+  EXPECT_DOUBLE_EQ(at0->measured_at, at1->measured_at);
+  EXPECT_DOUBLE_EQ(at0->bandwidth, at1->bandwidth);
+}
+
+TEST(MonitoringSystem, InvalidateHostScrubsEveryCache) {
+  MonitorFixture f;
+  f.monitoring->cache(0).record(0, 1, 100.0, 1.0);
+  f.monitoring->cache(0).record(2, 3, 400.0, 1.0);
+  f.monitoring->cache(2).record(1, 2, 200.0, 1.0);
+  f.monitoring->cache(3).record(1, 3, 300.0, 1.0);
+  f.monitoring->invalidate_host(1);
+  EXPECT_FALSE(f.monitoring->cache(0).lookup_any_age(0, 1).has_value());
+  EXPECT_FALSE(f.monitoring->cache(2).lookup_any_age(1, 2).has_value());
+  EXPECT_FALSE(f.monitoring->cache(3).lookup_any_age(1, 3).has_value());
+  EXPECT_TRUE(f.monitoring->cache(0).lookup_any_age(2, 3).has_value());
+}
+
+TEST(MonitoringSystem, ProbeAgainstDeadHostTimesOutInsteadOfHanging) {
+  MonitorParams params;
+  params.probe_timeout_seconds = 30.0;
+  MonitorFixture f(params);
+  f.network->set_host_alive(1, false);
+  std::optional<double> got = 1.0;
+  f.sim.spawn([](MonitoringSystem& m, std::optional<double>& out)
+                  -> sim::Task<> {
+    out = co_await m.fetch_bandwidth(0, 0, 1);
+  }(*f.monitoring, got));
+  f.sim.run();  // must terminate: the probe leg times out at t=30
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(f.monitoring->passive_samples(), 0u);
+  EXPECT_GE(f.sim.now(), 30.0);
+}
+
 }  // namespace
 }  // namespace wadc::monitor

@@ -426,6 +426,59 @@ TEST(Resource, MovedHoldReleasesOnce) {
   EXPECT_EQ(res.available(), 1);
 }
 
+// ---- cancellable scheduling -------------------------------------------------
+
+TEST(Cancellation, CancelledActionNeverRuns) {
+  Simulation sim;
+  int fired = 0;
+  const EventSeq a = sim.schedule_at_cancellable(10.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&, a] { sim.cancel_scheduled(a); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // the cancelled event never advanced time
+}
+
+TEST(Cancellation, UncancelledActionStillRuns) {
+  Simulation sim;
+  int fired = 0;
+  (void)sim.schedule_at_cancellable(10.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Cancellation, NoEventSeqIsIgnored) {
+  Simulation sim;
+  sim.cancel_scheduled(kNoEventSeq);  // must be a no-op
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Cancellation, CancelAfterTeardownIsIgnored) {
+  Simulation sim;
+  const EventSeq a = sim.schedule_at_cancellable(10.0, [] {});
+  sim.terminate_all();  // clears the queue
+  sim.cancel_scheduled(a);  // late cancel of an already-dropped event: no-op
+  EXPECT_EQ(sim.run(), Simulation::RunStatus::kIdle);
+}
+
+TEST(Cancellation, ManyInterleavedCancelsLeaveSurvivorsIntact) {
+  Simulation sim;
+  std::vector<EventSeq> ids;
+  std::vector<int> fired(20, 0);
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.schedule_at_cancellable(
+        static_cast<double>(10 + i), [&fired, i] { ++fired[i]; }));
+  }
+  sim.schedule_at(1.0, [&] {
+    for (int i = 0; i < 20; i += 2) sim.cancel_scheduled(ids[i]);
+  });
+  sim.run();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fired[i], i % 2) << "event " << i;
+}
+
 // ---- property-style stress --------------------------------------------------
 
 class SimStressTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "trace/bandwidth_trace.h"
@@ -93,6 +94,45 @@ TEST(BandwidthTrace, RejectsNonPositiveSamples) {
 
 TEST(BandwidthTrace, RejectsEmpty) {
   EXPECT_DEATH(BandwidthTrace(10.0, {}), "empty");
+}
+
+// ---- floor clamp (hardening against zero/negative samples) -----------------
+
+TEST(BandwidthTrace, FloorClampsNonPositiveSamples) {
+  // With a positive floor, zero and negative samples (e.g. failed probes in
+  // an ingested trace) are clamped up instead of tripping the assert.
+  const BandwidthTrace tr(10.0, {0.0, -25.0, 100.0}, 1.0);
+  EXPECT_DOUBLE_EQ(tr.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tr.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(tr.at(20.0), 100.0);
+  // The regression this guards: a zero-bandwidth segment used to make
+  // finish_time divide by zero / never terminate. Clamped, it stays finite
+  // and monotone.
+  double prev = 0.0;
+  for (double bytes = 1; bytes < 2000; bytes *= 3) {
+    const double t = tr.finish_time(0.0, bytes);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BandwidthTrace, FloorLeavesSamplesAboveItAlone) {
+  const BandwidthTrace tr(10.0, {100.0, 200.0}, 50.0);
+  EXPECT_DOUBLE_EQ(tr.at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(tr.at(10.0), 200.0);
+}
+
+TEST(BandwidthTrace, ZeroFloorKeepsStrictValidation) {
+  // floor == 0 (the default) is the pre-existing strict contract.
+  EXPECT_DEATH(BandwidthTrace(10.0, {100.0, 0.0}, 0.0), "non-positive");
+}
+
+TEST(BandwidthTrace, RejectsBadFloor) {
+  EXPECT_DEATH(BandwidthTrace(10.0, {100.0}, -1.0), "floor");
+  EXPECT_DEATH(BandwidthTrace(10.0, {100.0},
+                              std::numeric_limits<double>::infinity()),
+               "floor");
 }
 
 // ---- generator --------------------------------------------------------------

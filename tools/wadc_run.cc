@@ -30,6 +30,7 @@
 #include "exp/bench_support.h"
 #include "exp/experiment.h"
 #include "exp/export.h"
+#include "fault/spec_io.h"
 #include "exp/parallel.h"
 #include "exp/report.h"
 #include "obs/metrics.h"
@@ -57,6 +58,7 @@ struct Options {
   bool csv = false;
   bool with_baseline = true;
   std::string trace_set_path;
+  std::string fault_spec_path;  // fault schedule (see docs/FAULTS.md)
   std::string dump_traces_path;
   std::string dump_run_path;  // JSON of the final configuration's run
   std::string trace_out_path;    // Chrome trace JSON of the final run
@@ -83,6 +85,9 @@ void usage() {
       "  --seed=N               base configuration seed (default 1000)\n"
       "  --library-seed=N       trace pool seed (default 2026)\n"
       "  --trace-set=FILE       use traces from FILE instead of synthesizing\n"
+      "  --fault-spec=FILE      inject faults from FILE (crash/blackout/drop\n"
+      "                         lines, see docs/FAULTS.md) and run the\n"
+      "                         engine fault-tolerant\n"
       "  --dump-traces=FILE     write the synthetic pool to FILE and exit\n"
       "  --dump-run=FILE        write the last run's stats as JSON\n"
       "  --trace-out=FILE       write the last run's Chrome trace-event JSON\n"
@@ -191,6 +196,12 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!to_u64(*v9, "--library-seed", opt.library_seed)) return false;
     } else if (auto v10 = flag_value(arg, "--trace-set")) {
       opt.trace_set_path = *v10;
+    } else if (auto vf = flag_value(arg, "--fault-spec")) {
+      if (vf->empty()) {
+        std::fprintf(stderr, "--fault-spec requires a file path\n");
+        return false;
+      }
+      opt.fault_spec_path = *vf;
     } else if (auto v11 = flag_value(arg, "--dump-traces")) {
       opt.dump_traces_path = *v11;
     } else if (auto v12 = flag_value(arg, "--dump-run")) {
@@ -279,6 +290,33 @@ int main(int argc, char** argv) {
   spec.relocation_period_seconds = opt.period_seconds;
   spec.local_extra_candidates = opt.extras;
 
+  // Reject unusable parameters with a message and exit code 2 (usage error)
+  // instead of tripping an engine assertion deep inside the first run.
+  if (const std::string problem = spec.network.validate(); !problem.empty()) {
+    std::fprintf(stderr, "bad network parameters: %s\n", problem.c_str());
+    return 2;
+  }
+  if (const std::string problem = dataflow::validate(
+          spec.engine_params(opt.seed));
+      !problem.empty()) {
+    std::fprintf(stderr, "bad engine parameters: %s\n", problem.c_str());
+    return 2;
+  }
+  if (!opt.fault_spec_path.empty()) {
+    try {
+      spec.fault = fault::load_fault_spec_file(opt.fault_spec_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load fault spec: %s\n", e.what());
+      return 2;
+    }
+    if (const std::string problem = spec.fault.validate(opt.servers + 1);
+        !problem.empty()) {
+      std::fprintf(stderr, "bad fault spec: %s\n", problem.c_str());
+      return 2;
+    }
+  }
+  const bool faulting = !spec.fault.empty();
+
   if (!opt.csv) {
     std::printf("wadc_run: %s, %d servers, %d iterations, %s tree, period "
                 "%.0f s, %d configuration(s)\n\n",
@@ -289,7 +327,13 @@ int main(int argc, char** argv) {
 
   if (opt.csv) {
     std::printf("config_seed,algorithm,completion_s,interarrival_s,"
-                "speedup,relocations\n");
+                "speedup,relocations%s\n",
+                faulting ? ",completed,faults,retries,repairs,"
+                           "recovery_s,abort_reason"
+                         : "");
+  } else if (faulting) {
+    std::printf("config    completion  interarrival  speedup  relocations  "
+                "ok  faults  retries  repairs\n");
   } else {
     std::printf("config    completion  interarrival  speedup  relocations\n");
   }
@@ -356,11 +400,32 @@ int main(int argc, char** argv) {
     completions.push_back(r.completion_seconds);
     interarrivals.push_back(r.mean_interarrival_seconds);
 
-    if (opt.csv) {
+    const dataflow::FailureSummary& fs = r.stats.failure_summary;
+    if (opt.csv && faulting) {
+      std::printf("%llu,%s,%.3f,%.3f,%.3f,%d,%d,%d,%llu,%d,%.3f,%s\n",
+                  static_cast<unsigned long long>(config_seed),
+                  core::algorithm_name(opt.algorithm), r.completion_seconds,
+                  r.mean_interarrival_seconds, speedup, r.stats.relocations,
+                  r.stats.completed ? 1 : 0, fs.faults_injected,
+                  static_cast<unsigned long long>(fs.transfer_retries),
+                  fs.repair_relocations, fs.recovery_seconds_total,
+                  fs.abort_reason.c_str());
+    } else if (opt.csv) {
       std::printf("%llu,%s,%.3f,%.3f,%.3f,%d\n",
                   static_cast<unsigned long long>(config_seed),
                   core::algorithm_name(opt.algorithm), r.completion_seconds,
                   r.mean_interarrival_seconds, speedup, r.stats.relocations);
+    } else if (faulting) {
+      std::printf("%-9llu %9.1f s %11.2f s %7.2fx  %-11d  %-2s  %-6d  %-7llu"
+                  "  %d%s%s\n",
+                  static_cast<unsigned long long>(config_seed),
+                  r.completion_seconds, r.mean_interarrival_seconds, speedup,
+                  r.stats.relocations, r.stats.completed ? "y" : "N",
+                  fs.faults_injected,
+                  static_cast<unsigned long long>(fs.transfer_retries),
+                  fs.repair_relocations,
+                  fs.abort_reason.empty() ? "" : "  ",
+                  fs.abort_reason.c_str());
     } else {
       std::printf("%-9llu %9.1f s %11.2f s %7.2fx  %d\n",
                   static_cast<unsigned long long>(config_seed),
