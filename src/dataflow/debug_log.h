@@ -1,0 +1,24 @@
+// Protocol debug logging shared by the dataflow layers. Set WADC_DEBUG=1
+// to trace the adaptation protocol on stderr; off, the macro compiles to a
+// branch on one cached getenv.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wadc::dataflow {
+
+inline bool debug_enabled() {
+  static const bool enabled = std::getenv("WADC_DEBUG") != nullptr;
+  return enabled;
+}
+
+}  // namespace wadc::dataflow
+
+#define WADC_DEBUGLOG(...)                       \
+  do {                                           \
+    if (::wadc::dataflow::debug_enabled()) {     \
+      std::fprintf(stderr, __VA_ARGS__);         \
+      std::fprintf(stderr, "\n");                \
+    }                                            \
+  } while (0)

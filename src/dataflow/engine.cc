@@ -1,32 +1,15 @@
 #include "dataflow/engine.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
-#include <set>
 #include <string>
 #include <utility>
 
 #include "common/assert.h"
+#include "dataflow/debug_log.h"
 
 namespace wadc::dataflow {
 
 namespace {
-
-// Set WADC_DEBUG=1 to trace the adaptation protocol on stderr.
-bool debug_enabled() {
-  static const bool enabled = std::getenv("WADC_DEBUG") != nullptr;
-  return enabled;
-}
-
-#define WADC_DEBUGLOG(...)                       \
-  do {                                           \
-    if (debug_enabled()) {                       \
-      std::fprintf(stderr, __VA_ARGS__);         \
-      std::fprintf(stderr, "\n");                \
-    }                                            \
-  } while (0)
 
 core::CostModelParams cost_params_from(const workload::WorkloadParams& wp,
                                        const net::NetworkParams& np) {
@@ -53,6 +36,24 @@ workload::ImageSpec expected_output(const core::CombinationTree& tree,
 static_assert(net::kControlPriority == 10,
               "EngineParams::control_priority default must match");
 
+// The engine's hop retry discipline. Fault-free runs carry no deadline (a
+// transfer can only complete); fault-tolerant runs use the configured base
+// timeout plus the worst-case transmission time at the cost model's
+// pessimistic bandwidth.
+net::RetryPolicy hop_retry_policy(const EngineParams& params,
+                                  const core::CostModel& cost_model) {
+  net::RetryPolicy policy;
+  if (params.fault_injector != nullptr) {
+    policy.timeout_base_seconds = params.transfer_timeout_seconds;
+    policy.timeout_pessimistic_bandwidth =
+        cost_model.params().pessimistic_bandwidth;
+  }
+  policy.max_retries = params.max_transfer_retries;
+  policy.backoff_base_seconds = params.retry_backoff_base_seconds;
+  policy.backoff_max_seconds = params.retry_backoff_max_seconds;
+  return policy;
+}
+
 }  // namespace
 
 Engine::Engine(sim::Simulation& sim, net::Network& network,
@@ -67,11 +68,20 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
       workload_(workload),
       params_(params),
       cost_model_(tree, cost_params_from(workload.params(), network.params())),
-      planner_(cost_model_),
-      local_rule_(cost_model_),
       rng_(Rng(params.seed).fork(0xe1e1)),
-      retry_rng_(Rng(params.seed).fork(0xfa17)),
-      faults_active_(params.fault_injector != nullptr) {
+      channel_(network, hop_retry_policy(params, cost_model_),
+               Rng(params.seed).fork(0xfa17)),
+      faults_active_(params.fault_injector != nullptr),
+      obs_(params.obs),
+      policy_(make_adaptation_policy(params.algorithm)),
+      uses_directory_(policy_->uses_directory()),
+      uses_barrier_(policy_->uses_barrier()),
+      adapts_order_(policy_->adapts_order()),
+      // The coordinator only records the references; it never calls back
+      // into the engine during construction.
+      coordinator_(sim, *this, tree, obs_, stats_,
+                   PolicyTraits{uses_directory_, uses_barrier_,
+                                adapts_order_}) {
   WADC_ASSERT(network.num_hosts() == tree.num_hosts(),
               "network/tree host count mismatch");
   WADC_ASSERT(workload.num_servers() == tree.num_servers(),
@@ -82,6 +92,10 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
     params_.fault_injector->add_listener(
         [this](const fault::FaultEvent& ev) { on_fault_event(ev); });
   }
+  channel_.set_retry_listener(
+      [this](net::HostId from, net::HostId to, int attempt) {
+        note_retry(from, to, attempt);
+      });
 
   operators_.resize(static_cast<std::size_t>(tree.num_operators()));
   for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
@@ -104,23 +118,12 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
     hs.directory = std::make_unique<core::OperatorDirectory>(
         start, params_.merge_rule);
     hs.cpu = std::make_unique<sim::Resource>(sim_, 1);
-    hs.release_event = std::make_unique<sim::Event>(sim_);
   }
 
   client_data_ = std::make_unique<sim::Mailbox<DataMessage>>(sim_);
-  client_control_ = std::make_unique<sim::Mailbox<BarrierReport>>(sim_);
 
-  obs_ = params_.obs;
   if (obs_.metrics) {
-    relocations_counter_ = &obs_.metrics->counter("engine.relocations");
-    replans_counter_ = &obs_.metrics->counter("engine.replans");
-    barriers_initiated_counter_ =
-        &obs_.metrics->counter("engine.barriers_initiated");
-    barriers_completed_counter_ =
-        &obs_.metrics->counter("engine.barriers_completed");
     forwards_counter_ = &obs_.metrics->counter("engine.messages_forwarded");
-    barrier_round_seconds_ = &obs_.metrics->histogram(
-        "engine.barrier_round_seconds", obs::exponential_buckets(0.1, 2, 12));
   }
   if (obs_.tracer) {
     for (net::HostId h = 0; h < tree.num_hosts(); ++h) {
@@ -134,10 +137,6 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
       }
     }
   }
-
-  actual_location_.assign(static_cast<std::size_t>(tree.num_operators()),
-                          tree.client_host());
-  epochs_.push_back(PlanEpoch{0, tree, start});
 }
 
 int Engine::operator_side(const core::CombinationTree& tree,
@@ -173,39 +172,9 @@ Engine::HostState& Engine::host_state(net::HostId h) {
   return hosts_[static_cast<std::size_t>(h)];
 }
 
-const Engine::PlanEpoch& Engine::epoch_for(int iteration) const {
-  WADC_ASSERT(!epochs_.empty(), "no plan installed");
-  const PlanEpoch* best = &epochs_.front();
-  for (const PlanEpoch& epoch : epochs_) {
-    if (epoch.start_iteration <= iteration) best = &epoch;
-  }
-  return *best;
-}
-
-const core::Placement& Engine::placement_for(int iteration) const {
-  return epoch_for(iteration).placement;
-}
-
-const core::CombinationTree& Engine::tree_for(int iteration) const {
-  return epoch_for(iteration).tree;
-}
-
-net::HostId Engine::operator_location(core::OperatorId op) const {
-  WADC_ASSERT(op >= 0 &&
-                  static_cast<std::size_t>(op) < actual_location_.size(),
-              "operator id out of range");
-  return actual_location_[static_cast<std::size_t>(op)];
-}
-
 double Engine::directory_bytes() const {
   return params_.directory_entry_bytes *
          static_cast<double>(tree_.num_operators());
-}
-
-void Engine::note_pending_version(OperatorState& st, const Demand& d) {
-  if (d.pending_version > st.pending_version_seen) {
-    st.pending_version_seen = d.pending_version;
-  }
 }
 
 RunStats Engine::run() {
@@ -236,32 +205,13 @@ RunStats Engine::run() {
 }
 
 // ---------------------------------------------------------------------------
-// failure recovery
+// failure surfacing
 
 void Engine::abort_run(std::string reason) {
   if (aborted_) return;
   aborted_ = true;
   stats_.failure_summary.abort_reason = std::move(reason);
   sim_.request_stop();
-}
-
-double Engine::transfer_timeout(double bytes) const {
-  // Base timeout plus the worst-case transmission time at the pessimistic
-  // bandwidth: a transfer that is actually moving on a live link never
-  // times out, only ones stuck behind a dead endpoint or dark link.
-  return params_.transfer_timeout_seconds +
-         bytes / cost_model_.params().pessimistic_bandwidth;
-}
-
-double Engine::retry_backoff(int attempt) {
-  double delay = params_.retry_backoff_base_seconds;
-  for (int i = 0; i < attempt && delay < params_.retry_backoff_max_seconds;
-       ++i) {
-    delay *= 2;
-  }
-  delay = std::min(delay, params_.retry_backoff_max_seconds);
-  // Deterministic jitter in [0.75, 1.25) de-synchronizes retry storms.
-  return delay * (0.75 + 0.5 * retry_rng_.next_double());
 }
 
 void Engine::note_retry(net::HostId from, net::HostId to, int attempt) {
@@ -305,11 +255,13 @@ void Engine::on_fault_event(const fault::FaultEvent& ev) {
           }
         }
       }
-      if (done_ || aborted_ || recovery_in_progress_) return;
+      if (done_ || aborted_ || coordinator_.repair_in_progress()) return;
       for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
-        if (actual_location_[static_cast<std::size_t>(op)] == ev.host) {
-          recovery_in_progress_ = true;
-          sim_.spawn(recovery_replan_process());
+        if (coordinator_.operator_location(op) == ev.host) {
+          // Marked synchronously (still inside the injector's event) so a
+          // second crash in the same instant cannot start a second sweep.
+          coordinator_.mark_repair_started();
+          sim_.spawn(coordinator_.repair_process());
           break;
         }
       }
@@ -328,177 +280,12 @@ void Engine::on_fault_event(const fault::FaultEvent& ev) {
   }
 }
 
-net::HostId Engine::choose_repair_host(core::OperatorId op) {
-  const net::HostId client = tree_.client_host();
-  const core::CombinationTree& t = epochs_.back().tree;
-  const auto site = [&](const core::Child& c) {
-    return c.is_server() ? tree_.server_host(c.index)
-                         : actual_location_[static_cast<std::size_t>(c.index)];
-  };
-  const net::HostId p0 = site(t.left_child(op));
-  const net::HostId p1 = site(t.right_child(op));
-  const core::OperatorId parent = t.parent(op);
-  const net::HostId consumer =
-      parent == core::kNoOperator
-          ? client
-          : actual_location_[static_cast<std::size_t>(parent)];
-
-  // Score every live host with the local-rule cost using the client's cache
-  // (repair is coordinated at the client). Hosts whose links are unmeasured
-  // are skipped; if nothing live is scorable the operator degrades to the
-  // client — with every operator there, the run is effectively
-  // download-all, which needs no cooperation from anyone but the servers.
-  core::CacheResolver resolver(monitoring_.cache(client), sim_.now(),
-                               sim_.now());
-  net::HostId best = client;
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (net::HostId h = 0; h < tree_.num_hosts(); ++h) {
-    if (!network_.host_alive(h)) continue;
-    std::set<core::HostPair> unknown;
-    const double cost =
-        local_rule_.local_cost(h, p0, p1, consumer, resolver, &unknown);
-    if (!unknown.empty()) continue;
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = h;
-    }
-  }
-  return best;
-}
-
-void Engine::apply_repair_move(core::OperatorId op, net::HostId to) {
-  const net::HostId from = actual_location_[static_cast<std::size_t>(op)];
-  actual_location_[static_cast<std::size_t>(op)] = to;
-  ++stats_.relocations;
-  ++stats_.failure_summary.repair_relocations;
-  if (relocations_counter_) relocations_counter_->add();
-  stats_.relocation_trace.push_back(RelocationEvent{sim_.now(), op, from, to});
-  if (obs_.tracer) {
-    obs_.tracer->instant("engine", "repair_relocated", to,
-                         obs::operator_lane(op), sim_.now(),
-                         {{"op", op}, {"from", from}});
-  }
-  if (is_local()) {
-    // The dead origin cannot gossip its own move; the client records it on
-    // the origin's behalf so directories converge on the repair location.
-    core::OperatorDirectory& cdir =
-        *host_state(tree_.client_host()).directory;
-    cdir.record_move(op, to);
-    host_state(to).directory->apply_entry(op, to, cdir.timestamp(op));
-  } else {
-    // Placement-based routing is authoritative for the global family:
-    // patch every epoch (and any pending barrier placement) that still
-    // maps the operator to the dead host.
-    for (auto& epoch : epochs_) {
-      if (epoch.placement.location(op) == from) {
-        epoch.placement.set_location(op, to);
-      }
-    }
-    if (active_barrier_ && active_barrier_->new_placement.location(op) == from) {
-      active_barrier_->new_placement.set_location(op, to);
-    }
-  }
-  // Anything parked on the dead host's release event (barrier stall loops
-  // re-check their condition on wake) must notice the operator has moved.
-  host_state(from).release_event->trigger();
-  WADC_DEBUGLOG("[t=%9.1f] repair: relocated operator %d off dead host %d "
-                "-> host %d",
-                sim_.now(), op, from, to);
-}
-
-sim::Task<void> Engine::recovery_replan_process() {
-  const sim::SimTime began = sim_.now();
-  ++stats_.failure_summary.recovery_replans;
-  if (obs_.metrics) {
-    if (!recovery_replans_counter_) {
-      recovery_replans_counter_ =
-          &obs_.metrics->counter("engine.recovery_replans");
-    }
-    recovery_replans_counter_->add();
-  }
-  if (obs_.tracer) {
-    obs_.tracer->instant("engine", "recovery_replan", tree_.client_host(),
-                         obs::kControlLane, sim_.now(), {});
-  }
-  // Repair until no operator sits on a dead host (more hosts may die while
-  // we work; the sweep restarts until the placement is clean).
-  for (;;) {
-    if (done_ || aborted_) break;
-    core::OperatorId stranded = core::kNoOperator;
-    for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
-      if (!network_.host_alive(
-              actual_location_[static_cast<std::size_t>(op)])) {
-        stranded = op;
-        break;
-      }
-    }
-    if (stranded == core::kNoOperator) break;
-    const net::HostId to = choose_repair_host(stranded);
-    // The move is a re-install from the client's code repository (§3): the
-    // dead host cannot ship state, and the light-move window guarantees the
-    // operator holds no output. Free when the target is the client itself.
-    co_await hop(tree_.client_host(), to, params_.operator_move_bytes,
-                 params_.control_priority);
-    if (done_ || aborted_) break;
-    if (!network_.host_alive(
-            actual_location_[static_cast<std::size_t>(stranded)])) {
-      apply_repair_move(stranded,
-                        network_.host_alive(to) ? to : tree_.client_host());
-    }
-  }
-  stats_.failure_summary.recovery_seconds_total += sim_.now() - began;
-  recovery_in_progress_ = false;
-}
-
-sim::Task<void> Engine::release_host(net::HostId h, int version) {
-  int round = 0;
-  while (!co_await hop(tree_.client_host(), h, params_.control_bytes,
-                       params_.control_priority)) {
-    if (done_ || aborted_) co_return;
-    co_await sim_.delay(retry_backoff(round++));
-  }
-  HostState& hs = host_state(h);
-  if (version > hs.released_version) {
-    hs.released_version = version;
-    hs.release_event->trigger();
-  }
-  WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
-                version, h);
-}
-
-void Engine::sanitize_placement(core::Placement& placement) const {
-  for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
-    if (!network_.host_alive(placement.location(op))) {
-      placement.set_location(op, tree_.client_host());
-    }
-  }
-}
-
 // ---------------------------------------------------------------------------
 // start-up
 
 sim::Task<void> Engine::orchestrate() {
-  core::CombinationTree initial_tree = tree_;
-  core::Placement initial = core::Placement::all_at_client(tree_);
-  const sim::SimTime plan_begin = sim_.now();
-  if (adapts_order()) {
-    // Extension: choose the combination order and the placement jointly
-    // from probed bandwidth.
-    auto outcome = co_await plan_order_with_probes();
-    initial_tree = std::move(outcome.tree);
-    initial = std::move(outcome.placement);
-  } else if (params_.algorithm != core::AlgorithmKind::kDownloadAll) {
-    // §2.1: the one-shot algorithm positions operators before computation
-    // starts, measuring (probing) only the links the search touches.
-    auto outcome = co_await plan_with_probes(initial);
-    initial = std::move(outcome.placement);
-  }
-  if (obs_.tracer &&
-      params_.algorithm != core::AlgorithmKind::kDownloadAll) {
-    obs_.tracer->complete("plan", "initial_plan", tree_.client_host(),
-                          obs::kControlLane, plan_begin, sim_.now(),
-                          {{"plan_rounds", stats_.plan_rounds}});
-  }
+  StartupPlan plan = co_await policy_->plan_startup(*this);
+  core::Placement initial = std::move(plan.placement);
 
   // Install operators at their start-up locations: control message per
   // off-client operator ("installing all the code at all servers and using
@@ -517,10 +304,9 @@ sim::Task<void> Engine::orchestrate() {
       }
     }
     if (loc != initial.location(op)) initial.set_location(op, loc);
-    actual_location_[static_cast<std::size_t>(op)] = loc;
+    coordinator_.set_location(op, loc);
   }
-  epochs_.clear();
-  epochs_.push_back(PlanEpoch{0, std::move(initial_tree), initial});
+  coordinator_.install_startup_plan(std::move(plan.tree), initial);
   for (auto& hs : hosts_) {
     hs.directory = std::make_unique<core::OperatorDirectory>(
         initial, params_.merge_rule);
@@ -533,202 +319,7 @@ sim::Task<void> Engine::orchestrate() {
     sim_.spawn(operator_process(op));
   }
   sim_.spawn(client_process());
-  if (is_global()) sim_.spawn(global_replanner_process());
-}
-
-sim::Task<core::PlanOutcome> Engine::plan_with_probes(
-    core::Placement initial) {
-  if (params_.oracle_bandwidth) {
-    // Ablation: idealized planning from ground truth, no probe traffic.
-    core::OracleResolver oracle(network_.links(), sim_.now());
-    core::PlanOutcome outcome = planner_.plan(oracle, std::move(initial));
-    ++stats_.plan_rounds;
-    co_return outcome;
-  }
-  const net::HostId client = tree_.client_host();
-  const sim::SimTime session_start = sim_.now();
-  core::PlanOutcome outcome;
-  for (int round = 0;; ++round) {
-    core::CacheResolver resolver(monitoring_.cache(client), sim_.now(),
-                                 session_start);
-    outcome = planner_.plan(resolver, initial);
-    ++stats_.plan_rounds;
-    if (outcome.unknown_pairs.empty() ||
-        round >= params_.max_plan_probe_rounds) {
-      break;
-    }
-    for (const auto& [a, b] : outcome.unknown_pairs) {
-      co_await monitoring_.fetch_bandwidth(client, a, b);
-    }
-  }
-  co_return outcome;
-}
-
-sim::Task<core::OrderPlanOutcome> Engine::plan_order_with_probes() {
-  const net::HostId client = tree_.client_host();
-  const sim::SimTime session_start = sim_.now();
-  core::OrderPlannerOptions options;
-  options.fix_at_client =
-      params_.algorithm == core::AlgorithmKind::kReorderOnly;
-  const core::OrderPlanner planner(tree_.num_servers(), cost_model_.params(),
-                                   core::OneShotParams{}, options);
-  core::OrderPlanOutcome outcome;
-  for (int round = 0;; ++round) {
-    core::CacheResolver resolver(monitoring_.cache(client), sim_.now(),
-                                 session_start);
-    outcome = planner.plan(resolver);
-    ++stats_.plan_rounds;
-    if (outcome.unknown_pairs.empty() ||
-        round >= params_.max_plan_probe_rounds) {
-      break;
-    }
-    for (const auto& [a, b] : outcome.unknown_pairs) {
-      co_await monitoring_.fetch_bandwidth(client, a, b);
-    }
-  }
-  co_return outcome;
-}
-
-// ---------------------------------------------------------------------------
-// messaging
-
-sim::Task<bool> Engine::hop(net::HostId from, net::HostId to, double bytes,
-                            int priority) {
-  if (from == to) co_return true;
-  for (int attempt = 0;; ++attempt) {
-    // Rebuild the piggyback payload and directory snapshot per attempt:
-    // the sender's knowledge may have advanced during the backoff.
-    const auto payload = monitoring_.piggyback_payload(from);
-    double total = bytes + monitoring_.payload_bytes(payload);
-    std::unique_ptr<core::OperatorDirectory> directory_snapshot;
-    if (is_local()) {
-      // §2.3: location/timestamp vectors ride on every outgoing message.
-      total += directory_bytes();
-      directory_snapshot = std::make_unique<core::OperatorDirectory>(
-          *host_state(from).directory);
-    }
-    const double timeout =
-        faults_active_ ? transfer_timeout(total) : net::kNoTransferTimeout;
-    const auto rec =
-        co_await network_.transfer(from, to, total, priority, timeout);
-    if (rec.ok()) {
-      monitoring_.deliver_payload(to, payload);
-      if (directory_snapshot) {
-        host_state(to).directory->merge(*directory_snapshot);
-      }
-      co_return true;
-    }
-    if (attempt >= params_.max_transfer_retries || done_ || aborted_) {
-      co_return false;
-    }
-    note_retry(from, to, attempt);
-    co_await sim_.delay(retry_backoff(attempt));
-  }
-}
-
-net::HostId Engine::believed_location(net::HostId from_host,
-                                      core::OperatorId target,
-                                      int iteration) const {
-  if (is_local()) {
-    return hosts_[static_cast<std::size_t>(from_host)].directory->location(
-        target);
-  }
-  return placement_for(iteration).location(target);
-}
-
-sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
-                                                 core::OperatorId target,
-                                                 int iteration, double bytes,
-                                                 int priority) {
-  const net::HostId believed = believed_location(from, target, iteration);
-  if (!co_await hop(from, believed, bytes, priority)) {
-    co_return net::kInvalidHost;
-  }
-  if (!is_local()) {
-    // Placement-based routing is authoritative: the change-over protocol
-    // guarantees the operator is (or is about to be) at this host for this
-    // iteration.
-    co_return believed;
-  }
-  // The local algorithm can be stale; the old host forwards (it performed
-  // the move, so it knows the new location).
-  net::HostId at = believed;
-  int forwards = 0;
-  while (at != actual_location_[static_cast<std::size_t>(target)]) {
-    if (faults_active_) {
-      // Repair can move an operator several times while a message chases
-      // it; give up (and let the caller re-resolve) rather than assert.
-      if (++forwards > 8 + tree_.num_hosts()) co_return net::kInvalidHost;
-    } else {
-      WADC_ASSERT(params_.forwarding_enabled,
-                  "stale operator route with forwarding disabled");
-      WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
-    }
-    const net::HostId next =
-        actual_location_[static_cast<std::size_t>(target)];
-    if (obs_.tracer) {
-      obs_.tracer->instant("engine", "stale_forward", at,
-                           obs::operator_lane(target), sim_.now(),
-                           {{"op", target}, {"next", next}});
-    }
-    if (!co_await hop(at, next, bytes, priority)) {
-      co_return net::kInvalidHost;
-    }
-    ++stats_.messages_forwarded;
-    if (forwards_counter_) forwards_counter_->add();
-    at = next;
-  }
-  co_return at;
-}
-
-sim::Task<bool> Engine::send_demand_to_child(core::OperatorId from_op,
-                                             const core::Child& child,
-                                             Demand demand) {
-  OperatorState& st = op_state(from_op);
-  const net::HostId from =
-      actual_location_[static_cast<std::size_t>(from_op)];
-  if (is_global() && demand.pending_version > 0) {
-    st.pending_version_forwarded =
-        std::max(st.pending_version_forwarded, demand.pending_version);
-  }
-  if (child.is_server()) {
-    if (!co_await hop(from, tree_.server_host(child.index),
-                      params_.demand_bytes, net::kDataPriority)) {
-      co_return false;
-    }
-    servers_[static_cast<std::size_t>(child.index)].demands->send(demand);
-  } else {
-    if (co_await route_to_operator(from, child.index, demand.iteration,
-                                   params_.demand_bytes, net::kDataPriority) ==
-        net::kInvalidHost) {
-      co_return false;
-    }
-    op_state(child.index).demands->send(demand);
-  }
-  co_return true;
-}
-
-sim::Task<bool> Engine::send_data_to_consumer(core::OperatorId producer,
-                                              DataMessage message) {
-  const net::HostId from =
-      actual_location_[static_cast<std::size_t>(producer)];
-  const core::OperatorId parent =
-      tree_for(message.iteration).parent(producer);
-  if (parent == core::kNoOperator) {
-    if (!co_await hop(from, tree_.client_host(), message.image.bytes,
-                      net::kDataPriority)) {
-      co_return false;
-    }
-    client_data_->send(message);
-  } else {
-    if (co_await route_to_operator(from, parent, message.iteration,
-                                   message.image.bytes, net::kDataPriority) ==
-        net::kInvalidHost) {
-      co_return false;
-    }
-    op_state(parent).data->send(message);
-  }
-  co_return true;
+  if (uses_barrier_) sim_.spawn(coordinator_.replanner_process(*policy_));
 }
 
 // ---------------------------------------------------------------------------
@@ -746,7 +337,7 @@ sim::Task<void> Engine::client_process() {
     // definition (§2.3).
     d.marked_later = true;
     d.consumer_on_critical_path = true;
-    d.pending_version = active_barrier_ ? active_barrier_->version : 0;
+    d.pending_version = coordinator_.pending_version();
 
     int round = 0;
     while (co_await route_to_operator(tree_.client_host(), root, iter,
@@ -795,14 +386,14 @@ sim::Task<void> Engine::server_process(int server) {
     // once; only an order-changing change-over can reorder arrivals
     // (the new consumer's first demand racing the old consumer's last).
     Demand d = co_await st.demands->receive();
-    if (params_.check_invariants && !adapts_order()) {
+    if (params_.check_invariants && !adapts_order_) {
       WADC_ASSERT(d.iteration == expected_next,
                   "server demand out of order");
     }
     expected_next = d.iteration + 1;
     max_server_iteration_ = std::max(max_server_iteration_, d.iteration);
 
-    if (is_global() && d.pending_version > st.pending_version_seen) {
+    if (uses_barrier_ && d.pending_version > st.pending_version_seen) {
       // §2.2: first sight of a pending placement — report the current
       // iteration number to the client and suspend until released.
       st.pending_version_seen = d.pending_version;
@@ -816,11 +407,8 @@ sim::Task<void> Engine::server_process(int server) {
         if (done_ || aborted_) co_return;
         co_await sim_.delay(retry_backoff(std::min(round++, 5)));
       }
-      client_control_->send(report);
-      HostState& hs = host_state(host);
-      while (hs.released_version < d.pending_version) {
-        co_await hs.release_event->wait();
-      }
+      coordinator_.deliver_report(report);
+      co_await coordinator_.await_release(host, d.pending_version);
     }
 
     // Copy what this demand needs from its epoch before suspending again.
@@ -862,7 +450,7 @@ sim::Task<Demand> Engine::receive_demand_for(core::OperatorId op,
     WADC_ASSERT(d.iteration > iteration,
                 "duplicate or stale demand at operator ", op);
     // Version information must not wait in the stash.
-    note_pending_version(st, d);
+    coordinator_.note_pending_version(op, d.pending_version);
     st.demand_stash.emplace(d.iteration, d);
   }
 }
@@ -873,9 +461,9 @@ sim::Task<void> Engine::operator_process(core::OperatorId op) {
   std::optional<workload::ImageSpec> held;
   for (int iter = 0; iter < n; ++iter) {
     Demand d = co_await receive_demand_for(op, iter);
-    if (d.marked_later) ++st.later_marks;
-    st.consumer_on_critical_path = d.consumer_on_critical_path;
-    note_pending_version(st, d);
+    if (d.marked_later) ++st.critical.later_marks;
+    st.critical.consumer_on_critical_path = d.consumer_on_critical_path;
+    coordinator_.note_pending_version(op, d.pending_version);
 
     if (!held) {
       // Only possible on the first iteration: nothing prefetched yet.
@@ -883,7 +471,7 @@ sim::Task<void> Engine::operator_process(core::OperatorId op) {
     }
     co_await dispatch(op, iter, *held);
     held.reset();
-    ++st.dispatches;
+    ++st.critical.dispatches;
 
     // §2: "Relocation of an operator can occur after it has dispatched its
     // output and before it requests new data."
@@ -898,15 +486,15 @@ sim::Task<void> Engine::operator_process(core::OperatorId op) {
 sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
                                                          int iteration) {
   OperatorState& st = op_state(op);
-  st.next_fetch_iteration = iteration;
+  coordinator_.note_fetch(op, iteration);
   const core::CombinationTree& t = tree_for(iteration);
   const core::Child children[2] = {t.left_child(op), t.right_child(op)};
   for (int side = 0; side < 2; ++side) {
     Demand d;
     d.iteration = iteration;
-    d.marked_later = st.last_later_side == side;
-    d.consumer_on_critical_path = st.on_critical_path;
-    d.pending_version = st.pending_version_seen;
+    d.marked_later = st.critical.last_later_side == side;
+    d.consumer_on_critical_path = st.critical.on_critical_path;
+    d.pending_version = coordinator_.pending_version_seen(op);
     int round = 0;
     while (!co_await send_demand_to_child(op, children[side], d)) {
       if (done_ || aborted_) co_return workload::ImageSpec{};
@@ -919,26 +507,26 @@ sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
               "input iteration mismatch at operator ", op);
   WADC_ASSERT(first.producer_side != second.producer_side,
               "duplicate input side at operator ", op);
-  st.last_later_side = second.producer_side;
+  st.critical.last_later_side = second.producer_side;
 
   const workload::ImageSpec& left =
       first.producer_side == 0 ? first.image : second.image;
   const workload::ImageSpec& right =
       first.producer_side == 0 ? second.image : first.image;
   const workload::ImageSpec out = workload::compose(left, right);
-  co_await compute_at(actual_location_[static_cast<std::size_t>(op)],
+  co_await compute_at(coordinator_.operator_location(op),
                       workload_.compose_seconds(out));
   co_return out;
 }
 
 sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,
                                  const workload::ImageSpec& image) {
-  if (params_.check_invariants && !is_local() && !faults_active_) {
+  if (params_.check_invariants && !uses_directory_ && !faults_active_) {
     // Coordinated change-over invariant: data always flows along edges of
     // the placement in force for its iteration (the Figure 3 hazard).
     // Repair moves are deliberately out-of-cycle, so the invariant does
     // not hold while faults are being injected.
-    WADC_ASSERT(actual_location_[static_cast<std::size_t>(op)] ==
+    WADC_ASSERT(coordinator_.operator_location(op) ==
                     placement_for(iteration).location(op),
                 "operator ", op, " dispatching iteration ", iteration,
                 " from a host not in the active placement");
@@ -947,7 +535,7 @@ sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,
   m.image = image;
   m.iteration = iteration;
   m.producer_side = operator_side(tree_for(iteration), op);
-  const net::HostId host = actual_location_[static_cast<std::size_t>(op)];
+  const net::HostId host = coordinator_.operator_location(op);
   const sim::SimTime begin = sim_.now();
   int round = 0;
   while (!co_await send_data_to_consumer(op, m)) {
@@ -972,346 +560,10 @@ sim::Task<void> Engine::compute_at(net::HostId host, double seconds) {
 
 sim::Task<void> Engine::relocation_window(core::OperatorId op,
                                           int iteration) {
-  if (is_local()) {
-    co_await local_epoch_action(op);
-    co_return;
-  }
-  if (!is_global()) co_return;
-
-  OperatorState& st = op_state(op);
-  // If we have already propagated a pending placement toward the servers,
-  // do not fetch further until the switch iteration is known: this closes
-  // the race between the release broadcast and resumed data flow.
-  const sim::SimTime stall_begin = sim_.now();
-  while (active_barrier_ &&
-         st.pending_version_forwarded >= active_barrier_->version &&
-         host_state(actual_location_[static_cast<std::size_t>(op)])
-                 .released_version < active_barrier_->version) {
-    WADC_DEBUGLOG("[t=%9.1f] operator %d (host %d) waiting for release",
-                  sim_.now(), op,
-                  actual_location_[static_cast<std::size_t>(op)]);
-    co_await host_state(actual_location_[static_cast<std::size_t>(op)])
-        .release_event->wait();
-  }
-  if (obs_.tracer && sim_.now() > stall_begin) {
-    // The operator sat out the change-over waiting for the release
-    // broadcast — dead time the barrier design charges this host.
-    obs_.tracer->complete(
-        "barrier", "barrier_stall",
-        actual_location_[static_cast<std::size_t>(op)],
-        obs::operator_lane(op), stall_begin, sim_.now(), {{"op", op}});
-  }
-
-  if (active_barrier_ && active_barrier_->switch_iteration &&
-      active_barrier_->version > st.moved_for_version &&
-      iteration + 1 >= *active_barrier_->switch_iteration) {
-    const int version = active_barrier_->version;
-    st.moved_for_version = version;
-    const net::HostId target = active_barrier_->new_placement.location(op);
-    if (target != actual_location_[static_cast<std::size_t>(op)]) {
-      co_await relocate_operator(op, target);
-    }
-    // Retire the barrier once every operator has applied it.
-    if (active_barrier_ && active_barrier_->version == version) {
-      if (++active_barrier_->moves_applied == tree_.num_operators() &&
-          active_barrier_->broadcast_done) {
-        complete_barrier();
-      }
-    }
-  }
-}
-
-sim::Task<void> Engine::local_epoch_action(core::OperatorId op) {
-  OperatorState& st = op_state(op);
-  const double epoch_len =
-      params_.relocation_period_seconds / static_cast<double>(tree_.depth());
-  const auto epoch_index =
-      static_cast<std::int64_t>(sim_.now() / epoch_len);
-  if (epoch_index <= st.last_epoch_acted) co_return;
-  if (epoch_index % tree_.depth() != tree_.level(op)) co_return;
-  st.last_epoch_acted = epoch_index;
-
-  // §2.3: on the critical path iff marked the later producer more than half
-  // the times we dispatched during the epoch, and our consumer is too.
-  const bool majority_later =
-      st.dispatches > 0 && 2 * st.later_marks > st.dispatches;
-  st.on_critical_path = majority_later && st.consumer_on_critical_path;
-  st.later_marks = 0;
-  st.dispatches = 0;
-  if (!st.on_critical_path) co_return;
-
-  const net::HostId self = actual_location_[static_cast<std::size_t>(op)];
-  const core::OperatorDirectory& dir = *host_state(self).directory;
-  const auto child_site = [&](const core::Child& c) {
-    return c.is_server() ? tree_.server_host(c.index) : dir.location(c.index);
-  };
-  const net::HostId p0 = child_site(tree_.left_child(op));
-  const net::HostId p1 = child_site(tree_.right_child(op));
-  const core::OperatorId parent = tree_.parent(op);
-  const net::HostId consumer =
-      parent == core::kNoOperator ? tree_.client_host() : dir.location(parent);
-
-  // k extra random candidate sites from the remaining hosts (Figure 7).
-  std::vector<net::HostId> extras;
-  if (params_.local_extra_candidates > 0) {
-    std::vector<net::HostId> pool;
-    for (net::HostId h = 0; h < tree_.num_hosts(); ++h) {
-      if (faults_active_ && !network_.host_alive(h)) continue;
-      if (h != self && h != p0 && h != p1 && h != consumer) pool.push_back(h);
-    }
-    const std::size_t k =
-        std::min(pool.size(),
-                 static_cast<std::size_t>(params_.local_extra_candidates));
-    for (const std::size_t i :
-         rng_.sample_without_replacement(pool.size(), k)) {
-      extras.push_back(pool[i]);
-    }
-  }
-
-  const sim::SimTime session_start = sim_.now();
-  core::CacheResolver resolver(monitoring_.cache(self), sim_.now(),
-                               session_start);
-  core::LocalDecision decision =
-      local_rule_.choose(self, p0, p1, consumer, extras, resolver);
-  if (!decision.unknown_pairs.empty() &&
-      monitoring_.params().probing_enabled) {
-    // Additional candidate links have to be monitored (§5); probe them,
-    // then decide again with the samples this session gathered.
-    for (const auto& [a, b] : decision.unknown_pairs) {
-      co_await monitoring_.fetch_bandwidth(self, a, b);
-    }
-    core::CacheResolver fresh(monitoring_.cache(self), sim_.now(),
-                              session_start);
-    decision = local_rule_.choose(self, p0, p1, consumer, extras, fresh);
-  }
-  if (decision.moved) {
-    if (faults_active_ && !network_.host_alive(decision.chosen)) co_return;
-    co_await relocate_operator(op, decision.chosen);
-  }
-}
-
-sim::Task<void> Engine::relocate_operator(core::OperatorId op,
-                                          net::HostId to) {
-  const net::HostId from = actual_location_[static_cast<std::size_t>(op)];
-  if (faults_active_ && from == to) co_return;  // repaired to target already
-  WADC_ASSERT(from != to, "relocating operator to its current host");
-  const sim::SimTime begin = sim_.now();
-  // Light-move: the operator holds no output in this window, so its state
-  // is one small control message.
-  if (!co_await hop(from, to, params_.operator_move_bytes,
-                    params_.control_priority)) {
-    co_return;  // fault mode only: the move failed; stay put
-  }
-  if (faults_active_ &&
-      actual_location_[static_cast<std::size_t>(op)] != from) {
-    co_return;  // a repair relocated the operator while the move was in flight
-  }
-  actual_location_[static_cast<std::size_t>(op)] = to;
-  if (obs_.tracer) {
-    obs_.tracer->complete("engine", "light_move", from,
-                          obs::operator_lane(op), begin, sim_.now(),
-                          {{"op", op}, {"from", from}, {"to", to}});
-    obs_.tracer->instant("engine", "relocated", to, obs::operator_lane(op),
-                         sim_.now(), {{"op", op}, {"from", from}});
-  }
-  if (relocations_counter_) relocations_counter_->add();
-  if (is_local()) {
-    // §2.3: "the original site updates the corresponding entry in the
-    // location vector and increments ... the timestamp vector."
-    core::OperatorDirectory& origin = *host_state(from).directory;
-    origin.record_move(op, to);
-    host_state(to).directory->apply_entry(op, to, origin.timestamp(op));
-  }
-  ++stats_.relocations;
-  stats_.relocation_trace.push_back(
-      RelocationEvent{sim_.now(), op, from, to});
-  WADC_DEBUGLOG("[t=%9.1f] relocated operator %d: host %d -> host %d",
-                sim_.now(), op, from, to);
-}
-
-// ---------------------------------------------------------------------------
-// global replanning
-
-sim::Task<void> Engine::global_replanner_process() {
-  const int n = total_iterations();
-  // A change-over needs every server to see the pending version on a
-  // future demand; the wave takes up to one tree depth of iterations to
-  // propagate while servers advance by up to another depth. Stop planning
-  // once the most-advanced server is too close to the end.
-  const auto too_late = [this, n] {
-    const int depth_now = epochs_.back().tree.depth();
-    return max_server_iteration_ + 2 * depth_now +
-               params_.barrier_guard_iterations >=
-           n;
-  };
-  for (;;) {
-    co_await sim_.delay(params_.relocation_period_seconds);
-    if (done_) co_return;
-    if (active_barrier_) continue;  // previous change-over still in flight
-    if (too_late()) co_return;
-
-    WADC_DEBUGLOG("[t=%9.1f] replanner: planning (client at %d)", sim_.now(),
-                  client_next_iteration_);
-    const sim::SimTime replan_begin = sim_.now();
-    core::CombinationTree new_tree = epochs_.back().tree;
-    core::Placement new_placement = epochs_.back().placement;
-    bool changed = false;
-    if (adapts_order()) {
-      auto outcome = co_await plan_order_with_probes();
-      // Adopt the candidate only if it strictly beats the current plan
-      // under the same (post-probing) bandwidth knowledge.
-      core::CacheResolver resolver(
-          monitoring_.cache(tree_.client_host()), sim_.now(), sim_.now());
-      const core::CostModel current_model(epochs_.back().tree,
-                                          cost_model_.params());
-      const double current_cost = current_model.placement_cost(
-          epochs_.back().placement, resolver);
-      if (outcome.cost < params_.order_adoption_threshold * current_cost) {
-        new_tree = std::move(outcome.tree);
-        new_placement = std::move(outcome.placement);
-        changed = true;
-      }
-    } else {
-      auto outcome = co_await plan_with_probes(epochs_.back().placement);
-      changed = !(outcome.placement == epochs_.back().placement);
-      new_placement = std::move(outcome.placement);
-    }
-    ++stats_.replans;
-    if (replans_counter_) replans_counter_->add();
-    if (obs_.tracer) {
-      obs_.tracer->complete("plan", "replan", tree_.client_host(),
-                            obs::kControlLane, replan_begin, sim_.now(),
-                            {{"changed", changed ? 1 : 0},
-                             {"client_iteration", client_next_iteration_}});
-    }
-    WADC_DEBUGLOG("[t=%9.1f] replanner: %s", sim_.now(),
-                  changed ? "CHANGED" : "unchanged");
-    if (done_) co_return;
-    if (faults_active_) {
-      // The plan was computed from possibly-stale knowledge; never adopt a
-      // placement that targets a currently-dead host.
-      sanitize_placement(new_placement);
-      changed = changed || !(new_placement == epochs_.back().placement);
-    }
-    if (!changed) continue;
-    if (active_barrier_) continue;
-    if (too_late()) co_return;  // probing took time; re-check
-
-    Barrier b;
-    b.version = next_version_++;
-    b.new_tree = std::move(new_tree);
-    b.new_placement = std::move(new_placement);
-    b.initiated_at = sim_.now();
-    active_barrier_ = std::move(b);
-    ++stats_.barriers_initiated;
-    if (barriers_initiated_counter_) barriers_initiated_counter_->add();
-    if (obs_.tracer) {
-      obs_.tracer->instant("barrier", "barrier_initiated",
-                           tree_.client_host(), obs::kControlLane, sim_.now(),
-                           {{"version", active_barrier_->version}});
-    }
-    sim_.spawn(barrier_coordinator(active_barrier_->version));
-  }
-}
-
-sim::Task<void> Engine::barrier_coordinator(int version) {
-  // Gather one report per server (§2.2).
-  const sim::SimTime collect_begin = sim_.now();
-  int reports = 0;
-  int max_reported = 0;
-  const int servers = tree_.num_servers();
-  while (reports < servers) {
-    BarrierReport r = co_await client_control_->receive();
-    if (r.version != version) continue;  // stale duplicate
-    ++reports;
-    max_reported = std::max(max_reported, r.iteration);
-    if (obs_.tracer) {
-      obs_.tracer->instant("barrier", "barrier_report", tree_.client_host(),
-                           obs::kControlLane, sim_.now(),
-                           {{"version", version},
-                            {"server", r.server},
-                            {"iteration", r.iteration}});
-    }
-    WADC_DEBUGLOG("[t=%9.1f] barrier v%d: report %d/%d (server %d @ iter %d)",
-                  sim_.now(), version, reports, servers, r.server,
-                  r.iteration);
-  }
-  if (obs_.tracer) {
-    obs_.tracer->complete("barrier", "barrier_collect", tree_.client_host(),
-                          obs::kControlLane, collect_begin, sim_.now(),
-                          {{"version", version}, {"reports", reports}});
-  }
-
-  // Switch strictly after every partition in flight: atomic change-over.
-  const int switch_iteration = max_reported + 1;
-  WADC_ASSERT(active_barrier_ && active_barrier_->version == version,
-              "barrier vanished mid-coordination");
-  active_barrier_->switch_iteration = switch_iteration;
-  WADC_DEBUGLOG("[t=%9.1f] barrier v%d: switch at iteration %d", sim_.now(),
-                version, switch_iteration);
-  epochs_.push_back(PlanEpoch{switch_iteration, active_barrier_->new_tree,
-                              active_barrier_->new_placement});
-  if (params_.check_invariants) {
-    for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
-      WADC_ASSERT(op_state(op).next_fetch_iteration < switch_iteration,
-                  "operator fetched past the change-over point");
-    }
-  }
-
-  // Broadcast the release — high-priority barrier messages (§2.2). The
-  // client host releases locally: operators co-located with the client wait
-  // on the same per-host event.
-  const sim::SimTime broadcast_begin = sim_.now();
-  {
-    HostState& hs = host_state(tree_.client_host());
-    hs.released_version = version;
-    hs.release_event->trigger();
-  }
-  if (faults_active_) {
-    // One independent release task per host: a dead host retries in the
-    // background without stalling the releases of live ones.
-    for (net::HostId h = 1; h < tree_.num_hosts(); ++h) {
-      sim_.spawn(release_host(h, version));
-    }
-  } else {
-    for (net::HostId h = 1; h < tree_.num_hosts(); ++h) {
-      co_await hop(tree_.client_host(), h, params_.control_bytes,
-                   params_.control_priority);
-      HostState& hs = host_state(h);
-      hs.released_version = version;
-      hs.release_event->trigger();
-      WADC_DEBUGLOG("[t=%9.1f] barrier v%d: released host %d", sim_.now(),
-                    version, h);
-    }
-  }
-  if (obs_.tracer) {
-    obs_.tracer->complete("barrier", "barrier_broadcast", tree_.client_host(),
-                          obs::kControlLane, broadcast_begin, sim_.now(),
-                          {{"version", version},
-                           {"switch_iteration", switch_iteration}});
-  }
-
-  if (active_barrier_ && active_barrier_->version == version) {
-    active_barrier_->broadcast_done = true;
-    if (active_barrier_->moves_applied == tree_.num_operators()) {
-      complete_barrier();
-    }
-  }
-}
-
-void Engine::complete_barrier() {
-  WADC_ASSERT(active_barrier_, "no barrier to complete");
-  const sim::SimTime round = sim_.now() - active_barrier_->initiated_at;
-  const int version = active_barrier_->version;
-  active_barrier_.reset();
-  ++stats_.barriers_completed;
-  if (barriers_completed_counter_) barriers_completed_counter_->add();
-  if (barrier_round_seconds_) barrier_round_seconds_->observe(round);
-  if (obs_.tracer) {
-    obs_.tracer->instant("barrier", "barrier_complete", tree_.client_host(),
-                         obs::kControlLane, sim_.now(),
-                         {{"version", version}, {"round_s", round}});
-  }
+  // Both halves are no-ops when the policy does not use them, so awaiting
+  // them unconditionally adds no simulation events.
+  co_await policy_->relocation_window(*this, op);
+  co_await coordinator_.operator_window(op, iteration);
 }
 
 }  // namespace wadc::dataflow

@@ -1,32 +1,34 @@
 // The demand-driven, relocatable dataflow engine.
 //
 // This is the system under study: servers at the leaves, combination
-// operators at internal nodes, the client at the root (§2). The engine runs
-// the full protocol over the simulated network:
+// operators at internal nodes, the client at the root (§2). Since the
+// layer split (docs/ARCHITECTURE.md) the engine itself owns only the
+// dataflow protocol — demand-driven pipelining (every node holds one
+// output partition, dispatches it when its consumer asks, requests new
+// inputs only after dispatching, and prefetches one partition ahead),
+// message routing with stale-location forwarding, and fault surfacing.
+// Everything else is layered around it:
 //
-//   - demand-driven pipelining: every node holds one output partition and
-//     dispatches it when its consumer asks; it requests new inputs only
-//     after dispatching, and prefetches one partition ahead;
-//   - light-move relocation windows: an operator may be relocated only
-//     between dispatching its output and requesting new data (§2);
-//   - the one-shot algorithm at start-up (with on-demand probing of the
-//     links the branch-and-bound search actually touches, §2.1);
-//   - the global algorithm: periodic replanning at the client from the
-//     current placement plus the barrier-based coordinated change-over with
-//     high-priority barrier messages (§2.2);
-//   - the local algorithm: staggered epochs per tree level, later-producer
-//     marking to detect the critical path in a distributed way, local
-//     critical-path improvement with optional extra random candidate sites,
-//     and timestamp/location-vector propagation piggybacked on every
-//     message (§2.3);
-//   - the download-all baseline (§4).
+//   - transport (net::ReliableChannel): per-hop timeouts and
+//     capped-backoff retries for every message the engine sends;
+//   - adaptation policy (dataflow::AdaptationPolicy): one strategy per
+//     AlgorithmKind — start-up planning (§2.1), periodic replanning
+//     decisions (§2.2), and the local algorithm's epoch actions (§2.3).
+//     The engine never branches on AlgorithmKind; it caches the policy's
+//     traits and calls its hooks;
+//   - change-over (dataflow::ChangeOverCoordinator): plan epochs, operator
+//     locations, the §2.2 barrier protocol, light-move relocation (§2),
+//     and fault-repair relocation.
+//
+// Policies and the coordinator reach back into the engine only through the
+// EngineServices interface (engine_services.h), which the engine
+// implements privately.
 //
 // The engine's RunStats expose completion time, per-image arrival times and
 // adaptation counters; the experiment harness builds every figure of the
 // paper from them.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -34,15 +36,17 @@
 
 #include "common/rng.h"
 #include "core/cost_model.h"
-#include "core/local_rule.h"
-#include "core/one_shot.h"
-#include "core/order_planner.h"
 #include "core/operator_directory.h"
+#include "dataflow/adaptation_policy.h"
+#include "dataflow/change_over.h"
 #include "dataflow/engine_params.h"
+#include "dataflow/engine_services.h"
 #include "dataflow/messages.h"
+#include "dataflow/run_stats.h"
 #include "fault/injector.h"
 #include "monitor/monitoring_system.h"
 #include "net/network.h"
+#include "net/reliable_transfer.h"
 #include "sim/mailbox.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
@@ -51,7 +55,7 @@
 
 namespace wadc::dataflow {
 
-class Engine {
+class Engine : private EngineServices {
  public:
   Engine(sim::Simulation& sim, net::Network& network,
          monitor::MonitoringSystem& monitoring,
@@ -70,10 +74,16 @@ class Engine {
   // of completed change-overs). Every iteration executes entirely under one
   // (tree, placement) epoch; the order-adaptive extension switches both
   // atomically at the change-over barrier.
-  const core::Placement& placement_for(int iteration) const;
-  const core::CombinationTree& tree_for(int iteration) const;
+  const core::Placement& placement_for(int iteration) const {
+    return coordinator_.placement_for(iteration);
+  }
+  const core::CombinationTree& tree_for(int iteration) const {
+    return coordinator_.tree_for(iteration);
+  }
   // Where each operator physically is right now.
-  net::HostId operator_location(core::OperatorId op) const;
+  net::HostId operator_location(core::OperatorId op) const override {
+    return coordinator_.operator_location(op);
+  }
 
   const RunStats& stats() const { return stats_; }
 
@@ -87,18 +97,8 @@ class Engine {
     // before the demand for M-1 (old consumer). Demands are consumed in
     // iteration order through this stash.
     std::map<int, Demand> demand_stash;
-    // Later-producer bookkeeping (§2.3).
-    int later_marks = 0;
-    int dispatches = 0;
-    int last_later_side = -1;  // which of our producers was later last time
-    bool on_critical_path = false;
-    bool consumer_on_critical_path = false;
-    std::int64_t last_epoch_acted = -1;
-    // Change-over bookkeeping (§2.2).
-    int pending_version_seen = 0;       // from demands we received
-    int pending_version_forwarded = 0;  // attached to demands we sent
-    int moved_for_version = 0;
-    int next_fetch_iteration = 0;
+    // Later-producer bookkeeping (§2.3), consumed by the local policy.
+    CriticalPathState critical;
   };
 
   struct ServerState {
@@ -110,20 +110,6 @@ class Engine {
   struct HostState {
     std::unique_ptr<core::OperatorDirectory> directory;  // local algorithm
     std::unique_ptr<sim::Resource> cpu;
-    std::unique_ptr<sim::Event> release_event;  // barrier release arrival
-    int released_version = 0;
-  };
-
-  struct Barrier {
-    int version = 0;
-    core::CombinationTree new_tree;  // == current tree unless adapting order
-    core::Placement new_placement;
-    std::optional<int> switch_iteration;
-    bool broadcast_done = false;
-    // Operators that have passed their relocation check for this version;
-    // the barrier retires when all have (and the release is broadcast).
-    int moves_applied = 0;
-    sim::SimTime initiated_at = 0;  // for the barrier-round-duration metric
   };
 
   // ---- processes ---------------------------------------------------------
@@ -131,8 +117,6 @@ class Engine {
   sim::Task<void> client_process();
   sim::Task<void> server_process(int server);
   sim::Task<void> operator_process(core::OperatorId op);
-  sim::Task<void> global_replanner_process();
-  sim::Task<void> barrier_coordinator(int version);
 
   // ---- operator protocol pieces ----------------------------------------
   sim::Task<workload::ImageSpec> fetch_and_compose(core::OperatorId op,
@@ -140,37 +124,17 @@ class Engine {
   sim::Task<void> dispatch(core::OperatorId op, int iteration,
                            const workload::ImageSpec& image);
   sim::Task<void> relocation_window(core::OperatorId op, int iteration);
-  sim::Task<void> local_epoch_action(core::OperatorId op);
-  sim::Task<void> relocate_operator(core::OperatorId op, net::HostId to);
   // Receives the demand for exactly `iteration`, stashing any that arrive
   // out of order (possible only across order-changing change-overs).
   sim::Task<Demand> receive_demand_for(core::OperatorId op, int iteration);
 
-  // ---- failure recovery --------------------------------------------------
+  // ---- failure surfacing -------------------------------------------------
   // Synchronous fault notification (runs inside the injector's event).
   void on_fault_event(const fault::FaultEvent& ev);
-  // Out-of-cycle repair: relocates every operator stranded on a dead host
-  // to the best live site (the client when nothing better is alive).
-  sim::Task<void> recovery_replan_process();
-  net::HostId choose_repair_host(core::OperatorId op);
-  void apply_repair_move(core::OperatorId op, net::HostId to);
-  // Fault-mode release broadcast: one independent task per host, so a dead
-  // host cannot stall the releases of live ones.
-  sim::Task<void> release_host(net::HostId h, int version);
-  // Moves any operator placed on a dead host to the client.
-  void sanitize_placement(core::Placement& placement) const;
   void abort_run(std::string reason);
-  double transfer_timeout(double bytes) const;
-  double retry_backoff(int attempt);
   void note_retry(net::HostId from, net::HostId to, int attempt);
 
   // ---- messaging ---------------------------------------------------------
-  // One physical hop with monitoring piggyback (and, for the local
-  // algorithm, directory propagation). Fault mode adds per-attempt timeouts
-  // and capped-backoff retries; returns false once retries are exhausted
-  // (never in fault-free mode).
-  sim::Task<bool> hop(net::HostId from, net::HostId to, double bytes,
-                      int priority);
   // Routes a message to an operator's believed location, forwarding from a
   // stale location if necessary. Returns the host actually delivered to, or
   // kInvalidHost (fault mode only) if delivery failed — the caller should
@@ -190,39 +154,68 @@ class Engine {
   net::HostId believed_location(net::HostId from_host,
                                 core::OperatorId target, int iteration) const;
 
-  // ---- planning ----------------------------------------------------------
-  // One-shot planning at the client with probe-and-replan for unknown
-  // links. Takes simulated time (probes are real traffic).
-  sim::Task<core::PlanOutcome> plan_with_probes(core::Placement initial);
-  // Joint order+location planning (kGlobalOrder), same probing discipline.
-  sim::Task<core::OrderPlanOutcome> plan_order_with_probes();
-
   // ---- helpers -----------------------------------------------------------
   sim::Task<void> compute_at(net::HostId host, double seconds);
   OperatorState& op_state(core::OperatorId op);
   HostState& host_state(net::HostId h);
-  bool is_local() const {
-    return params_.algorithm == core::AlgorithmKind::kLocal;
-  }
-  bool is_global() const {
-    return params_.algorithm == core::AlgorithmKind::kGlobal ||
-           params_.algorithm == core::AlgorithmKind::kGlobalOrder ||
-           params_.algorithm == core::AlgorithmKind::kReorderOnly;
-  }
-  bool adapts_order() const {
-    return params_.algorithm == core::AlgorithmKind::kGlobalOrder ||
-           params_.algorithm == core::AlgorithmKind::kReorderOnly;
-  }
   // Which input side (0 = left, 1 = right) an entity feeds under a tree.
   static int operator_side(const core::CombinationTree& tree,
                            core::OperatorId op);
   static int server_side(const core::CombinationTree& tree, int server);
-  int total_iterations() const { return workload_.iterations(); }
-  void note_pending_version(OperatorState& st, const Demand& d);
   double directory_bytes() const;
-  // Retires the active barrier: counts it completed and observes the
-  // initiated->retired round duration.
-  void complete_barrier();
+
+  // ---- EngineServices (the seam policies and the coordinator act on) -----
+  sim::Simulation& simulation() override { return sim_; }
+  const EngineParams& params() const override { return params_; }
+  const core::CombinationTree& base_tree() const override { return tree_; }
+  const core::CostModel& cost_model() const override { return cost_model_; }
+  int total_iterations() const override { return workload_.iterations(); }
+  bool faults_active() const override { return faults_active_; }
+  bool finished() const override { return done_; }
+  bool stopping() const override { return done_ || aborted_; }
+  bool host_alive(net::HostId h) const override {
+    return network_.host_alive(h);
+  }
+  const net::LinkTable& links() const override { return network_.links(); }
+  Rng& rng() override { return rng_; }
+  // One physical hop with monitoring piggyback (and, for directory-based
+  // routing, directory propagation), through the reliable channel.
+  sim::Task<bool> hop(net::HostId from, net::HostId to, double bytes,
+                      int priority) override;
+  double retry_backoff(int attempt) override {
+    return channel_.retry_backoff(attempt);
+  }
+  monitor::BandwidthCache& bandwidth_cache(net::HostId h) override {
+    return monitoring_.cache(h);
+  }
+  bool probing_enabled() const override {
+    return monitoring_.params().probing_enabled;
+  }
+  sim::Task<std::optional<double>> fetch_bandwidth(net::HostId requester,
+                                                   net::HostId a,
+                                                   net::HostId b) override {
+    return monitoring_.fetch_bandwidth(requester, a, b);
+  }
+  const core::CombinationTree& current_tree() const override {
+    return coordinator_.current_epoch().tree;
+  }
+  const core::Placement& current_placement() const override {
+    return coordinator_.current_epoch().placement;
+  }
+  core::OperatorDirectory& directory(net::HostId h) override {
+    return *host_state(h).directory;
+  }
+  CriticalPathState& critical_path_state(core::OperatorId op) override {
+    return op_state(op).critical;
+  }
+  int client_next_iteration() const override { return client_next_iteration_; }
+  int max_server_iteration() const override { return max_server_iteration_; }
+  sim::Task<void> relocate_operator(core::OperatorId op,
+                                    net::HostId to) override {
+    return coordinator_.relocate(op, to);
+  }
+  RunStats& stats() override { return stats_; }
+  const obs::Obs& observability() const override { return obs_; }
 
   sim::Simulation& sim_;
   net::Network& network_;
@@ -232,48 +225,24 @@ class Engine {
   EngineParams params_;
 
   core::CostModel cost_model_;
-  core::OneShotPlanner planner_;
-  core::LocalRule local_rule_;
   Rng rng_;
-  // Retry jitter draws from a separate stream so fault-free runs (which
-  // never draw from it) keep identical rng_ sequences.
-  Rng retry_rng_;
+  // Transport layer: per-hop timeouts and capped-backoff retries. Its
+  // jitter draws from a separate stream so fault-free runs (which never
+  // draw from it) keep identical rng_ sequences.
+  net::ReliableChannel channel_;
   bool faults_active_ = false;
   bool aborted_ = false;
-  bool recovery_in_progress_ = false;
 
   // Observability (== params_.obs; pointers null when detached).
   obs::Obs obs_;
-  obs::Counter* relocations_counter_ = nullptr;
-  obs::Counter* replans_counter_ = nullptr;
-  obs::Counter* barriers_initiated_counter_ = nullptr;
-  obs::Counter* barriers_completed_counter_ = nullptr;
   obs::Counter* forwards_counter_ = nullptr;
-  obs::Counter* retries_counter_ = nullptr;           // lazy: fault runs only
-  obs::Counter* recovery_replans_counter_ = nullptr;  // lazy: fault runs only
-  obs::Histogram* barrier_round_seconds_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;  // lazy: fault runs only
 
   std::vector<OperatorState> operators_;
   std::vector<ServerState> servers_;
   std::vector<HostState> hosts_;
   std::unique_ptr<sim::Mailbox<DataMessage>> client_data_;
-  std::unique_ptr<sim::Mailbox<BarrierReport>> client_control_;
 
-  // Routing truth: plans by starting iteration, plus physical locations.
-  struct PlanEpoch {
-    int start_iteration = 0;
-    core::CombinationTree tree;
-    core::Placement placement;
-  };
-  const PlanEpoch& epoch_for(int iteration) const;
-  // Deque, not vector: processes hold references to an epoch's tree across
-  // suspension points, and deque::push_back never invalidates references
-  // to existing elements.
-  std::deque<PlanEpoch> epochs_;
-  std::vector<net::HostId> actual_location_;
-
-  std::optional<Barrier> active_barrier_;
-  int next_version_ = 1;
   int client_next_iteration_ = 0;
   // Highest iteration any server has been asked for; servers run ahead of
   // the client by up to the pipeline depth, and a change-over can only be
@@ -283,6 +252,14 @@ class Engine {
   bool done_ = false;
 
   RunStats stats_;
+
+  // Adaptation policy for params_.algorithm, plus its cached traits: the
+  // registry call in the constructor is the only AlgorithmKind dispatch.
+  std::unique_ptr<AdaptationPolicy> policy_;
+  bool uses_directory_ = false;
+  bool uses_barrier_ = false;
+  bool adapts_order_ = false;
+  ChangeOverCoordinator coordinator_;
 };
 
 }  // namespace wadc::dataflow

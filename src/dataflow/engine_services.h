@@ -1,0 +1,99 @@
+// The seam between the dataflow engine and the layers built on top of it:
+// adaptation policies (adaptation_policy.h) and the change-over coordinator
+// (change_over.h) act on the engine only through this interface, so both
+// are unit-testable against a mock without constructing a full Engine.
+//
+// The interface is deliberately narrow: simulation clock and transport,
+// read access to the running plan and protocol state, monitoring lookups,
+// and the one mutating action adaptation is allowed — the light-move
+// relocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "core/combination_tree.h"
+#include "core/cost_model.h"
+#include "core/operator_directory.h"
+#include "dataflow/engine_params.h"
+#include "dataflow/run_stats.h"
+#include "monitor/bandwidth_cache.h"
+#include "net/link_table.h"
+#include "net/types.h"
+#include "obs/obs.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace wadc::dataflow {
+
+// Later-producer bookkeeping (§2.3) for one operator. The engine's data
+// path maintains it on every dispatch; the local policy's epoch action
+// consumes and resets it.
+struct CriticalPathState {
+  int later_marks = 0;
+  int dispatches = 0;
+  int last_later_side = -1;  // which of our producers was later last time
+  bool on_critical_path = false;
+  bool consumer_on_critical_path = false;
+  std::int64_t last_epoch_acted = -1;
+};
+
+class EngineServices {
+ public:
+  virtual ~EngineServices() = default;
+
+  // ---- simulation & configuration --------------------------------------
+  virtual sim::Simulation& simulation() = 0;
+  virtual const EngineParams& params() const = 0;
+  // The problem's combination tree (order-adaptive runs may execute a
+  // different tree; this one defines hosts, servers, and the client).
+  virtual const core::CombinationTree& base_tree() const = 0;
+  virtual const core::CostModel& cost_model() const = 0;
+  virtual int total_iterations() const = 0;
+  virtual bool faults_active() const = 0;
+  // The computation delivered its last image (replanning stops here).
+  virtual bool finished() const = 0;
+  // Finished or aborted: retry loops give up here.
+  virtual bool stopping() const = 0;
+  virtual bool host_alive(net::HostId h) const = 0;
+  // Ground-truth links, for the oracle-bandwidth ablation only.
+  virtual const net::LinkTable& links() const = 0;
+  // Engine-local randomness (the local rule's extra candidate sites).
+  virtual Rng& rng() = 0;
+
+  // ---- transport --------------------------------------------------------
+  // One physical hop with monitoring piggyback and retry/timeout handling;
+  // false once retries are exhausted (never in fault-free mode).
+  virtual sim::Task<bool> hop(net::HostId from, net::HostId to, double bytes,
+                              int priority) = 0;
+  // The shared backoff schedule (control-message resend loops reuse it).
+  virtual double retry_backoff(int attempt) = 0;
+
+  // ---- monitoring -------------------------------------------------------
+  virtual monitor::BandwidthCache& bandwidth_cache(net::HostId h) = 0;
+  virtual bool probing_enabled() const = 0;
+  virtual sim::Task<std::optional<double>> fetch_bandwidth(
+      net::HostId requester, net::HostId a, net::HostId b) = 0;
+
+  // ---- running plan & protocol state ------------------------------------
+  // The newest installed plan (epochs_.back(): what replanning starts from).
+  virtual const core::CombinationTree& current_tree() const = 0;
+  virtual const core::Placement& current_placement() const = 0;
+  virtual net::HostId operator_location(core::OperatorId op) const = 0;
+  virtual core::OperatorDirectory& directory(net::HostId h) = 0;
+  virtual CriticalPathState& critical_path_state(core::OperatorId op) = 0;
+  virtual int client_next_iteration() const = 0;
+  virtual int max_server_iteration() const = 0;
+
+  // ---- actions -----------------------------------------------------------
+  // Light-move relocation (§2); a no-op-on-failure in fault mode.
+  virtual sim::Task<void> relocate_operator(core::OperatorId op,
+                                            net::HostId to) = 0;
+
+  // ---- accounting --------------------------------------------------------
+  virtual RunStats& stats() = 0;
+  virtual const obs::Obs& observability() const = 0;
+};
+
+}  // namespace wadc::dataflow

@@ -1,0 +1,84 @@
+// Result types for one engine run: completion statistics, the relocation
+// trace, and (for fault-tolerant runs) the failure summary.
+//
+// Split from engine_params.h so consumers that only read results — the
+// experiment exporters, report tools — do not pull in the engine's whole
+// configuration surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/combination_tree.h"
+#include "net/types.h"
+#include "sim/types.h"
+
+namespace wadc::dataflow {
+
+struct RelocationEvent {
+  sim::SimTime time = 0;
+  core::OperatorId op = core::kNoOperator;
+  net::HostId from = net::kInvalidHost;
+  net::HostId to = net::kInvalidHost;
+};
+
+// What went wrong (and how recovery responded) in a fault-tolerant run.
+// active is false — and every field zero — unless a FaultInjector was
+// attached, so fault-free results are bit-for-bit what they always were.
+struct FailureSummary {
+  bool active = false;
+
+  // Faults actually injected before the run ended (events scheduled after
+  // completion never fire and are not counted).
+  int faults_injected = 0;
+  int host_crashes = 0;
+  int host_restarts = 0;
+  int link_blackouts = 0;
+  int link_blackout_ends = 0;
+
+  // Transport-level damage and the engine's response.
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t transfers_timed_out = 0;
+  std::uint64_t transfer_retries = 0;
+  int recovery_replans = 0;
+  int repair_relocations = 0;
+  double recovery_seconds_total = 0;
+
+  // Why the run did not complete; empty on success.
+  std::string abort_reason;
+
+  double mean_recovery_seconds() const {
+    return recovery_replans > 0
+               ? recovery_seconds_total / recovery_replans
+               : 0.0;
+  }
+};
+
+struct RunStats {
+  bool completed = false;
+  double completion_seconds = 0;       // time of the last delivered image
+  std::vector<double> arrival_seconds; // client arrival time per image
+
+  int relocations = 0;
+  int barriers_initiated = 0;
+  int barriers_completed = 0;
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t plan_rounds = 0;
+  std::uint64_t replans = 0;
+
+  std::vector<RelocationEvent> relocation_trace;
+
+  // Populated (active=true) only for fault-tolerant runs.
+  FailureSummary failure_summary;
+
+  // Mean time between consecutive image arrivals at the client (the §5
+  // "average interarrival time for processed images").
+  double mean_interarrival_seconds() const {
+    if (arrival_seconds.size() < 2) return completion_seconds;
+    return (arrival_seconds.back() - arrival_seconds.front()) /
+           static_cast<double>(arrival_seconds.size() - 1);
+  }
+};
+
+}  // namespace wadc::dataflow

@@ -8,6 +8,7 @@
 #include "core/algorithm_kind.h"
 #include "core/combination_tree.h"
 #include "dataflow/engine_params.h"
+#include "dataflow/run_stats.h"
 #include "exp/network_config.h"
 #include "fault/fault_schedule.h"
 #include "monitor/monitoring_system.h"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/algorithm_kind.h"
+#include "exp/experiment.h"
 
 namespace wadc::exp {
 

@@ -8,10 +8,13 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
-#include "exp/experiment.h"
+#include "dataflow/run_stats.h"
 
 namespace wadc::exp {
+
+struct AlgorithmSeries;  // exp/experiment.h
 
 // JSON object with completion, arrivals[], relocations[] ({time, op, from,
 // to}), and the adaptation counters.

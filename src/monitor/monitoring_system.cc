@@ -4,9 +4,23 @@
 
 namespace wadc::monitor {
 
+namespace {
+
+// Probe transfers share one deadline (probe_timeout_seconds; 0 = wait
+// forever, the pre-fault behavior) and never retry.
+net::RetryPolicy probe_policy(const MonitorParams& params) {
+  net::RetryPolicy policy;
+  policy.timeout_base_seconds = params.probe_timeout_seconds;
+  return policy;
+}
+
+}  // namespace
+
 MonitoringSystem::MonitoringSystem(net::Network& network,
                                    const MonitorParams& params)
-    : network_(network), params_(params) {
+    : network_(network),
+      params_(params),
+      probe_channel_(network, probe_policy(params), Rng(0)) {
   const int n = network.num_hosts();
   caches_.reserve(static_cast<std::size_t>(n));
   for (int h = 0; h < n; ++h) {
@@ -124,18 +138,15 @@ sim::Task<bool> MonitoringSystem::run_probe(net::HostId a, net::HostId b) {
     probes_counter_->add();
     probe_bytes_counter_->add(2 * params_.probe_bytes);
   }
-  const double timeout = params_.probe_timeout_seconds > 0
-                             ? params_.probe_timeout_seconds
-                             : net::kNoTransferTimeout;
   const sim::SimTime begin = network_.simulation().now();
   // A 16KB transfer in each direction; the passive monitor records both
   // legs at both endpoints (each leg is >= S_thres by construction).
-  const auto out = co_await network_.transfer(a, b, params_.probe_bytes,
-                                              net::kControlPriority, timeout);
+  const auto out = co_await probe_channel_.transfer(
+      a, b, params_.probe_bytes, net::kControlPriority);
   bool ok = out.ok();
   if (ok) {
-    const auto back = co_await network_.transfer(
-        b, a, params_.probe_bytes, net::kControlPriority, timeout);
+    const auto back = co_await probe_channel_.transfer(
+        b, a, params_.probe_bytes, net::kControlPriority);
     ok = back.ok();
   }
   if (obs_.tracer) {
@@ -159,9 +170,6 @@ sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
     co_return std::nullopt;
   }
 
-  const double timeout = params_.probe_timeout_seconds > 0
-                             ? params_.probe_timeout_seconds
-                             : net::kNoTransferTimeout;
   if (requester != a && requester != b) {
     // Third-party pair: delegate to endpoint `a` with small control
     // messages. The reply always carries the fresh measurement (that is the
@@ -175,17 +183,17 @@ sim::Task<std::optional<double>> MonitoringSystem::fetch_bandwidth(
                            obs::kControlLane, network_.simulation().now(),
                            {{"delegate", a}, {"peer", b}});
     }
-    const auto request = co_await network_.transfer(
-        requester, a, params_.control_bytes, net::kControlPriority, timeout);
+    const auto request = co_await probe_channel_.transfer(
+        requester, a, params_.control_bytes, net::kControlPriority);
     if (request.ok()) {
       co_await run_probe(a, b);
       auto payload = piggyback_payload(a);
       if (const auto fresh = cache(a).lookup_any_age(a, b)) {
         payload.push_back(PairSample{a, b, *fresh});
       }
-      const auto reply = co_await network_.transfer(
+      const auto reply = co_await probe_channel_.transfer(
           a, requester, params_.control_bytes + payload_bytes(payload),
-          net::kControlPriority, timeout);
+          net::kControlPriority);
       if (reply.ok()) deliver_payload(requester, payload);
     }
   } else {

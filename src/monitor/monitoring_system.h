@@ -20,6 +20,7 @@
 
 #include "monitor/bandwidth_cache.h"
 #include "net/network.h"
+#include "net/reliable_transfer.h"
 #include "obs/obs.h"
 #include "sim/task.h"
 
@@ -103,6 +104,11 @@ class MonitoringSystem {
 
   net::Network& network_;
   MonitorParams params_;
+  // Transport for probe and delegation traffic: the probe deadline (or its
+  // absence) lives in the channel's policy instead of being recomputed at
+  // every transfer site. Probes never retry — a failed leg abandons the
+  // measurement.
+  net::ReliableChannel probe_channel_;
   std::vector<std::unique_ptr<BandwidthCache>> caches_;
   std::uint64_t passive_samples_ = 0;
   std::uint64_t probes_issued_ = 0;

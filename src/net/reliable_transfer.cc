@@ -1,0 +1,44 @@
+#include "net/reliable_transfer.h"
+
+#include <algorithm>
+
+namespace wadc::net {
+
+double ReliableChannel::retry_backoff(int attempt) {
+  double delay = policy_.backoff_base_seconds;
+  for (int i = 0;
+       i < attempt && delay < policy_.backoff_max_seconds; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, policy_.backoff_max_seconds);
+  // Deterministic jitter in [0.75, 1.25) de-synchronizes retry storms.
+  return delay * (0.75 + 0.5 * jitter_rng_.next_double());
+}
+
+sim::Task<TransferRecord> ReliableChannel::transfer(HostId from, HostId to,
+                                                    double bytes,
+                                                    int priority) {
+  co_return co_await network_.transfer(from, to, bytes, priority,
+                                       timeout_for(bytes));
+}
+
+sim::Task<bool> ReliableChannel::send(
+    HostId from, HostId to, int priority,
+    const std::function<double()>& build_bytes,
+    const std::function<void()>& on_delivered,
+    const std::function<bool()>& cancelled) {
+  for (int attempt = 0;; ++attempt) {
+    const double bytes = build_bytes();
+    const auto rec = co_await network_.transfer(from, to, bytes, priority,
+                                                timeout_for(bytes));
+    if (rec.ok()) {
+      on_delivered();
+      co_return true;
+    }
+    if (attempt >= policy_.max_retries || cancelled()) co_return false;
+    if (retry_listener_) retry_listener_(from, to, attempt);
+    co_await network_.simulation().delay(retry_backoff(attempt));
+  }
+}
+
+}  // namespace wadc::net

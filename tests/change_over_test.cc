@@ -1,0 +1,192 @@
+// Unit tests for the ChangeOverCoordinator against MockEngineServices: the
+// §2.2 barrier protocol end to end (initiate → server reports → release →
+// per-operator moves → retire), and the fault-repair sweep reusing the same
+// location bookkeeping.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "dataflow/adaptation_policy.h"
+#include "dataflow/change_over.h"
+#include "sim/simulation.h"
+#include "mock_engine_services.h"
+
+namespace wadc::dataflow {
+namespace {
+
+using testing::MockEngineServices;
+
+// A policy whose replan decision is scripted by the test.
+class ScriptedPolicy : public AdaptationPolicy {
+ public:
+  bool uses_barrier() const override { return true; }
+
+  sim::Task<StartupPlan> plan_startup(EngineServices& services) override {
+    co_return StartupPlan{
+        services.base_tree(),
+        core::Placement::all_at_client(services.base_tree())};
+  }
+
+  sim::Task<ReplanDecision> replan(EngineServices& services) override {
+    ReplanDecision decision;
+    decision.tree = services.current_tree();
+    decision.placement = next_placement;
+    decision.changed = changed;
+    co_return decision;
+  }
+
+  core::Placement next_placement;
+  bool changed = false;
+};
+
+sim::Task<> drive_barrier(sim::Simulation& sim,
+                          ChangeOverCoordinator& coordinator,
+                          MockEngineServices& mock, ScriptedPolicy& policy,
+                          const core::CombinationTree& tree,
+                          net::HostId target) {
+  // Wait for the periodic replanner to pick up the scripted change and
+  // initiate a barrier.
+  while (coordinator.pending_version() == 0) co_await sim.delay(1);
+  EXPECT_EQ(mock.stats_.barriers_initiated, 1);
+  policy.changed = false;  // one barrier is enough
+
+  // Servers sight the pending version and report their iterations; the
+  // switch point is one past the furthest report.
+  for (int s = 0; s < tree.num_servers(); ++s) {
+    BarrierReport report;
+    report.version = 1;
+    report.server = s;
+    report.iteration = 2 + s;  // furthest: 2 + num_servers - 1
+    coordinator.deliver_report(report);
+  }
+  const int switch_iteration = 2 + tree.num_servers();
+  const core::OperatorId root = tree.root();
+  while (coordinator.placement_for(switch_iteration).location(root) !=
+         target) {
+    co_await sim.delay(1);
+  }
+  // Pre-switch iterations still run under the old epoch.
+  EXPECT_EQ(coordinator.placement_for(switch_iteration - 1).location(root),
+            tree.client_host());
+
+  // The release broadcast has gone out (mock hops are instant): a server
+  // suspended on its pending version resumes immediately.
+  co_await coordinator.await_release(tree.server_host(0), 1);
+
+  // Every operator passes its relocation window at the switch point; the
+  // root moves, the rest stay, and the barrier retires after the last one.
+  for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
+    co_await coordinator.operator_window(op, switch_iteration - 1);
+  }
+  EXPECT_EQ(mock.stats_.barriers_completed, 1);
+  EXPECT_EQ(coordinator.pending_version(), 0);  // barrier retired
+  EXPECT_EQ(coordinator.operator_location(root), target);
+  EXPECT_EQ(mock.stats_.relocations, 1);
+
+  mock.set_finished(true);  // lets the replanner loop exit
+}
+
+TEST(ChangeOverCoordinator, BarrierProtocolEndToEnd) {
+  sim::Simulation sim;
+  const auto tree = core::CombinationTree::complete_binary(4);
+  EngineParams params;
+  params.relocation_period_seconds = 10;
+  MockEngineServices mock(sim, tree, params);
+  mock.set_total_iterations(100);
+
+  ChangeOverCoordinator coordinator(
+      sim, mock, tree, obs::Obs{}, mock.stats_,
+      PolicyTraits{false, /*uses_barrier=*/true, false});
+  coordinator.install_startup_plan(tree,
+                                   core::Placement::all_at_client(tree));
+
+  const net::HostId target = 2;
+  ScriptedPolicy policy;
+  policy.next_placement = core::Placement::all_at_client(tree);
+  policy.next_placement.set_location(tree.root(), target);
+  policy.changed = true;
+
+  sim.spawn(coordinator.replanner_process(policy));
+  sim.spawn(drive_barrier(sim, coordinator, mock, policy, tree, target));
+  sim.run();
+
+  EXPECT_EQ(mock.stats_.barriers_initiated, 1);
+  EXPECT_EQ(mock.stats_.barriers_completed, 1);
+  EXPECT_EQ(mock.stats_.replans, 1);
+  ASSERT_EQ(mock.stats_.relocation_trace.size(), 1u);
+  EXPECT_EQ(mock.stats_.relocation_trace[0].op, tree.root());
+  EXPECT_EQ(mock.stats_.relocation_trace[0].to, target);
+}
+
+TEST(ChangeOverCoordinator, ReplannerSkipsUnchangedDecisions) {
+  sim::Simulation sim;
+  const auto tree = core::CombinationTree::complete_binary(4);
+  EngineParams params;
+  params.relocation_period_seconds = 10;
+  MockEngineServices mock(sim, tree, params);
+  mock.set_total_iterations(100);
+
+  ChangeOverCoordinator coordinator(
+      sim, mock, tree, obs::Obs{}, mock.stats_,
+      PolicyTraits{false, /*uses_barrier=*/true, false});
+  coordinator.install_startup_plan(tree,
+                                   core::Placement::all_at_client(tree));
+
+  ScriptedPolicy policy;
+  policy.next_placement = core::Placement::all_at_client(tree);
+  policy.changed = false;
+
+  sim.spawn(coordinator.replanner_process(policy));
+  sim.spawn([](sim::Simulation& s, MockEngineServices& m) -> sim::Task<> {
+    co_await s.delay(35);  // three replanning periods
+    m.set_finished(true);
+  }(sim, mock));
+  sim.run();
+
+  EXPECT_EQ(mock.stats_.replans, 3);
+  EXPECT_EQ(mock.stats_.barriers_initiated, 0);
+  EXPECT_EQ(coordinator.pending_version(), 0);
+}
+
+TEST(ChangeOverCoordinator, RepairReusesRelocationBookkeeping) {
+  sim::Simulation sim;
+  const auto tree = core::CombinationTree::complete_binary(4);
+  MockEngineServices mock(sim, tree, EngineParams{});
+  mock.set_faults_active(true);
+  // The repair host is chosen with the client's cache; give it a
+  // measurement for every pair so all live hosts are scorable.
+  mock.fill_cache_all_pairs(1000.0);
+
+  ChangeOverCoordinator coordinator(sim, mock, tree, obs::Obs{}, mock.stats_,
+                                    PolicyTraits{false, false, false});
+  const net::HostId dead = 2;
+  const core::OperatorId stranded = 0;
+  core::Placement placement = core::Placement::all_at_client(tree);
+  placement.set_location(stranded, dead);
+  coordinator.install_startup_plan(tree, placement);
+  coordinator.set_location(stranded, dead);
+
+  mock.set_host_alive(dead, false);
+  coordinator.mark_repair_started();
+  EXPECT_TRUE(coordinator.repair_in_progress());
+  sim.spawn(coordinator.repair_process());
+  sim.run();
+
+  // The sweep moved the stranded operator to a live host and patched both
+  // the location table and the installed placement — the same bookkeeping
+  // planned change-overs use.
+  EXPECT_FALSE(coordinator.repair_in_progress());
+  const net::HostId relocated = coordinator.operator_location(stranded);
+  EXPECT_NE(relocated, dead);
+  EXPECT_TRUE(mock.host_alive(relocated));
+  EXPECT_EQ(coordinator.placement_for(0).location(stranded), relocated);
+  EXPECT_EQ(mock.stats_.relocations, 1);
+  EXPECT_EQ(mock.stats_.failure_summary.repair_relocations, 1);
+  EXPECT_EQ(mock.stats_.failure_summary.recovery_replans, 1);
+  ASSERT_EQ(mock.stats_.relocation_trace.size(), 1u);
+  EXPECT_EQ(mock.stats_.relocation_trace[0].from, dead);
+  EXPECT_EQ(mock.stats_.relocation_trace[0].to, relocated);
+}
+
+}  // namespace
+}  // namespace wadc::dataflow

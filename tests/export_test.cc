@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "exp/experiment.h"
 #include "exp/export.h"
 #include "trace/library.h"
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Byte-identity harness for the engine refactor.
+#
+# Runs wadc_run on a small sweep for every algorithm, with and without a
+# fault schedule, and diffs the CSV, metrics, and run-JSON output against
+# the golden files captured from the pre-refactor engine. Chrome traces are
+# compared by SHA-256 (they are a few hundred KB each; a hash detects any
+# byte change without committing the bytes).
+#
+# Usage:
+#   golden_check.sh <wadc_run binary> <golden dir> [jobs]
+#   REGEN=1 golden_check.sh ...   # re-capture the golden files instead
+set -u
+
+BIN=$1
+GOLDEN=$2
+JOBS=${3:-1}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+
+for alg in download-all one-shot global local global-order reorder-only; do
+  for mode in plain fault; do
+    name="${alg}_${mode}"
+    args=(--algorithm="$alg" --servers=4 --iterations=40 --configs=2
+          --seed=1000 --period=150 --extras=2 --jobs="$JOBS" --csv
+          --metrics-out="$TMP/$name.metrics.json"
+          --trace-out="$TMP/$name.trace.json"
+          --dump-run="$TMP/$name.run.json")
+    if [ "$mode" = fault ]; then
+      args+=(--fault-spec="$GOLDEN/golden.fault")
+    fi
+    if ! "$BIN" "${args[@]}" > "$TMP/$name.csv"; then
+      echo "FAIL: $name: wadc_run exited non-zero" >&2
+      fail=1
+      continue
+    fi
+    sha256sum < "$TMP/$name.trace.json" | cut -d' ' -f1 \
+      > "$TMP/$name.trace.sha256"
+
+    if [ "${REGEN:-0}" = 1 ]; then
+      cp "$TMP/$name.csv" "$TMP/$name.metrics.json" "$TMP/$name.run.json" \
+         "$TMP/$name.trace.sha256" "$GOLDEN/"
+      echo "regenerated $name"
+      continue
+    fi
+
+    for f in csv metrics.json run.json trace.sha256; do
+      if ! diff -u "$GOLDEN/$name.$f" "$TMP/$name.$f" > "$TMP/diff.out" 2>&1
+      then
+        echo "FAIL: $name.$f differs from golden:" >&2
+        head -40 "$TMP/diff.out" >&2
+        fail=1
+      fi
+    done
+  done
+done
+
+if [ "$fail" = 0 ]; then
+  echo "golden byte-identity OK (jobs=$JOBS)"
+fi
+exit "$fail"

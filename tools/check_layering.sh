@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Layering guard: each library under src/ may include only from itself and
+# the layers below it (see docs/ARCHITECTURE.md). In particular, src/core
+# must not reach up into dataflow/, and src/net must not reach up into
+# monitor/ or dataflow/ — the refactor that split the engine into
+# transport / policy / change-over layers depends on those edges staying
+# absent.
+#
+# Usage: check_layering.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+# layer -> directories it may include from (itself is always allowed).
+allowed() {
+  case "$1" in
+    common)   echo "" ;;
+    sim)      echo "common" ;;
+    obs)      echo "common sim" ;;
+    trace)    echo "common sim" ;;
+    workload) echo "common" ;;
+    net)      echo "common sim obs trace" ;;
+    monitor)  echo "common sim obs trace net" ;;
+    fault)    echo "common sim obs trace net" ;;
+    core)     echo "common sim obs trace net monitor" ;;
+    dataflow) echo "common sim obs trace net monitor fault core workload" ;;
+    exp)      echo "common sim obs trace net monitor fault core workload dataflow" ;;
+    *)        echo "__unknown__" ;;
+  esac
+}
+
+status=0
+for dir in src/*/; do
+  layer="$(basename "$dir")"
+  allow="$layer $(allowed "$layer")"
+  if [ "$(allowed "$layer")" = "__unknown__" ]; then
+    echo "layering: unknown layer src/$layer — add it to tools/check_layering.sh"
+    status=1
+    continue
+  fi
+  while IFS=: read -r file line include; do
+    target="${include#*\"}"
+    target="${target%%/*}"
+    ok=0
+    for a in $allow; do
+      [ "$target" = "$a" ] && ok=1 && break
+    done
+    if [ "$ok" -eq 0 ]; then
+      echo "layering violation: $file:$line includes \"$target/\" (src/$layer may only include: $allow)"
+      status=1
+    fi
+  done < <(grep -rn '#include "[a-z_]*/' "$dir" --include='*.h' --include='*.cc' -o 2>/dev/null)
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "layering: OK"
+fi
+exit "$status"

@@ -70,7 +70,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: wadc_run [options]\n"
-      "  --algorithm=download-all|one-shot|global|local|global-order\n"
+      "  --algorithm=download-all|one-shot|global|local|global-order|\n"
+      "              reorder-only\n"
       "                         placement algorithm (default global)\n"
       "  --servers=N            number of data servers (default 8)\n"
       "  --iterations=N         partitions per server (default 180)\n"
@@ -158,6 +159,8 @@ bool parse(int argc, char** argv, Options& opt) {
         opt.algorithm = core::AlgorithmKind::kLocal;
       } else if (*v == "global-order") {
         opt.algorithm = core::AlgorithmKind::kGlobalOrder;
+      } else if (*v == "reorder-only") {
+        opt.algorithm = core::AlgorithmKind::kReorderOnly;
       } else {
         std::fprintf(stderr, "unknown algorithm '%s'\n", v->c_str());
         return false;
