@@ -20,16 +20,13 @@
 int main(int argc, char** argv) {
   using namespace wadc;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "ablation_barrier_priority");
+  exp::BenchHarness bench(argc, argv, "ablation_barrier_priority");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(100);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
-  const exp::WallTimer timer;
-  long long runs = 0;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Ablation: barrier/control message priority (global "
               "algorithm, %d configurations each) ===\n\n",
@@ -48,20 +45,11 @@ int main(int argc, char** argv) {
       std::printf("%g\t%s\t%.3f\t%.3f\n", minutes,
                   priority_boost ? "high" : "normal", st.mean, st.median);
       std::fflush(stdout);
-      runs += 2LL * sweep.configs;  // baseline + global
+      bench.add_runs(2LL * sweep.configs);  // baseline + global
     }
   }
   std::printf("\n(paper's design: high priority; without it barrier "
               "messages queue behind ~128KB data transfers)\n");
 
-  exp::BenchReport report;
-  report.name = "ablation_barrier_priority";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish();
 }

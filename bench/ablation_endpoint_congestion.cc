@@ -20,16 +20,13 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "ablation_endpoint_congestion");
+  exp::BenchHarness bench(argc, argv, "ablation_endpoint_congestion");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(100);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
-  const exp::WallTimer timer;
-  long long runs = 0;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Ablation: per-host transfer capacity (endpoint "
               "congestion), %d configurations each ===\n\n",
@@ -47,20 +44,11 @@ int main(int argc, char** argv) {
                 trace::mean_of(baseline.mean_interarrival),
                 exp::stats_of(global.speedup).mean);
     std::fflush(stdout);
-    runs += 2LL * sweep.configs;  // baseline + global
+    bench.add_runs(2LL * sweep.configs);  // baseline + global
   }
   std::printf("\n(capacity 1 is the paper's model; higher capacity melts "
               "the client bottleneck that download-all suffers from, so "
               "relocation's advantage should shrink)\n");
 
-  exp::BenchReport report;
-  report.name = "ablation_endpoint_congestion";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish();
 }

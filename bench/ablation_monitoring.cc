@@ -34,16 +34,13 @@ double mean_speedup(const trace::TraceLibrary& library,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "ablation_monitoring");
+  exp::BenchHarness bench(argc, argv, "ablation_monitoring");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(100);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
-  const exp::WallTimer timer;
-  long long runs = 0;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Ablation: monitoring subsystem (global algorithm, %d "
               "configurations each) ===\n\n",
@@ -70,7 +67,7 @@ int main(int argc, char** argv) {
     s.experiment.engine_base.oracle_bandwidth = v.oracle;
     std::printf("%s\t%.3f\n", v.name, mean_speedup(library, s));
     std::fflush(stdout);
-    runs += 2LL * sweep.configs;  // baseline + global
+    bench.add_runs(2LL * sweep.configs);  // baseline + global
   }
 
   std::printf("\n# T_thres (cache timeout) sweep, full monitoring\n");
@@ -80,19 +77,10 @@ int main(int argc, char** argv) {
     s.experiment.monitor.t_thres_seconds = ttl;
     std::printf("%.0f\t%.3f\n", ttl, mean_speedup(library, s));
     std::fflush(stdout);
-    runs += 2LL * sweep.configs;  // baseline + global
+    bench.add_runs(2LL * sweep.configs);  // baseline + global
   }
   std::printf("\n(paper: T_thres = 40 s, chosen as just under half the "
               "~2 min expected time between significant changes)\n");
 
-  exp::BenchReport report;
-  report.name = "ablation_monitoring";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish();
 }

@@ -20,22 +20,19 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "analysis_config_convergence");
+  exp::BenchHarness bench(argc, argv, "analysis_config_convergence");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   std::printf("=== Configuration-count convergence (the paper's 300 vs 600 "
               "check) ===\n\n");
   std::printf("# configs\tone-shot_median\tglobal_median\tlocal_median\n");
 
-  const exp::WallTimer timer;
-  long long runs = 0;
   double prev[3] = {0, 0, 0};
   for (const int configs : {75, 150, 300, 600}) {
     exp::SweepSpec sweep;
     sweep.configs = configs;
     sweep.base_seed = exp::env_seed(1000);
-    sweep.jobs = bench.jobs;
+    sweep.jobs = bench.jobs();
     const auto series = exp::run_sweep(
         library, sweep,
         {AlgorithmKind::kOneShot, AlgorithmKind::kGlobal,
@@ -60,19 +57,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
     std::fflush(stdout);
     for (int i = 0; i < 3; ++i) prev[i] = medians[i];
-    runs += 4LL * configs;  // baseline + 3 algorithms
+    bench.add_runs(4LL * configs);  // baseline + 3 algorithms
   }
   std::printf("\n(paper: going beyond 300 configurations 'did not cause a "
               "significant change in the results')\n");
 
-  exp::BenchReport report;
-  report.name = "analysis_config_convergence";
-  report.jobs = exp::resolve_jobs(bench.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish();
 }

@@ -80,14 +80,11 @@ TraceMetrics analyze(const std::vector<dataflow::RunStats>& runs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "analysis_relocation_traces");
+  exp::BenchHarness bench(argc, argv, "analysis_relocation_traces");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
   const int configs = exp::env_configs(60);
   const std::uint64_t base_seed = exp::env_seed(1000);
-  const int jobs = exp::resolve_jobs(bench.jobs);
-  const exp::WallTimer timer;
-  long long sim_runs = 0;
+  const int jobs = exp::resolve_jobs(bench.jobs());
 
   std::printf("=== Relocation-trace analysis (%d configurations) ===\n\n",
               configs);
@@ -106,7 +103,7 @@ int main(int argc, char** argv) {
         spec.config_seed = base_seed + static_cast<std::uint64_t>(c);
         runs[c] = exp::run_experiment(library, spec).stats;
       });
-      sim_runs += configs;
+      bench.add_runs(configs);
       const TraceMetrics m = analyze(runs, /*episode_window=*/120);
       std::printf("%-12s %-7d %9.2f %10.1f %13.2f\n",
                   core::algorithm_name(algorithm), servers, m.moves_per_run,
@@ -122,14 +119,5 @@ int main(int argc, char** argv) {
       "moves in coordinated multi-operator bursts with\n little ping-pong, "
       "and the contrast sharpens with scale)\n");
 
-  exp::BenchReport report;
-  report.name = "analysis_relocation_traces";
-  report.jobs = jobs;
-  report.runs = sim_runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish(jobs);
 }

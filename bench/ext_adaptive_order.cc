@@ -28,16 +28,13 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "ext_adaptive_order");
+  exp::BenchHarness bench(argc, argv, "ext_adaptive_order");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(100);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
-  const exp::WallTimer timer;
-  long long runs = 0;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Extension: adaptive combination order, %d configurations "
               "===\n\n",
@@ -58,7 +55,7 @@ int main(int argc, char** argv) {
     speedups.push_back(series[1].speedup);
     names.push_back("reorder-only");
     speedups.push_back(series[2].speedup);
-    runs += 4LL * sweep.configs;  // baseline + 3 algorithms
+    bench.add_runs(4LL * sweep.configs);  // baseline + 3 algorithms
   }
   {
     exp::SweepSpec s = sweep;
@@ -66,18 +63,10 @@ int main(int argc, char** argv) {
     const auto series = exp::run_sweep(library, s, {AlgorithmKind::kGlobal});
     names.push_back("global/left-deep");
     speedups.push_back(series[0].speedup);
-    runs += 2LL * sweep.configs;  // baseline + global
+    bench.add_runs(2LL * sweep.configs);  // baseline + global
   }
 
-  exp::BenchReport report;
-  report.name = "ext_adaptive_order";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
+  const int bench_rc = bench.finish();
 
   std::printf("# Speedup over download-all\n");
   exp::print_summary(names, speedups, "x");
@@ -92,5 +81,5 @@ int main(int argc, char** argv) {
   std::printf("(hypothesis: adapting the order recovers what a fixed "
               "unfavourable order loses,\n and squeezes more out of "
               "favourable ones; thrash on volatile configs is the cost)\n");
-  return 0;
+  return bench_rc;
 }

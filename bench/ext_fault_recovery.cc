@@ -19,8 +19,7 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "ext_fault_recovery");
+  exp::BenchHarness bench(argc, argv, "ext_fault_recovery");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   const int configs = exp::env_configs(40);
@@ -34,8 +33,6 @@ int main(int argc, char** argv) {
   std::printf("# crashes/hr\talgorithm\tcompleted\tmean_completion_s\t"
               "mean_faults\tmean_retries\tmean_repairs\tmean_recovery_s\n");
 
-  const exp::WallTimer timer;
-  long long runs = 0;
   for (const double rate : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     for (const AlgorithmKind algorithm : algorithms) {
       int completed = 0;
@@ -57,7 +54,7 @@ int main(int argc, char** argv) {
           spec.fault.random.protect_client = true;
         }
         const auto r = exp::run_experiment(library, spec);
-        ++runs;
+        bench.add_runs(1);
         const auto& fs = r.stats.failure_summary;
         if (r.stats.completed) {
           ++completed;
@@ -80,14 +77,5 @@ int main(int argc, char** argv) {
   std::printf("\n(transient faults only: every cell should complete every "
               "run; the cost shows up as completion time and retries)\n");
 
-  exp::BenchReport report;
-  report.name = "ext_fault_recovery";
-  report.jobs = 1;  // fault runs are driven serially for stable accounting
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish(1);
 }

@@ -15,21 +15,18 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "fig10_tree_shape");
+  exp::BenchHarness bench(argc, argv, "fig10_tree_shape");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Figure 10: combination order (complete binary vs "
               "left-deep), %d configurations ===\n",
               sweep.configs);
 
-  const exp::WallTimer timer;
-  long long runs = 0;
   std::vector<std::vector<double>> speedups;  // [shape][algo] flattened
   for (const auto shape :
        {core::TreeShape::kCompleteBinary, core::TreeShape::kLeftDeep}) {
@@ -44,18 +41,10 @@ int main(int argc, char** argv) {
         });
     speedups.push_back(series[0].speedup);  // global
     speedups.push_back(series[1].speedup);  // local
-    runs += 3LL * sweep.configs;  // baseline + global + local
+    bench.add_runs(3LL * sweep.configs);  // baseline + global + local
   }
 
-  exp::BenchReport report;
-  report.name = "fig10_tree_shape";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
+  const int bench_rc = bench.finish();
 
   exp::print_sorted_series(
       "\n# Figure 10(a): global algorithm (sorted by complete-binary)",

@@ -17,9 +17,7 @@ int main(int argc, char** argv) {
 
   // No simulation sweep here (trace analysis only); the flags are accepted
   // for command-line uniformity with the other bench binaries.
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "fig2_bandwidth_variation");
-  const exp::WallTimer timer;
+  exp::BenchHarness bench(argc, argv, "fig2_bandwidth_variation");
 
   const trace::TraceGenParams params;
   const trace::TraceGenerator gen(params, /*seed=*/2026);
@@ -56,14 +54,5 @@ int main(int argc, char** argv) {
               s.mean / 1024, s.median / 1024, s.min / 1024, s.max / 1024,
               s.coeff_of_variation);
 
-  exp::BenchReport report;
-  report.name = "fig2_bandwidth_variation";
-  report.jobs = 1;  // trace analysis runs serially
-  report.runs = 0;  // no simulated runs
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish(1);
 }

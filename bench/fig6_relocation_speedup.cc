@@ -25,20 +25,18 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "fig6_relocation_speedup");
+  exp::BenchHarness bench(argc, argv, "fig6_relocation_speedup");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Figure 6: speedup over download-all, %d configurations, "
               "8 servers ===\n",
               sweep.configs);
 
-  const exp::WallTimer timer;
   const auto series = exp::run_sweep(
       library, sweep,
       {AlgorithmKind::kOneShot, AlgorithmKind::kGlobal,
@@ -48,15 +46,8 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "  ... %d/%d runs\n", done, total);
         }
       });
-  exp::BenchReport report;
-  report.name = "fig6_relocation_speedup";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = 4LL * sweep.configs;  // baseline + 3 algorithms
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
+  bench.add_runs(4LL * sweep.configs);
+  const int bench_rc = bench.finish();
 
   const auto& one_shot = series[0];
   const auto& global = series[1];

@@ -13,21 +13,19 @@
 int main(int argc, char** argv) {
   using namespace wadc;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "fig7_local_extra_sites");
+  exp::BenchHarness bench(argc, argv, "fig7_local_extra_sites");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Figure 7: local algorithm with k extra random candidate "
               "sites, %d configurations ===\n\n",
               sweep.configs);
 
   const std::vector<int> ks = {0, 1, 2, 3, 4, 5, 6};
-  const exp::WallTimer timer;
   const auto series = exp::run_local_extras_sweep(
       library, sweep, ks, [](int done, int total) {
         if (done % 100 == 0) {
@@ -35,15 +33,8 @@ int main(int argc, char** argv) {
         }
       });
 
-  exp::BenchReport report;
-  report.name = "fig7_local_extra_sites";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = static_cast<long long>(ks.size() + 1) * sweep.configs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
+  bench.add_runs(static_cast<long long>(ks.size() + 1) * sweep.configs);
+  const int bench_rc = bench.finish();
 
   std::printf("# k\tmean_speedup\tmedian_speedup\tmean_relocations\n");
   for (std::size_t i = 0; i < ks.size(); ++i) {

@@ -15,22 +15,19 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "fig8_server_scaling");
+  exp::BenchHarness bench(argc, argv, "fig8_server_scaling");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Figure 8: speedup vs number of servers, %d "
               "configurations each ===\n\n",
               sweep.configs);
   std::printf("# servers\tone-shot\tglobal\tlocal\n");
 
-  const exp::WallTimer timer;
-  long long runs = 0;
   for (const int servers : {4, 8, 16, 32}) {
     sweep.experiment.num_servers = servers;
     const auto series = exp::run_sweep(
@@ -48,19 +45,10 @@ int main(int argc, char** argv) {
                 exp::stats_of(series[1].speedup).mean,
                 exp::stats_of(series[2].speedup).mean);
     std::fflush(stdout);
-    runs += 4LL * sweep.configs;  // baseline + 3 algorithms
+    bench.add_runs(4LL * sweep.configs);  // baseline + 3 algorithms
   }
   std::printf("\n(paper: global scales best; the local algorithm's "
               "convergence problem grows with the configuration)\n");
 
-  exp::BenchReport report;
-  report.name = "fig8_server_scaling";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish();
 }

@@ -13,22 +13,19 @@ int main(int argc, char** argv) {
   using namespace wadc;
   using core::AlgorithmKind;
 
-  const exp::BenchOptions bench =
-      exp::parse_bench_options(argc, argv, "fig9_relocation_period");
+  exp::BenchHarness bench(argc, argv, "fig9_relocation_period");
   const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
 
   exp::SweepSpec sweep;
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
-  sweep.jobs = bench.jobs;
+  sweep.jobs = bench.jobs();
 
   std::printf("=== Figure 9: global algorithm vs relocation period, %d "
               "configurations each ===\n\n",
               sweep.configs);
   std::printf("# period_min\tmean_speedup\tmedian_speedup\tmean_relocations\n");
 
-  const exp::WallTimer timer;
-  long long runs = 0;
   for (const double minutes : {1.0, 2.0, 5.0, 10.0, 30.0, 60.0}) {
     sweep.experiment.relocation_period_seconds = minutes * 60.0;
     const auto series = exp::run_sweep(
@@ -46,19 +43,10 @@ int main(int argc, char** argv) {
     std::printf("%g\t%.3f\t%.3f\t%.2f\n", minutes, st.mean, st.median,
                 mean_reloc);
     std::fflush(stdout);
-    runs += 2LL * sweep.configs;  // baseline + global
+    bench.add_runs(2LL * sweep.configs);  // baseline + global
   }
   std::printf("\n(paper: a 5-10 minute relocation period provides the best "
               "performance)\n");
 
-  exp::BenchReport report;
-  report.name = "fig9_relocation_period";
-  report.jobs = exp::resolve_jobs(sweep.jobs);
-  report.runs = runs;
-  report.wall_seconds = timer.seconds();
-  exp::print_bench_report(report);
-  if (!bench.bench_out.empty()) {
-    exp::write_bench_json_file(report, bench.bench_out);
-  }
-  return 0;
+  return bench.finish();
 }

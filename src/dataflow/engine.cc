@@ -81,7 +81,11 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
       // into the engine during construction.
       coordinator_(sim, *this, tree, obs_, stats_,
                    PolicyTraits{uses_directory_, uses_barrier_,
-                                adapts_order_}) {
+                                adapts_order_}),
+      router_(*this, uses_directory_,
+              [this](int iteration) -> const core::Placement& {
+                return coordinator_.placement_for(iteration);
+              }) {
   WADC_ASSERT(network.num_hosts() == tree.num_hosts(),
               "network/tree host count mismatch");
   WADC_ASSERT(workload.num_servers() == tree.num_servers(),
@@ -96,6 +100,9 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
       [this](net::HostId from, net::HostId to, int attempt) {
         note_retry(from, to, attempt);
       });
+  if (params_.session_id >= 0) {
+    channel_.set_session_tag(params_.session_id);
+  }
 
   operators_.resize(static_cast<std::size_t>(tree.num_operators()));
   for (core::OperatorId op = 0; op < tree.num_operators(); ++op) {
@@ -124,6 +131,7 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
 
   if (obs_.metrics) {
     forwards_counter_ = &obs_.metrics->counter("engine.messages_forwarded");
+    router_.set_forwards_counter(forwards_counter_);
   }
   if (obs_.tracer) {
     for (net::HostId h = 0; h < tree.num_hosts(); ++h) {
@@ -177,7 +185,28 @@ double Engine::directory_bytes() const {
          static_cast<double>(tree_.num_operators());
 }
 
+void Engine::start_detached(std::function<void()> on_done) {
+  detached_ = true;
+  on_done_ = std::move(on_done);
+  sim_.spawn(orchestrate());
+}
+
+void Engine::finish_detached() {
+  if (done_reported_) return;
+  done_reported_ = true;
+  stats_.completed = done_;
+  if (faults_active_) {
+    FailureSummary& fs = stats_.failure_summary;
+    fs.active = true;
+    // The network is shared across sessions in detached mode, so the
+    // network-wide failure totals are not attributed here; per-engine retry
+    // and repair counters were maintained as they happened.
+  }
+  if (on_done_) on_done_();
+}
+
 RunStats Engine::run() {
+  WADC_ASSERT(!detached_, "run() is not available in detached mode");
   sim_.spawn(orchestrate());
   if (!faults_active_) {
     const auto status = sim_.run();
@@ -211,6 +240,12 @@ void Engine::abort_run(std::string reason) {
   if (aborted_) return;
   aborted_ = true;
   stats_.failure_summary.abort_reason = std::move(reason);
+  if (detached_) {
+    // Other sessions share the loop; report this engine's end instead of
+    // stopping the world.
+    finish_detached();
+    return;
+  }
   sim_.request_stop();
 }
 
@@ -373,6 +408,10 @@ sim::Task<void> Engine::client_process() {
   }
   stats_.completion_seconds = sim_.now();
   done_ = true;
+  if (detached_) {
+    finish_detached();
+    co_return;
+  }
   sim_.request_stop();
 }
 

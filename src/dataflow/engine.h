@@ -29,6 +29,7 @@
 // paper from them.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -39,6 +40,7 @@
 #include "core/operator_directory.h"
 #include "dataflow/adaptation_policy.h"
 #include "dataflow/change_over.h"
+#include "dataflow/engine_messaging.h"
 #include "dataflow/engine_params.h"
 #include "dataflow/engine_services.h"
 #include "dataflow/messages.h"
@@ -69,6 +71,14 @@ class Engine : private EngineServices {
   // Runs the computation to completion (all partitions delivered to the
   // client) and returns the statistics.
   RunStats run();
+
+  // Multi-session mode (wadc_session): spawns the engine's processes into
+  // the shared simulation and returns immediately; the caller (the session
+  // runtime) drives the event loop. `on_done` fires exactly once, when the
+  // computation completes or aborts — the engine never stops the shared
+  // loop. stats() is final (completed flag and failure summary populated)
+  // by the time on_done runs. Mutually exclusive with run().
+  void start_detached(std::function<void()> on_done);
 
   // The plan in effect for a given iteration (start-up plan, or the result
   // of completed change-overs). Every iteration executes entirely under one
@@ -134,11 +144,11 @@ class Engine : private EngineServices {
   void abort_run(std::string reason);
   void note_retry(net::HostId from, net::HostId to, int attempt);
 
+  // Detached-mode completion: finalizes stats and fires on_done_ once.
+  void finish_detached();
+
   // ---- messaging ---------------------------------------------------------
-  // Routes a message to an operator's believed location, forwarding from a
-  // stale location if necessary. Returns the host actually delivered to, or
-  // kInvalidHost (fault mode only) if delivery failed — the caller should
-  // re-resolve and try again.
+  // Thin wrapper over router_ (see engine_messaging.h for semantics).
   sim::Task<net::HostId> route_to_operator(net::HostId from,
                                            core::OperatorId target,
                                            int iteration, double bytes,
@@ -148,11 +158,6 @@ class Engine : private EngineServices {
                                        Demand demand);
   sim::Task<bool> send_data_to_consumer(core::OperatorId producer,
                                         DataMessage message);
-
-  // Where `from_host` believes operator `target` lives, for a message
-  // belonging to `iteration`.
-  net::HostId believed_location(net::HostId from_host,
-                                core::OperatorId target, int iteration) const;
 
   // ---- helpers -----------------------------------------------------------
   sim::Task<void> compute_at(net::HostId host, double seconds);
@@ -233,6 +238,12 @@ class Engine : private EngineServices {
   bool faults_active_ = false;
   bool aborted_ = false;
 
+  // Detached (multi-session) mode: completion fires on_done_ instead of
+  // stopping the shared simulation loop.
+  bool detached_ = false;
+  bool done_reported_ = false;
+  std::function<void()> on_done_;
+
   // Observability (== params_.obs; pointers null when detached).
   obs::Obs obs_;
   obs::Counter* forwards_counter_ = nullptr;
@@ -260,6 +271,10 @@ class Engine : private EngineServices {
   bool uses_barrier_ = false;
   bool adapts_order_ = false;
   ChangeOverCoordinator coordinator_;
+  // Routing sublayer; acts on the engine only through EngineServices plus
+  // the epoch-placement lookup (constructed after coordinator_, which that
+  // lookup reads).
+  MessageRouter router_;
 };
 
 }  // namespace wadc::dataflow

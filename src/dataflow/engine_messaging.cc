@@ -1,12 +1,71 @@
 // Engine messaging: the routing sublayer between the actors (engine.cc)
-// and the reliable transport (net/reliable_transfer.h). Resolves where a
-// message should go under the active plan or directory, forwards around
-// stale locations, and attaches the per-hop piggyback payloads.
+// and the reliable transport (net/reliable_transfer.h). The MessageRouter
+// (engine_messaging.h) resolves destinations and forwards around stale
+// locations through the EngineServices seam; the engine-specific pieces
+// here attach the per-hop piggyback payloads and deliver into mailboxes.
 #include "dataflow/engine.h"
+#include "dataflow/engine_messaging.h"
 
 #include "common/assert.h"
 
 namespace wadc::dataflow {
+
+net::HostId MessageRouter::believed_location(net::HostId from_host,
+                                             core::OperatorId target,
+                                             int iteration) {
+  if (uses_directory_) {
+    return services_.directory(from_host).location(target);
+  }
+  return placement_for_(iteration).location(target);
+}
+
+sim::Task<net::HostId> MessageRouter::route_to_operator(net::HostId from,
+                                                        core::OperatorId target,
+                                                        int iteration,
+                                                        double bytes,
+                                                        int priority) {
+  const net::HostId believed = believed_location(from, target, iteration);
+  if (!co_await services_.hop(from, believed, bytes, priority)) {
+    co_return net::kInvalidHost;
+  }
+  if (!uses_directory_) {
+    // Placement-based routing is authoritative: the change-over protocol
+    // guarantees the operator is (or is about to be) at this host for this
+    // iteration.
+    co_return believed;
+  }
+  // The local algorithm can be stale; the old host forwards (it performed
+  // the move, so it knows the new location).
+  net::HostId at = believed;
+  int forwards = 0;
+  while (at != services_.operator_location(target)) {
+    if (services_.faults_active()) {
+      // Repair can move an operator several times while a message chases
+      // it; give up (and let the caller re-resolve) rather than assert.
+      if (++forwards > 8 + services_.base_tree().num_hosts()) {
+        co_return net::kInvalidHost;
+      }
+    } else {
+      WADC_ASSERT(services_.params().forwarding_enabled,
+                  "stale operator route with forwarding disabled");
+      WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
+    }
+    const net::HostId next = services_.operator_location(target);
+    if (obs::Tracer* tracer = services_.observability().tracer) {
+      tracer->instant("engine", "stale_forward", at,
+                      obs::operator_lane(target),
+                      services_.simulation().now(),
+                      {{"op", target}, {"next", next}});
+    }
+    if (!co_await services_.hop(at, next, bytes, priority)) {
+      co_return net::kInvalidHost;
+    }
+    ++services_.stats().messages_forwarded;
+    if (forwards_counter_) forwards_counter_->add();
+    at = next;
+  }
+  co_return at;
+}
 
 sim::Task<bool> Engine::hop(net::HostId from, net::HostId to, double bytes,
                             int priority) {
@@ -39,58 +98,12 @@ sim::Task<bool> Engine::hop(net::HostId from, net::HostId to, double bytes,
       [&] { return done_ || aborted_; });
 }
 
-net::HostId Engine::believed_location(net::HostId from_host,
-                                      core::OperatorId target,
-                                      int iteration) const {
-  if (uses_directory_) {
-    return hosts_[static_cast<std::size_t>(from_host)].directory->location(
-        target);
-  }
-  return placement_for(iteration).location(target);
-}
-
 sim::Task<net::HostId> Engine::route_to_operator(net::HostId from,
                                                  core::OperatorId target,
                                                  int iteration, double bytes,
                                                  int priority) {
-  const net::HostId believed = believed_location(from, target, iteration);
-  if (!co_await hop(from, believed, bytes, priority)) {
-    co_return net::kInvalidHost;
-  }
-  if (!uses_directory_) {
-    // Placement-based routing is authoritative: the change-over protocol
-    // guarantees the operator is (or is about to be) at this host for this
-    // iteration.
-    co_return believed;
-  }
-  // The local algorithm can be stale; the old host forwards (it performed
-  // the move, so it knows the new location).
-  net::HostId at = believed;
-  int forwards = 0;
-  while (at != coordinator_.operator_location(target)) {
-    if (faults_active_) {
-      // Repair can move an operator several times while a message chases
-      // it; give up (and let the caller re-resolve) rather than assert.
-      if (++forwards > 8 + tree_.num_hosts()) co_return net::kInvalidHost;
-    } else {
-      WADC_ASSERT(params_.forwarding_enabled,
-                  "stale operator route with forwarding disabled");
-      WADC_ASSERT(++forwards <= 8, "operator forwarding chain too long");
-    }
-    const net::HostId next = coordinator_.operator_location(target);
-    if (obs_.tracer) {
-      obs_.tracer->instant("engine", "stale_forward", at,
-                           obs::operator_lane(target), sim_.now(),
-                           {{"op", target}, {"next", next}});
-    }
-    if (!co_await hop(at, next, bytes, priority)) {
-      co_return net::kInvalidHost;
-    }
-    ++stats_.messages_forwarded;
-    if (forwards_counter_) forwards_counter_->add();
-    at = next;
-  }
-  co_return at;
+  co_return co_await router_.route_to_operator(from, target, iteration, bytes,
+                                               priority);
 }
 
 sim::Task<bool> Engine::send_demand_to_child(core::OperatorId from_op,

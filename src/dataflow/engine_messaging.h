@@ -1,0 +1,66 @@
+// Message routing: the sublayer between the engine's actors and the
+// reliable transport. Resolves where a message should go under the active
+// plan or directory and forwards around stale locations (§2.3's
+// location/timestamp vectors can lag the truth).
+//
+// Extracted behind EngineServices so routing is unit-testable against
+// MockEngineServices without constructing a full Engine (see
+// tests/engine_messaging_test.cc). The Engine owns one MessageRouter and
+// keeps thin delegating wrappers for its actors.
+#pragma once
+
+#include <functional>
+
+#include "core/combination_tree.h"
+#include "core/placement.h"
+#include "dataflow/engine_services.h"
+#include "net/types.h"
+#include "obs/metrics.h"
+#include "sim/task.h"
+
+namespace wadc::dataflow {
+
+class MessageRouter {
+ public:
+  // `placement_for` resolves the placement governing a given iteration —
+  // richer than EngineServices::current_placement(), which only exposes the
+  // newest installed plan (epoch history lives in the change-over
+  // coordinator).
+  using PlacementFn = std::function<const core::Placement&(int iteration)>;
+
+  MessageRouter(EngineServices& services, bool uses_directory,
+                PlacementFn placement_for)
+      : services_(services),
+        uses_directory_(uses_directory),
+        placement_for_(std::move(placement_for)) {}
+
+  MessageRouter(const MessageRouter&) = delete;
+  MessageRouter& operator=(const MessageRouter&) = delete;
+
+  // Where `from_host` believes operator `target` lives, for a message
+  // belonging to `iteration`: the sender's directory under directory-based
+  // routing, the iteration's placement otherwise.
+  net::HostId believed_location(net::HostId from_host, core::OperatorId target,
+                                int iteration);
+
+  // Routes a message of `bytes` to the operator's believed location,
+  // forwarding from a stale location if necessary. Returns the host
+  // actually delivered to, or kInvalidHost (fault mode only) if delivery
+  // failed — the caller should re-resolve and try again.
+  sim::Task<net::HostId> route_to_operator(net::HostId from,
+                                           core::OperatorId target,
+                                           int iteration, double bytes,
+                                           int priority);
+
+  void set_forwards_counter(obs::Counter* counter) {
+    forwards_counter_ = counter;
+  }
+
+ private:
+  EngineServices& services_;
+  const bool uses_directory_;
+  PlacementFn placement_for_;
+  obs::Counter* forwards_counter_ = nullptr;
+};
+
+}  // namespace wadc::dataflow

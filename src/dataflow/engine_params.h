@@ -75,6 +75,12 @@ struct EngineParams {
   // Seed for engine-local randomness (the local rule's k extra sites).
   std::uint64_t seed = 1;
 
+  // Query-session id under the multi-client session runtime (wadc_session).
+  // Tags every transfer this engine issues so shared-network traces and
+  // metrics can be attributed per session. -1 (the default) leaves
+  // transfers untagged — single-session output stays byte-identical.
+  int session_id = -1;
+
   // ---- failure recovery (active only when fault_injector is set) --------
   // When non-null, the engine runs fault-tolerant: transfers carry
   // timeouts, failed hops are retried with capped exponential backoff, and

@@ -67,6 +67,28 @@ BenchOptions parse_bench_options(int argc, char** argv, const char* name) {
   return opt;
 }
 
+BenchHarness::BenchHarness(int argc, char** argv, const char* name)
+    : name_(name), options_(parse_bench_options(argc, argv, name)) {}
+
+int BenchHarness::finish(int resolved_jobs) {
+  BenchReport report;
+  report.name = name_;
+  report.jobs = resolved_jobs >= 0 ? resolved_jobs
+                                   : resolve_jobs(options_.jobs);
+  report.runs = runs_;
+  report.wall_seconds = timer_.seconds();
+  print_bench_report(report);
+  if (!options_.bench_out.empty()) {
+    try {
+      write_bench_json_file(report, options_.bench_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 void print_bench_report(const BenchReport& report) {
   std::fprintf(stderr, "[bench] %s: %lld runs in %.2f s (%.1f runs/s, "
                "jobs=%d)\n",

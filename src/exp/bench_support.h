@@ -53,4 +53,38 @@ void print_bench_report(const BenchReport& report);
 //  "runs_per_second": ...}
 void write_bench_json_file(const BenchReport& report, const std::string& path);
 
+// The whole main() scaffold every bench binary shares: parses the command
+// line (exiting on --help / bad flags), starts the wall timer, accumulates
+// the simulated-run count, and emits the report in finish(). Typical use:
+//
+//   exp::BenchHarness bench(argc, argv, "fig8_server_scaling");
+//   sweep.jobs = bench.jobs();
+//   ... bench.add_runs(4LL * sweep.configs); ...
+//   return bench.finish();
+class BenchHarness {
+ public:
+  BenchHarness(int argc, char** argv, const char* name);
+
+  BenchHarness(const BenchHarness&) = delete;
+  BenchHarness& operator=(const BenchHarness&) = delete;
+
+  const BenchOptions& options() const { return options_; }
+  // Worker-count request for SweepSpec::jobs / resolve_jobs().
+  int jobs() const { return options_.jobs; }
+
+  void add_runs(long long n) { runs_ += n; }
+
+  // Prints the stderr report line, writes --bench-out JSON if requested,
+  // and returns main()'s exit code. `resolved_jobs` records how many
+  // workers actually ran (default: resolve_jobs(jobs()); benches that
+  // drive runs serially pass 1).
+  int finish(int resolved_jobs = -1);
+
+ private:
+  std::string name_;
+  BenchOptions options_;
+  WallTimer timer_;
+  long long runs_ = 0;
+};
+
 }  // namespace wadc::exp

@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "session/session_manager.h"
 #include "sim/simulation.h"
 
 namespace wadc::exp {
@@ -87,6 +88,41 @@ RunResult run_experiment(const trace::TraceLibrary& library,
   result.completion_seconds = result.stats.completion_seconds;
   result.mean_interarrival_seconds = result.stats.mean_interarrival_seconds();
   return result;
+}
+
+session::SessionStats run_session_experiment(
+    const trace::TraceLibrary& library, const ExperimentSpec& spec,
+    const session::SessionSpec& sessions) {
+  WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
+  WADC_ASSERT(spec.fault.empty(),
+              "fault injection is not supported under the session runtime");
+  const int num_hosts = spec.num_servers + 1;
+
+  // Construction order doubles as destruction-safety order: the manager
+  // (which owns every session's engine) is destroyed first, and the first
+  // engine destructor tears down all coroutine frames while the shared
+  // objects they reference are still alive.
+  sim::Simulation sim;
+  const net::LinkTable links = make_network_config(
+      library, num_hosts, spec.config_seed, spec.config);
+  net::Network network(sim, links, spec.network);
+  monitor::MonitoringSystem monitoring(network, spec.monitor);
+  if (spec.obs.enabled()) {
+    network.set_obs(spec.obs);
+    monitoring.set_obs(spec.obs);
+  }
+  const core::CombinationTree tree =
+      core::CombinationTree::make(spec.tree_shape, spec.num_servers);
+
+  workload::WorkloadParams wp = spec.workload;
+  wp.iterations = spec.iterations;
+  const workload::ImageWorkload workload(wp, spec.num_servers,
+                                         spec.config_seed);
+
+  session::SessionManager manager(sim, network, monitoring, tree, workload,
+                                  spec.engine_params(spec.config_seed),
+                                  sessions, spec.config_seed);
+  return manager.run();
 }
 
 namespace {

@@ -13,6 +13,8 @@
 #include "fault/fault_schedule.h"
 #include "monitor/monitoring_system.h"
 #include "obs/obs.h"
+#include "session/session_spec.h"
+#include "session/session_stats.h"
 #include "trace/library.h"
 #include "workload/image_workload.h"
 
@@ -70,6 +72,16 @@ struct RunResult {
 // configuration and runs it to completion.
 RunResult run_experiment(const trace::TraceLibrary& library,
                          const ExperimentSpec& spec);
+
+// Multi-client variant: builds ONE shared stack (simulation, network,
+// monitoring) for the configuration and runs `sessions` concurrent query
+// sessions over it under the session runtime (session/session_manager.h).
+// spec.algorithm/engine_base configure every session's engine; per-session
+// seeds fork from config_seed. spec.fault must be empty — fault injection
+// is not supported under the session runtime.
+session::SessionStats run_session_experiment(
+    const trace::TraceLibrary& library, const ExperimentSpec& spec,
+    const session::SessionSpec& sessions);
 
 // ---- sweeps over many configurations (the paper's 300) -------------------
 

@@ -118,4 +118,41 @@ void write_series_json_file(const std::vector<AlgorithmSeries>& series,
   write_series_json(series, out);
 }
 
+void write_sessions_json(const session::SessionStats& stats,
+                         std::ostream& out) {
+  out.precision(17);
+  out << "{\n";
+  out << "  \"makespan_seconds\": " << stats.makespan_seconds << ",\n";
+  out << "  \"completed\": " << stats.completed_count() << ",\n";
+  out << "  \"mean_response_seconds\": " << stats.mean_response_seconds()
+      << ",\n";
+  out << "  \"p95_response_seconds\": " << stats.p95_response_seconds()
+      << ",\n";
+  out << "  \"mean_queue_seconds\": " << stats.mean_queue_seconds() << ",\n";
+  out << "  \"max_queue_seconds\": " << stats.max_queue_seconds() << ",\n";
+  out << "  \"jain_fairness\": " << stats.jain_fairness() << ",\n";
+  out << "  \"aggregate_throughput\": " << stats.aggregate_throughput()
+      << ",\n";
+  out << "  \"sessions\": [";
+  for (std::size_t i = 0; i < stats.sessions.size(); ++i) {
+    const session::SessionRecord& s = stats.sessions[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"id\": " << s.id << ", \"client\": " << s.client
+        << ", \"arrival_seconds\": " << s.arrival_seconds
+        << ", \"admit_seconds\": " << s.admit_seconds
+        << ", \"end_seconds\": " << s.end_seconds << ", \"completed\": "
+        << (s.completed ? "true" : "false") << ", \"images\": " << s.images
+        << ", \"queue_seconds\": " << s.queue_seconds()
+        << ", \"response_seconds\": " << s.response_seconds()
+        << ", \"relocations\": " << s.run.relocations << "}";
+  }
+  out << (stats.sessions.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void write_sessions_json_file(const session::SessionStats& stats,
+                              const std::string& path) {
+  auto out = open_or_throw(path);
+  write_sessions_json(stats, out);
+}
+
 }  // namespace wadc::exp

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dataflow/run_stats.h"
+#include "session/session_stats.h"
 
 namespace wadc::exp {
 
@@ -28,5 +29,13 @@ void write_series_json(const std::vector<AlgorithmSeries>& series,
                        std::ostream& out);
 void write_series_json_file(const std::vector<AlgorithmSeries>& series,
                             const std::string& path);
+
+// JSON object for a multi-client session run: the aggregate metrics
+// (makespan, mean/p95 response, queueing, Jain fairness, throughput) plus
+// one record per session.
+void write_sessions_json(const session::SessionStats& stats,
+                         std::ostream& out);
+void write_sessions_json_file(const session::SessionStats& stats,
+                              const std::string& path);
 
 }  // namespace wadc::exp

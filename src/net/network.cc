@@ -57,6 +57,7 @@ void Network::set_obs(const obs::Obs& obs) {
   transfer_seconds_ = nullptr;
   queue_wait_seconds_ = nullptr;
   transfer_bytes_ = nullptr;
+  session_bytes_.clear();
   link_bytes_.assign(
       static_cast<std::size_t>(num_hosts()) *
           static_cast<std::size_t>(num_hosts()),
@@ -118,7 +119,8 @@ bool Network::endpoints_usable(HostId src, HostId dst) const {
 
 sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
                                             double bytes, int priority,
-                                            double timeout_seconds) {
+                                            double timeout_seconds,
+                                            int session) {
   WADC_ASSERT(src >= 0 && src < num_hosts(), "bad src host");
   WADC_ASSERT(dst >= 0 && dst < num_hosts(), "bad dst host");
   WADC_ASSERT(bytes >= 0, "negative transfer size");
@@ -129,6 +131,7 @@ sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
   record.dst = dst;
   record.bytes = bytes;
   record.priority = priority;
+  record.session = session;
   record.requested = sim_.now();
 
   if (src == dst) {
@@ -345,12 +348,22 @@ void Network::record_transfer_obs(const TransferRecord& rec) {
       obs_.tracer->complete("net", "queue_wait", rec.src, lane, rec.requested,
                             rec.started, {{"priority", rec.priority}});
     }
-    obs_.tracer->complete("net", "transfer", rec.src, lane, rec.started,
-                          rec.completed,
-                          {{"bytes", rec.bytes},
-                           {"priority", rec.priority},
-                           {"dst", rec.dst},
-                           {"queue_wait_s", wait}});
+    if (rec.session >= 0) {
+      obs_.tracer->complete("net", "transfer", rec.src, lane, rec.started,
+                            rec.completed,
+                            {{"bytes", rec.bytes},
+                             {"priority", rec.priority},
+                             {"dst", rec.dst},
+                             {"queue_wait_s", wait},
+                             {"session", rec.session}});
+    } else {
+      obs_.tracer->complete("net", "transfer", rec.src, lane, rec.started,
+                            rec.completed,
+                            {{"bytes", rec.bytes},
+                             {"priority", rec.priority},
+                             {"dst", rec.dst},
+                             {"queue_wait_s", wait}});
+    }
   }
   if (obs_.metrics) {
     transfers_counter_->add();
@@ -367,6 +380,14 @@ void Network::record_transfer_obs(const TransferRecord& rec) {
           std::to_string(rec.dst));
     }
     link_bytes_[idx]->add(rec.bytes);
+    if (rec.session >= 0) {
+      auto [it, inserted] = session_bytes_.emplace(rec.session, nullptr);
+      if (inserted) {
+        it->second = &obs_.metrics->counter(
+            "net.session_bytes.session" + std::to_string(rec.session));
+      }
+      it->second->add(rec.bytes);
+    }
   }
 }
 

@@ -78,11 +78,20 @@ const char* transfer_outcome_name(TransferOutcome outcome);
 // Passed as `timeout_seconds` to disable the deadline.
 inline constexpr double kNoTransferTimeout = sim::kTimeInfinity;
 
+// Session tag for transfers that do not belong to a query session (the
+// single-session engine, probes, control infrastructure).
+inline constexpr int kNoSession = -1;
+
 struct TransferRecord {
   HostId src = kInvalidHost;
   HostId dst = kInvalidHost;
   double bytes = 0;
   int priority = kDataPriority;
+  // Query session that issued the transfer (wadc_session), or kNoSession.
+  // Tagged transfers carry the session id into traces and per-session byte
+  // counters; untagged runs produce byte-identical output to pre-session
+  // builds.
+  int session = kNoSession;
   sim::SimTime requested = 0;  // when transfer() was called
   sim::SimTime started = 0;    // when both endpoints were acquired
   sim::SimTime completed = 0;  // delivery (or failure/timeout) time
@@ -116,10 +125,13 @@ class Network {
   // If `timeout_seconds` is finite, the transfer resolves no later than
   // now + timeout_seconds, with outcome kTimedOut if it had not finished.
   // Callers must check record.ok() whenever faults can be active.
+  // `session` tags the transfer with the issuing query session (wadc_session)
+  // for traces/metrics; kNoSession leaves output untouched.
   sim::Task<TransferRecord> transfer(HostId src, HostId dst, double bytes,
                                      int priority = kDataPriority,
                                      double timeout_seconds =
-                                         kNoTransferTimeout);
+                                         kNoTransferTimeout,
+                                     int session = kNoSession);
 
   void add_observer(TransferObserver observer);
 
@@ -242,6 +254,9 @@ class Network {
   obs::Histogram* queue_wait_seconds_ = nullptr;
   obs::Histogram* transfer_bytes_ = nullptr;
   std::vector<obs::Counter*> link_bytes_;  // indexed src * num_hosts + dst
+  // Per-session delivered-byte counters, created lazily on the first tagged
+  // transfer so untagged (single-session) runs keep identical metrics.
+  std::map<int, obs::Counter*> session_bytes_;
 };
 
 }  // namespace wadc::net

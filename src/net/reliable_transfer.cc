@@ -19,7 +19,7 @@ sim::Task<TransferRecord> ReliableChannel::transfer(HostId from, HostId to,
                                                     double bytes,
                                                     int priority) {
   co_return co_await network_.transfer(from, to, bytes, priority,
-                                       timeout_for(bytes));
+                                       timeout_for(bytes), session_tag_);
 }
 
 sim::Task<bool> ReliableChannel::send(
@@ -30,7 +30,8 @@ sim::Task<bool> ReliableChannel::send(
   for (int attempt = 0;; ++attempt) {
     const double bytes = build_bytes();
     const auto rec = co_await network_.transfer(from, to, bytes, priority,
-                                                timeout_for(bytes));
+                                                timeout_for(bytes),
+                                                session_tag_);
     if (rec.ok()) {
       on_delivered();
       co_return true;

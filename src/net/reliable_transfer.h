@@ -91,6 +91,12 @@ class ReliableChannel {
     retry_listener_ = std::move(listener);
   }
 
+  // Tags every transfer this channel issues with a query-session id
+  // (wadc_session). Defaults to kNoSession — untagged, byte-identical
+  // behavior.
+  void set_session_tag(int session) { session_tag_ = session; }
+  int session_tag() const { return session_tag_; }
+
   Network& network() { return network_; }
   const RetryPolicy& policy() const { return policy_; }
 
@@ -99,6 +105,7 @@ class ReliableChannel {
   RetryPolicy policy_;
   Rng jitter_rng_;
   RetryListener retry_listener_;
+  int session_tag_ = kNoSession;
 };
 
 }  // namespace wadc::net

@@ -1,0 +1,57 @@
+#include "session/admission.h"
+
+#include <utility>
+
+namespace wadc::session {
+
+AdmissionController::AdmissionController(const AdmissionParams& params,
+                                         BandwidthProbe probe)
+    : params_(params), probe_(std::move(probe)) {}
+
+bool AdmissionController::may_start() const {
+  switch (params_.policy) {
+    case AdmissionPolicy::kUnbounded:
+      return true;
+    case AdmissionPolicy::kFixedCap:
+      return running_ < params_.max_concurrent;
+    case AdmissionPolicy::kBandwidthAware: {
+      // Forward progress: an idle system always admits, whatever the
+      // bandwidth looks like — deferring with nothing running helps nobody.
+      if (running_ == 0) return true;
+      const std::optional<double> bw = probe_ ? probe_() : std::nullopt;
+      // No fresh measurement is no evidence of congestion; admit and let
+      // passive monitoring of the session's own traffic settle the question
+      // by the next decision point.
+      return !bw.has_value() || *bw >= params_.min_bandwidth;
+    }
+  }
+  return true;
+}
+
+bool AdmissionController::request(int id) {
+  if (may_start()) {
+    ++running_;
+    return true;
+  }
+  queue_.push_back(id);
+  return false;
+}
+
+std::vector<int> AdmissionController::drain_queue() {
+  std::vector<int> admitted;
+  while (!queue_.empty() && may_start()) {
+    admitted.push_back(queue_.front());
+    queue_.pop_front();
+    ++running_;
+  }
+  return admitted;
+}
+
+std::vector<int> AdmissionController::on_completed() {
+  --running_;
+  return drain_queue();
+}
+
+std::vector<int> AdmissionController::on_recheck() { return drain_queue(); }
+
+}  // namespace wadc::session

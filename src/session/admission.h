@@ -1,0 +1,69 @@
+// Admission control for concurrent query sessions.
+//
+// The controller decides, for each arriving session, whether it starts
+// immediately or waits in a FIFO queue. Three policies (session_spec.h):
+//
+//   unbounded  — every session starts on arrival;
+//   cap N      — at most N sessions run concurrently; arrivals beyond the
+//                cap queue and start, in arrival order, as runners finish;
+//   bandwidth  — a session is deferred while the measured client-link
+//                bandwidth (supplied by a probe callback, normally the
+//                monitoring subsystem's cache at the client host) sits
+//                below a threshold. To guarantee forward progress the
+//                policy always admits when nothing is running, and treats
+//                "no measurement yet" as no evidence of congestion.
+//
+// The controller is pure bookkeeping — it never touches the simulation.
+// The SessionManager drives it from arrival events, session-completion
+// callbacks, and (for the bandwidth policy) periodic recheck events.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "session/session_spec.h"
+
+namespace wadc::session {
+
+class AdmissionController {
+ public:
+  // Returns the current client-link bandwidth estimate in bytes/second, or
+  // nullopt when no fresh measurement exists.
+  using BandwidthProbe = std::function<std::optional<double>()>;
+
+  AdmissionController(const AdmissionParams& params, BandwidthProbe probe);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  const AdmissionParams& params() const { return params_; }
+
+  // An arriving session asks to start. True: admitted (counted as running).
+  // False: queued FIFO; the session id comes back from a later
+  // on_completed() or on_recheck() call.
+  bool request(int id);
+
+  // A running session finished. Returns the queued sessions admitted now,
+  // in arrival order (each counted as running again).
+  std::vector<int> on_completed();
+
+  // Periodic re-evaluation for the bandwidth policy. Returns the queued
+  // sessions admitted now, in arrival order.
+  std::vector<int> on_recheck();
+
+  int running() const { return running_; }
+  int queued() const { return static_cast<int>(queue_.size()); }
+
+ private:
+  bool may_start() const;
+  std::vector<int> drain_queue();
+
+  AdmissionParams params_;
+  BandwidthProbe probe_;
+  int running_ = 0;
+  std::deque<int> queue_;
+};
+
+}  // namespace wadc::session

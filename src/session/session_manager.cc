@@ -1,0 +1,211 @@
+#include "session/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace wadc::session {
+namespace {
+
+// Sub-stream labels for the manager's forked generators (arbitrary,
+// fixed forever for reproducibility).
+constexpr std::uint64_t kSessionSeedLabel = 0x5e5510;
+constexpr std::uint64_t kArrivalLabel = 0x5e551a;
+
+}  // namespace
+
+SessionManager::SessionManager(sim::Simulation& sim, net::Network& network,
+                               monitor::MonitoringSystem& monitoring,
+                               const core::CombinationTree& tree,
+                               const workload::ImageWorkload& workload,
+                               const dataflow::EngineParams& engine_base,
+                               const SessionSpec& spec, std::uint64_t seed)
+    : sim_(sim),
+      network_(network),
+      monitoring_(monitoring),
+      tree_(tree),
+      workload_(workload),
+      engine_base_(engine_base),
+      spec_(spec),
+      seed_(seed),
+      admission_(spec.admission,
+                 [this]() { return client_link_bandwidth(); }),
+      obs_(engine_base.obs) {
+  const std::string spec_problem = spec_.validate();
+  WADC_ASSERT(spec_problem.empty(), "invalid session spec: ", spec_problem);
+  WADC_ASSERT(engine_base_.fault_injector == nullptr,
+              "fault injection is not supported under the session runtime");
+  total_ = spec_.total_sessions();
+  sessions_.reserve(static_cast<std::size_t>(total_));
+  if (obs_.metrics) {
+    arrivals_counter_ = &obs_.metrics->counter("session.arrivals");
+    admitted_counter_ = &obs_.metrics->counter("session.admitted");
+    deferred_counter_ = &obs_.metrics->counter("session.deferred");
+    completed_counter_ = &obs_.metrics->counter("session.completed");
+    queue_seconds_hist_ = &obs_.metrics->histogram(
+        "session.queue_seconds", obs::exponential_buckets(1, 2, 24));
+    response_seconds_hist_ = &obs_.metrics->histogram(
+        "session.response_seconds", obs::exponential_buckets(1, 2, 24));
+  }
+}
+
+std::uint64_t SessionManager::session_seed(int id) const {
+  return Rng(seed_)
+      .fork(kSessionSeedLabel)
+      .fork(static_cast<std::uint64_t>(id))
+      .next_u64();
+}
+
+void SessionManager::trace_session_event(const char* name, int id) {
+  if (obs_.tracer) {
+    obs_.tracer->instant("session", name, tree_.client_host(),
+                         obs::kControlLane, sim_.now(), {{"session", id}});
+  }
+}
+
+std::optional<double> SessionManager::client_link_bandwidth() const {
+  const net::HostId client = tree_.client_host();
+  double sum = 0;
+  int n = 0;
+  for (int s = 0; s < tree_.num_servers(); ++s) {
+    if (const std::optional<double> bw = monitoring_.cached_bandwidth(
+            client, client, tree_.server_host(s))) {
+      sum += *bw;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / n;
+}
+
+void SessionManager::schedule_arrivals() {
+  switch (spec_.mode) {
+    case ArrivalMode::kExplicit: {
+      // The event queue orders by (time, seq), so scheduling in listed
+      // order gives sessions ids in arrival order with listed order
+      // breaking ties.
+      std::vector<double> times = spec_.arrivals;
+      std::sort(times.begin(), times.end());
+      for (double t : times) {
+        sim_.schedule_at(t, [this] { begin_session(-1); });
+      }
+      break;
+    }
+    case ArrivalMode::kOpenLoop: {
+      Rng arrivals_rng = Rng(seed_).fork(kArrivalLabel);
+      const double mean_gap_seconds = 3600.0 / spec_.open_rate_per_hour;
+      double t = 0;
+      for (int i = 0; i < spec_.open_count; ++i) {
+        t += arrivals_rng.exponential(mean_gap_seconds);
+        sim_.schedule_at(t, [this] { begin_session(-1); });
+      }
+      break;
+    }
+    case ArrivalMode::kClosedLoop: {
+      remaining_queries_.assign(
+          static_cast<std::size_t>(spec_.clients),
+          spec_.queries_per_client - 1);
+      for (int c = 0; c < spec_.clients; ++c) {
+        sim_.schedule_at(0, [this, c] { begin_session(c); });
+      }
+      break;
+    }
+  }
+}
+
+void SessionManager::begin_session(int client) {
+  const int id = static_cast<int>(sessions_.size());
+  Session s;
+  s.record.id = id;
+  s.record.client = client;
+  s.record.arrival_seconds = sim_.now();
+  sessions_.push_back(std::move(s));
+  if (arrivals_counter_) arrivals_counter_->add();
+  trace_session_event("arrive", id);
+  if (admission_.request(id)) {
+    admit(id);
+  } else {
+    if (deferred_counter_) deferred_counter_->add();
+    trace_session_event("defer", id);
+    maybe_schedule_recheck();
+  }
+}
+
+void SessionManager::admit(int id) {
+  Session& s = sessions_[static_cast<std::size_t>(id)];
+  s.record.admit_seconds = sim_.now();
+  if (admitted_counter_) admitted_counter_->add();
+  if (queue_seconds_hist_) {
+    queue_seconds_hist_->observe(s.record.queue_seconds());
+  }
+  trace_session_event("admit", id);
+
+  dataflow::EngineParams params = engine_base_;
+  params.session_id = id;
+  params.seed = session_seed(id);
+  s.engine = std::make_unique<dataflow::Engine>(sim_, network_, monitoring_,
+                                                tree_, workload_, params);
+  s.engine->start_detached([this, id] { on_session_done(id); });
+}
+
+void SessionManager::on_session_done(int id) {
+  Session& s = sessions_[static_cast<std::size_t>(id)];
+  s.record.end_seconds = sim_.now();
+  s.record.run = std::as_const(*s.engine).stats();
+  s.record.completed = s.record.run.completed;
+  s.record.images = static_cast<int>(s.record.run.arrival_seconds.size());
+  if (completed_counter_) completed_counter_->add();
+  if (response_seconds_hist_) {
+    response_seconds_hist_->observe(s.record.response_seconds());
+  }
+  trace_session_event("complete", id);
+  ++finished_;
+
+  // Closed loop: the issuing client thinks, then issues its next query.
+  if (const int c = s.record.client; c >= 0) {
+    if (remaining_queries_[static_cast<std::size_t>(c)] > 0) {
+      --remaining_queries_[static_cast<std::size_t>(c)];
+      sim_.schedule_in(spec_.think_seconds, [this, c] { begin_session(c); });
+    }
+  }
+
+  for (const int next : admission_.on_completed()) admit(next);
+  maybe_schedule_recheck();
+
+  if (finished_ == total_) sim_.request_stop();
+}
+
+void SessionManager::maybe_schedule_recheck() {
+  if (spec_.admission.policy != AdmissionPolicy::kBandwidthAware) return;
+  if (recheck_pending_ || admission_.queued() == 0) return;
+  recheck_pending_ = true;
+  sim_.schedule_in(spec_.admission.recheck_seconds, [this] { on_recheck(); });
+}
+
+void SessionManager::on_recheck() {
+  recheck_pending_ = false;
+  for (const int id : admission_.on_recheck()) admit(id);
+  maybe_schedule_recheck();
+}
+
+SessionStats SessionManager::run() {
+  WADC_ASSERT(!ran_, "SessionManager::run() may be called only once");
+  ran_ = true;
+  schedule_arrivals();
+  sim_.run();
+  WADC_ASSERT(finished_ == total_, "session run ended with ",
+              total_ - finished_, " of ", total_, " sessions unfinished");
+
+  SessionStats stats;
+  stats.sessions.reserve(sessions_.size());
+  for (const Session& s : sessions_) {
+    stats.sessions.push_back(s.record);
+    stats.makespan_seconds =
+        std::max(stats.makespan_seconds, s.record.end_seconds);
+  }
+  return stats;
+}
+
+}  // namespace wadc::session

@@ -1,0 +1,112 @@
+// The multi-client session runtime.
+//
+// A SessionManager launches N concurrent query sessions — each an
+// independent dataflow::Engine started in detached mode — over ONE shared
+// net::Network, ONE sim::Simulation, and ONE monitoring subsystem. All
+// sessions read the same servers and deliver to the same client host, so
+// they contend for the single-NIC endpoints and wide-area links exactly the
+// way concurrent transfers inside one session already do; the contention
+// model is purely network-side (each engine's operators compute on their
+// own resources — sessions are independent queries, not threads of one).
+//
+// Arrivals come from a SessionSpec (explicit times, a seeded open-loop
+// Poisson process, or a closed loop of clients with think times); an
+// AdmissionController decides when an arrived session may start. Every
+// engine is seeded from a per-session fork of the manager seed and tagged
+// with its session id, so shared-network traces and metrics attribute
+// per-session traffic, and the whole run is deterministic: same spec, same
+// seed, same output, whatever the interleaving.
+//
+// Fault injection is not supported under the session runtime (the fault
+// injector's schedule addresses one engine); the manager rejects engine
+// parameters carrying a fault injector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/combination_tree.h"
+#include "dataflow/engine.h"
+#include "dataflow/engine_params.h"
+#include "monitor/monitoring_system.h"
+#include "net/network.h"
+#include "obs/obs.h"
+#include "session/admission.h"
+#include "session/session_spec.h"
+#include "session/session_stats.h"
+#include "sim/simulation.h"
+#include "workload/image_workload.h"
+
+namespace wadc::session {
+
+class SessionManager {
+ public:
+  // `engine_base` configures every session's engine; the manager overrides
+  // seed (per-session fork of `seed`) and session_id. The manager must
+  // outlive nothing: destroy it before the simulation, network, monitoring,
+  // tree, and workload it references (the usual stack order works).
+  SessionManager(sim::Simulation& sim, net::Network& network,
+                 monitor::MonitoringSystem& monitoring,
+                 const core::CombinationTree& tree,
+                 const workload::ImageWorkload& workload,
+                 const dataflow::EngineParams& engine_base,
+                 const SessionSpec& spec, std::uint64_t seed);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Runs every session to completion and returns the aggregate statistics.
+  // Call at most once.
+  SessionStats run();
+
+ private:
+  struct Session {
+    SessionRecord record;
+    std::unique_ptr<dataflow::Engine> engine;  // null while queued
+  };
+
+  void schedule_arrivals();
+  // An arrival fires: assign the next session id and ask admission.
+  void begin_session(int client);
+  void admit(int id);
+  void on_session_done(int id);
+  // Bandwidth policy: keep one recheck event pending while sessions queue.
+  void maybe_schedule_recheck();
+  void on_recheck();
+  // Mean fresh client<->server bandwidth from the client's cache.
+  std::optional<double> client_link_bandwidth() const;
+  std::uint64_t session_seed(int id) const;
+  void trace_session_event(const char* name, int id);
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  monitor::MonitoringSystem& monitoring_;
+  const core::CombinationTree& tree_;
+  const workload::ImageWorkload& workload_;
+  dataflow::EngineParams engine_base_;
+  SessionSpec spec_;
+  std::uint64_t seed_;
+
+  AdmissionController admission_;
+  std::vector<Session> sessions_;
+  // Closed loop: queries each client still has to issue after the current
+  // one.
+  std::vector<int> remaining_queries_;
+  int total_ = 0;
+  int finished_ = 0;
+  bool ran_ = false;
+  bool recheck_pending_ = false;
+
+  // Observability (== engine_base.obs; pointers null when detached).
+  obs::Obs obs_;
+  obs::Counter* arrivals_counter_ = nullptr;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* deferred_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Histogram* queue_seconds_hist_ = nullptr;
+  obs::Histogram* response_seconds_hist_ = nullptr;
+};
+
+}  // namespace wadc::session

@@ -1,0 +1,215 @@
+#include "session/session_spec.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wadc::session {
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::runtime_error("session spec line " + std::to_string(line_no) +
+                           ": " + why);
+}
+
+double read_double(std::istringstream& in, int line_no, const char* what) {
+  double v = 0;
+  if (!(in >> v)) fail(line_no, std::string("expected ") + what);
+  return v;
+}
+
+int read_int(std::istringstream& in, int line_no, const char* what) {
+  int v = 0;
+  if (!(in >> v)) fail(line_no, std::string("expected ") + what);
+  return v;
+}
+
+void expect_end(std::istringstream& in, int line_no) {
+  std::string extra;
+  if (in >> extra) fail(line_no, "unexpected trailing token '" + extra + "'");
+}
+
+}  // namespace
+
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kUnbounded:
+      return "unbounded";
+    case AdmissionPolicy::kFixedCap:
+      return "cap";
+    case AdmissionPolicy::kBandwidthAware:
+      return "bandwidth";
+  }
+  return "?";
+}
+
+int SessionSpec::total_sessions() const {
+  switch (mode) {
+    case ArrivalMode::kExplicit:
+      return static_cast<int>(arrivals.size());
+    case ArrivalMode::kOpenLoop:
+      return open_count;
+    case ArrivalMode::kClosedLoop:
+      return clients * queries_per_client;
+  }
+  return 0;
+}
+
+std::string SessionSpec::validate() const {
+  const auto finite_nonneg = [](double v) { return std::isfinite(v) && v >= 0; };
+  switch (mode) {
+    case ArrivalMode::kExplicit:
+      if (arrivals.empty()) return "spec generates no sessions";
+      for (double t : arrivals) {
+        if (!finite_nonneg(t)) {
+          return "session arrival time must be finite and >= 0, got " +
+                 std::to_string(t);
+        }
+      }
+      break;
+    case ArrivalMode::kOpenLoop:
+      if (open_count <= 0) {
+        return "open-loop count must be >= 1, got " +
+               std::to_string(open_count);
+      }
+      if (!std::isfinite(open_rate_per_hour) || open_rate_per_hour <= 0) {
+        return "open-loop rate must be finite and > 0, got " +
+               std::to_string(open_rate_per_hour);
+      }
+      break;
+    case ArrivalMode::kClosedLoop:
+      if (clients <= 0) {
+        return "closed-loop clients must be >= 1, got " +
+               std::to_string(clients);
+      }
+      if (queries_per_client <= 0) {
+        return "closed-loop queries per client must be >= 1, got " +
+               std::to_string(queries_per_client);
+      }
+      if (!finite_nonneg(think_seconds)) {
+        return "closed-loop think time must be finite and >= 0, got " +
+               std::to_string(think_seconds);
+      }
+      break;
+  }
+  switch (admission.policy) {
+    case AdmissionPolicy::kUnbounded:
+      break;
+    case AdmissionPolicy::kFixedCap:
+      if (admission.max_concurrent < 1) {
+        return "admission cap must be >= 1, got " +
+               std::to_string(admission.max_concurrent);
+      }
+      break;
+    case AdmissionPolicy::kBandwidthAware:
+      if (!std::isfinite(admission.min_bandwidth) ||
+          admission.min_bandwidth <= 0) {
+        return "admission bandwidth threshold must be finite and > 0, got " +
+               std::to_string(admission.min_bandwidth);
+      }
+      if (!std::isfinite(admission.recheck_seconds) ||
+          admission.recheck_seconds <= 0) {
+        return "admission recheck period must be finite and > 0, got " +
+               std::to_string(admission.recheck_seconds);
+      }
+      break;
+  }
+  return {};
+}
+
+SessionSpec SessionSpec::concurrent_clients(int n) {
+  SessionSpec spec;
+  spec.mode = ArrivalMode::kExplicit;
+  spec.arrivals.assign(static_cast<std::size_t>(n > 0 ? n : 0), 0.0);
+  return spec;
+}
+
+SessionSpec parse_session_spec(const std::string& text) {
+  SessionSpec spec;
+  bool have_explicit = false;
+  bool have_open = false;
+  bool have_closed = false;
+  std::istringstream lines(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream in(raw);
+    std::string keyword;
+    if (!(in >> keyword)) continue;  // blank or comment-only line
+
+    if (keyword == "session") {
+      if (have_open || have_closed) {
+        fail(line_no, "'session' cannot be combined with open/closed mode");
+      }
+      have_explicit = true;
+      spec.mode = ArrivalMode::kExplicit;
+      spec.arrivals.push_back(read_double(in, line_no, "arrival seconds"));
+      expect_end(in, line_no);
+    } else if (keyword == "open") {
+      if (have_explicit || have_closed || have_open) {
+        fail(line_no, "only one arrival mode may be specified");
+      }
+      have_open = true;
+      spec.mode = ArrivalMode::kOpenLoop;
+      spec.open_count = read_int(in, line_no, "session count");
+      spec.open_rate_per_hour = read_double(in, line_no, "rate per hour");
+      expect_end(in, line_no);
+    } else if (keyword == "closed") {
+      if (have_explicit || have_open || have_closed) {
+        fail(line_no, "only one arrival mode may be specified");
+      }
+      have_closed = true;
+      spec.mode = ArrivalMode::kClosedLoop;
+      spec.clients = read_int(in, line_no, "client count");
+      spec.queries_per_client = read_int(in, line_no, "queries per client");
+      spec.think_seconds = read_double(in, line_no, "think seconds");
+      expect_end(in, line_no);
+    } else if (keyword == "admission") {
+      std::string policy;
+      if (!(in >> policy)) {
+        fail(line_no, "expected 'unbounded', 'cap' or 'bandwidth'");
+      }
+      if (policy == "unbounded") {
+        spec.admission.policy = AdmissionPolicy::kUnbounded;
+        expect_end(in, line_no);
+      } else if (policy == "cap") {
+        spec.admission.policy = AdmissionPolicy::kFixedCap;
+        spec.admission.max_concurrent =
+            read_int(in, line_no, "max concurrent sessions");
+        expect_end(in, line_no);
+      } else if (policy == "bandwidth") {
+        spec.admission.policy = AdmissionPolicy::kBandwidthAware;
+        spec.admission.min_bandwidth =
+            read_double(in, line_no, "minimum bandwidth (bytes/second)");
+        double recheck = 0;
+        if (in >> recheck) spec.admission.recheck_seconds = recheck;
+        expect_end(in, line_no);
+      } else {
+        fail(line_no, "unknown admission policy '" + policy + "'");
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_explicit && !have_open && !have_closed) {
+    fail(line_no == 0 ? 1 : line_no, "spec defines no sessions");
+  }
+  if (const std::string problem = spec.validate(); !problem.empty()) {
+    fail(line_no, problem);
+  }
+  return spec;
+}
+
+SessionSpec load_session_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open session spec: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_session_spec(buffer.str());
+}
+
+}  // namespace wadc::session

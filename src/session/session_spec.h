@@ -1,0 +1,83 @@
+// Session workload specifications for the multi-client session runtime
+// (wadc_run --sessions-spec=FILE / --num-clients=N).
+//
+// Line-oriented text format; '#' starts a comment, blank lines are ignored.
+// Times are simulated seconds. Exactly one arrival mode must be given:
+//
+//   session <arrival_seconds>                # one explicit query session
+//   open <count> <rate_per_hour>             # Poisson open-loop arrivals
+//   closed <clients> <queries> <think_s>     # closed loop: each client runs
+//                                            # <queries> sessions back to
+//                                            # back with <think_s> think time
+//   admission unbounded                      # default: admit immediately
+//   admission cap <max_concurrent>           # FIFO queue beyond the cap
+//   admission bandwidth <min_bw> [recheck_s] # defer while the measured
+//                                            # client-link bandwidth (B/s)
+//                                            # is below <min_bw>
+//
+// Parse errors throw std::runtime_error with the offending line number;
+// wadc_run turns that into exit code 2, like the fault-spec path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wadc::session {
+
+// How the admission controller treats an arriving session.
+enum class AdmissionPolicy {
+  kUnbounded,       // start every session the moment it arrives
+  kFixedCap,        // at most max_concurrent running; FIFO queue beyond
+  kBandwidthAware,  // defer while measured client-link bandwidth < threshold
+};
+
+const char* admission_policy_name(AdmissionPolicy policy);
+
+struct AdmissionParams {
+  AdmissionPolicy policy = AdmissionPolicy::kUnbounded;
+  int max_concurrent = 4;        // kFixedCap
+  double min_bandwidth = 0;      // bytes/second (kBandwidthAware)
+  double recheck_seconds = 30;   // kBandwidthAware re-evaluation period
+};
+
+// How query sessions arrive.
+enum class ArrivalMode {
+  kExplicit,    // arrival times listed in the spec
+  kOpenLoop,    // seeded Poisson arrivals, fixed count
+  kClosedLoop,  // N clients, each issuing its next query one think time
+                // after the previous one completes
+};
+
+struct SessionSpec {
+  ArrivalMode mode = ArrivalMode::kExplicit;
+
+  std::vector<double> arrivals;  // kExplicit (seconds)
+
+  int open_count = 0;  // kOpenLoop
+  double open_rate_per_hour = 0;
+
+  int clients = 0;  // kClosedLoop
+  int queries_per_client = 0;
+  double think_seconds = 0;
+
+  AdmissionParams admission;
+
+  // Sessions the spec will generate in total.
+  int total_sessions() const;
+
+  // Empty string if usable, else a description of the first problem found
+  // (the SessionManager asserts this; wadc_run turns it into exit code 2).
+  std::string validate() const;
+
+  // N sessions all arriving at t=0, unbounded admission — the shape behind
+  // wadc_run --num-clients.
+  static SessionSpec concurrent_clients(int n);
+};
+
+// Parses the format above from a string.
+SessionSpec parse_session_spec(const std::string& text);
+
+// Reads and parses a file; throws std::runtime_error if unreadable.
+SessionSpec load_session_spec_file(const std::string& path);
+
+}  // namespace wadc::session

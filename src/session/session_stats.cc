@@ -1,0 +1,76 @@
+#include "session/session_stats.h"
+
+#include <algorithm>
+
+#include "trace/stats.h"
+
+namespace wadc::session {
+namespace {
+
+// Response times of completed sessions.
+std::vector<double> completed_responses(const SessionStats& stats) {
+  std::vector<double> xs;
+  xs.reserve(stats.sessions.size());
+  for (const SessionRecord& s : stats.sessions) {
+    if (s.completed) xs.push_back(s.response_seconds());
+  }
+  return xs;
+}
+
+}  // namespace
+
+int SessionStats::completed_count() const {
+  return static_cast<int>(
+      std::count_if(sessions.begin(), sessions.end(),
+                    [](const SessionRecord& s) { return s.completed; }));
+}
+
+double SessionStats::mean_response_seconds() const {
+  const std::vector<double> xs = completed_responses(*this);
+  return xs.empty() ? 0.0 : trace::mean_of(xs);
+}
+
+double SessionStats::p95_response_seconds() const {
+  std::vector<double> xs = completed_responses(*this);
+  return xs.empty() ? 0.0 : trace::percentile_of(std::move(xs), 95.0);
+}
+
+double SessionStats::mean_queue_seconds() const {
+  if (sessions.empty()) return 0.0;
+  std::vector<double> xs;
+  xs.reserve(sessions.size());
+  for (const SessionRecord& s : sessions) xs.push_back(s.queue_seconds());
+  return trace::mean_of(xs);
+}
+
+double SessionStats::max_queue_seconds() const {
+  double max = 0;
+  for (const SessionRecord& s : sessions) {
+    max = std::max(max, s.queue_seconds());
+  }
+  return max;
+}
+
+double SessionStats::jain_fairness() const {
+  double sum = 0;
+  double sum_sq = 0;
+  int n = 0;
+  for (const SessionRecord& s : sessions) {
+    if (!s.completed) continue;
+    const double x = s.throughput();
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n == 0 || sum_sq == 0) return 1.0;
+  return (sum * sum) / (n * sum_sq);
+}
+
+double SessionStats::aggregate_throughput() const {
+  if (makespan_seconds <= 0) return 0.0;
+  int images = 0;
+  for (const SessionRecord& s : sessions) images += s.images;
+  return images / makespan_seconds;
+}
+
+}  // namespace wadc::session

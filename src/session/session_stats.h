@@ -1,0 +1,61 @@
+// Result types for one multi-session run: per-session records and the
+// aggregate metrics the client-scaling figures are built from.
+//
+// Split from session_manager.h so consumers that only read results — the
+// experiment exporters, benches — do not pull in the runtime.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/run_stats.h"
+#include "sim/types.h"
+
+namespace wadc::session {
+
+struct SessionRecord {
+  int id = 0;
+  // Closed-loop client that issued this session; -1 for open-loop and
+  // explicit arrivals.
+  int client = -1;
+
+  sim::SimTime arrival_seconds = 0;  // when the session arrived
+  sim::SimTime admit_seconds = 0;    // when admission let it start
+  sim::SimTime end_seconds = 0;      // when its engine reported done
+  bool completed = false;
+  int images = 0;  // partitions delivered to this session's client
+
+  // The session's engine statistics, copied at completion.
+  dataflow::RunStats run;
+
+  double queue_seconds() const { return admit_seconds - arrival_seconds; }
+  double response_seconds() const { return end_seconds - arrival_seconds; }
+  // Images per second over the session's response time (the x_i the
+  // fairness index is computed over).
+  double throughput() const {
+    return response_seconds() > 0 ? images / response_seconds() : 0.0;
+  }
+};
+
+struct SessionStats {
+  std::vector<SessionRecord> sessions;
+  // Last session end time (== total simulated time the workload occupied).
+  sim::SimTime makespan_seconds = 0;
+
+  int completed_count() const;
+
+  // Aggregates over completed sessions (0 when none completed).
+  double mean_response_seconds() const;
+  double p95_response_seconds() const;
+  double mean_queue_seconds() const;
+  double max_queue_seconds() const;
+
+  // Jain's fairness index over per-session throughput,
+  // (sum x)^2 / (n * sum x^2): 1 when every session got equal service,
+  // 1/n when one session got everything. 1 when nothing completed.
+  double jain_fairness() const;
+
+  // Total images delivered across all sessions per second of makespan.
+  double aggregate_throughput() const;
+};
+
+}  // namespace wadc::session

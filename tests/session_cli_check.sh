@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Session-mode CLI contract: malformed session specs, bad flag values, and
+# conflicting flags must all exit 2 (usage error) without running anything,
+# and a well-formed tiny spec must run and exit 0.
+#
+# Usage: session_cli_check.sh <wadc_run binary>
+set -u
+
+BIN=$1
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+
+expect_exit() {
+  local want=$1 name=$2
+  shift 2
+  "$BIN" "$@" > "$TMP/out" 2> "$TMP/err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $name: expected exit $want, got $got" >&2
+    sed 's/^/  /' "$TMP/err" >&2
+    fail=1
+  fi
+}
+
+# --- usage errors -----------------------------------------------------------
+
+printf 'bogus 1\n' > "$TMP/unknown-keyword.sessions"
+expect_exit 2 "unknown keyword" \
+  --sessions-spec="$TMP/unknown-keyword.sessions" --servers=2 --iterations=4
+
+printf 'session 0\nadmission cap 0\n' > "$TMP/bad-cap.sessions"
+expect_exit 2 "cap 0 rejected by validation" \
+  --sessions-spec="$TMP/bad-cap.sessions" --servers=2 --iterations=4
+
+printf '# only comments\n' > "$TMP/empty.sessions"
+expect_exit 2 "empty spec" \
+  --sessions-spec="$TMP/empty.sessions" --servers=2 --iterations=4
+
+expect_exit 2 "missing spec file" \
+  --sessions-spec="$TMP/does-not-exist.sessions" --servers=2 --iterations=4
+
+expect_exit 2 "--num-clients must be >= 1" --num-clients=0
+
+expect_exit 2 "--sessions-spec and --num-clients conflict" \
+  --sessions-spec="$TMP/empty.sessions" --num-clients=2
+
+printf 'session 0\n' > "$TMP/ok.sessions"
+printf 'crash 1 100 200\n' > "$TMP/ok.fault"
+expect_exit 2 "session mode rejects fault injection" \
+  --sessions-spec="$TMP/ok.sessions" --fault-spec="$TMP/ok.fault"
+
+# --- happy path -------------------------------------------------------------
+
+printf 'session 0\nsession 30\nadmission cap 1\n' > "$TMP/two.sessions"
+expect_exit 0 "tiny session run" \
+  --sessions-spec="$TMP/two.sessions" --servers=2 --iterations=4 \
+  --configs=1 --seed=1000 --csv
+
+if ! grep -q '^config_seed,algorithm,policy,sessions,' "$TMP/out"; then
+  echo "FAIL: session CSV header missing from tiny run output:" >&2
+  head -3 "$TMP/out" >&2
+  fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+  echo "session CLI contract OK"
+fi
+exit "$fail"

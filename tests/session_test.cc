@@ -1,0 +1,314 @@
+// Tests for the multi-client session runtime: spec parsing/validation,
+// the admission controller's three policies, the aggregate metrics, and
+// end-to-end session experiments (determinism, contention, closed loop).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+
+#include "exp/experiment.h"
+#include "session/admission.h"
+#include "session/session_spec.h"
+#include "session/session_stats.h"
+#include "trace/library.h"
+
+namespace wadc::session {
+namespace {
+
+trace::TraceLibrary& shared_library() {
+  static trace::TraceLibrary lib(trace::TraceLibraryParams{}, 2026);
+  return lib;
+}
+
+// ---------------------------------------------------------------------------
+// spec parsing
+
+TEST(SessionSpecParse, ExplicitArrivals) {
+  const SessionSpec spec = parse_session_spec(
+      "# two sessions\n"
+      "session 0\n"
+      "\n"
+      "session 10.5\n");
+  EXPECT_EQ(spec.mode, ArrivalMode::kExplicit);
+  ASSERT_EQ(spec.arrivals.size(), 2u);
+  EXPECT_EQ(spec.arrivals[0], 0.0);
+  EXPECT_EQ(spec.arrivals[1], 10.5);
+  EXPECT_EQ(spec.total_sessions(), 2);
+  EXPECT_EQ(spec.admission.policy, AdmissionPolicy::kUnbounded);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(SessionSpecParse, OpenLoopWithCap) {
+  const SessionSpec spec = parse_session_spec(
+      "open 5 12\n"
+      "admission cap 2\n");
+  EXPECT_EQ(spec.mode, ArrivalMode::kOpenLoop);
+  EXPECT_EQ(spec.open_count, 5);
+  EXPECT_EQ(spec.open_rate_per_hour, 12.0);
+  EXPECT_EQ(spec.total_sessions(), 5);
+  EXPECT_EQ(spec.admission.policy, AdmissionPolicy::kFixedCap);
+  EXPECT_EQ(spec.admission.max_concurrent, 2);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(SessionSpecParse, ClosedLoopWithBandwidthAdmission) {
+  const SessionSpec spec = parse_session_spec(
+      "closed 3 2 60\n"
+      "admission bandwidth 5000 10\n");
+  EXPECT_EQ(spec.mode, ArrivalMode::kClosedLoop);
+  EXPECT_EQ(spec.clients, 3);
+  EXPECT_EQ(spec.queries_per_client, 2);
+  EXPECT_EQ(spec.think_seconds, 60.0);
+  EXPECT_EQ(spec.total_sessions(), 6);
+  EXPECT_EQ(spec.admission.policy, AdmissionPolicy::kBandwidthAware);
+  EXPECT_EQ(spec.admission.min_bandwidth, 5000.0);
+  EXPECT_EQ(spec.admission.recheck_seconds, 10.0);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(SessionSpecParse, MalformedSpecsThrowWithLineNumber) {
+  EXPECT_THROW(parse_session_spec("bogus 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_session_spec(""), std::runtime_error);
+  EXPECT_THROW(parse_session_spec("session\n"), std::runtime_error);
+  EXPECT_THROW(parse_session_spec("session -5\n"), std::runtime_error);
+  EXPECT_THROW(parse_session_spec("open 0 5\n"), std::runtime_error);
+  EXPECT_THROW(parse_session_spec("closed 2 1 10 extra\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_session_spec("session 0\nadmission cap 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_session_spec("session 0\nadmission bandwidth -1\n"),
+               std::runtime_error);
+  // Arrival modes are mutually exclusive.
+  EXPECT_THROW(parse_session_spec("session 0\nopen 2 6\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_session_spec("open 2 6\nclosed 2 1 10\n"),
+               std::runtime_error);
+  try {
+    parse_session_spec("session 0\nwat\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SessionSpec, ConcurrentClientsShape) {
+  const SessionSpec spec = SessionSpec::concurrent_clients(4);
+  EXPECT_EQ(spec.mode, ArrivalMode::kExplicit);
+  ASSERT_EQ(spec.arrivals.size(), 4u);
+  for (double t : spec.arrivals) EXPECT_EQ(t, 0.0);
+  EXPECT_EQ(spec.admission.policy, AdmissionPolicy::kUnbounded);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(SessionSpec, ValidateRejectsBadShapes) {
+  SessionSpec spec;  // explicit mode, no arrivals
+  EXPECT_FALSE(spec.validate().empty());
+  spec.arrivals = {0.0, -1.0};
+  EXPECT_FALSE(spec.validate().empty());
+  spec.arrivals = {0.0};
+  EXPECT_TRUE(spec.validate().empty());
+  spec.admission.policy = AdmissionPolicy::kFixedCap;
+  spec.admission.max_concurrent = 0;
+  EXPECT_FALSE(spec.validate().empty());
+}
+
+// ---------------------------------------------------------------------------
+// admission controller
+
+TEST(AdmissionController, UnboundedAdmitsEverything) {
+  AdmissionController ctrl(AdmissionParams{}, nullptr);
+  for (int id = 0; id < 5; ++id) EXPECT_TRUE(ctrl.request(id));
+  EXPECT_EQ(ctrl.running(), 5);
+  EXPECT_EQ(ctrl.queued(), 0);
+}
+
+TEST(AdmissionController, FixedCapQueuesFifoBeyondCap) {
+  AdmissionParams params;
+  params.policy = AdmissionPolicy::kFixedCap;
+  params.max_concurrent = 2;
+  AdmissionController ctrl(params, nullptr);
+
+  EXPECT_TRUE(ctrl.request(0));
+  EXPECT_TRUE(ctrl.request(1));
+  EXPECT_FALSE(ctrl.request(2));
+  EXPECT_FALSE(ctrl.request(3));
+  EXPECT_EQ(ctrl.running(), 2);
+  EXPECT_EQ(ctrl.queued(), 2);
+
+  // Completions admit the queue in arrival order, one slot at a time.
+  EXPECT_EQ(ctrl.on_completed(), (std::vector<int>{2}));
+  EXPECT_EQ(ctrl.running(), 2);
+  EXPECT_EQ(ctrl.on_completed(), (std::vector<int>{3}));
+  EXPECT_EQ(ctrl.queued(), 0);
+  EXPECT_EQ(ctrl.on_completed(), (std::vector<int>{}));
+  EXPECT_EQ(ctrl.running(), 1);
+}
+
+TEST(AdmissionController, BandwidthPolicyDefersUnderCongestion) {
+  AdmissionParams params;
+  params.policy = AdmissionPolicy::kBandwidthAware;
+  params.min_bandwidth = 1000.0;
+  std::optional<double> measured = 100.0;  // congested
+  AdmissionController ctrl(params, [&] { return measured; });
+
+  // Forward progress: an idle system always admits, however congested.
+  EXPECT_TRUE(ctrl.request(0));
+  EXPECT_FALSE(ctrl.request(1));
+  EXPECT_EQ(ctrl.queued(), 1);
+
+  // Still congested at recheck: nothing moves.
+  EXPECT_EQ(ctrl.on_recheck(), (std::vector<int>{}));
+
+  // Bandwidth recovers: the recheck drains the queue.
+  measured = 5000.0;
+  EXPECT_EQ(ctrl.on_recheck(), (std::vector<int>{1}));
+  EXPECT_EQ(ctrl.running(), 2);
+}
+
+TEST(AdmissionController, BandwidthPolicyTreatsNoMeasurementAsClear) {
+  AdmissionParams params;
+  params.policy = AdmissionPolicy::kBandwidthAware;
+  params.min_bandwidth = 1000.0;
+  AdmissionController ctrl(params, [] { return std::nullopt; });
+  EXPECT_TRUE(ctrl.request(0));
+  EXPECT_TRUE(ctrl.request(1));
+  EXPECT_EQ(ctrl.queued(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// aggregate metrics
+
+SessionRecord make_record(int id, double arrival, double admit, double end,
+                          int images) {
+  SessionRecord r;
+  r.id = id;
+  r.arrival_seconds = arrival;
+  r.admit_seconds = admit;
+  r.end_seconds = end;
+  r.completed = true;
+  r.images = images;
+  return r;
+}
+
+TEST(SessionStats, AggregatesMatchHandComputation) {
+  SessionStats stats;
+  // Throughputs 1.0 and 0.5 images/s: Jain = (1.5)^2 / (2 * 1.25) = 0.9.
+  stats.sessions.push_back(make_record(0, 0, 0, 10, 10));
+  stats.sessions.push_back(make_record(1, 0, 5, 20, 10));
+  stats.makespan_seconds = 20;
+
+  EXPECT_EQ(stats.completed_count(), 2);
+  EXPECT_DOUBLE_EQ(stats.mean_response_seconds(), 15.0);
+  EXPECT_DOUBLE_EQ(stats.mean_queue_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.max_queue_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.jain_fairness(), 0.9);
+  EXPECT_DOUBLE_EQ(stats.aggregate_throughput(), 1.0);
+}
+
+TEST(SessionStats, EqualServiceIsPerfectlyFair) {
+  SessionStats stats;
+  for (int i = 0; i < 4; ++i) {
+    stats.sessions.push_back(make_record(i, 0, 0, 10, 5));
+  }
+  stats.makespan_seconds = 10;
+  EXPECT_DOUBLE_EQ(stats.jain_fairness(), 1.0);
+}
+
+TEST(SessionStats, EmptyStatsAreWellDefined) {
+  const SessionStats stats;
+  EXPECT_EQ(stats.completed_count(), 0);
+  EXPECT_EQ(stats.mean_response_seconds(), 0.0);
+  EXPECT_EQ(stats.jain_fairness(), 1.0);
+  EXPECT_EQ(stats.aggregate_throughput(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end session experiments
+
+exp::ExperimentSpec small_experiment(core::AlgorithmKind algorithm) {
+  exp::ExperimentSpec spec;
+  spec.algorithm = algorithm;
+  spec.num_servers = 3;
+  spec.iterations = 8;
+  spec.config_seed = 11;
+  return spec;
+}
+
+TEST(RunSessionExperiment, DeterministicInSeed) {
+  const auto spec = small_experiment(core::AlgorithmKind::kOneShot);
+  const auto sessions = SessionSpec::concurrent_clients(3);
+  const SessionStats a =
+      exp::run_session_experiment(shared_library(), spec, sessions);
+  const SessionStats b =
+      exp::run_session_experiment(shared_library(), spec, sessions);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].end_seconds, b.sessions[i].end_seconds);
+    EXPECT_EQ(a.sessions[i].images, b.sessions[i].images);
+  }
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+}
+
+TEST(RunSessionExperiment, ContentionSlowsConcurrentSessions) {
+  const auto spec = small_experiment(core::AlgorithmKind::kDownloadAll);
+  const SessionStats solo = exp::run_session_experiment(
+      shared_library(), spec, SessionSpec::concurrent_clients(1));
+  const SessionStats crowd = exp::run_session_experiment(
+      shared_library(), spec, SessionSpec::concurrent_clients(4));
+  ASSERT_EQ(solo.completed_count(), 1);
+  ASSERT_EQ(crowd.completed_count(), 4);
+  // Four sessions share the client NIC and the wide-area links; each must
+  // take longer than the session that had the network to itself.
+  EXPECT_GT(crowd.mean_response_seconds(), solo.mean_response_seconds());
+}
+
+TEST(RunSessionExperiment, FixedCapBoundsConcurrencyAndQueues) {
+  const auto spec = small_experiment(core::AlgorithmKind::kOneShot);
+  SessionSpec sessions = SessionSpec::concurrent_clients(3);
+  sessions.admission.policy = AdmissionPolicy::kFixedCap;
+  sessions.admission.max_concurrent = 1;
+  const SessionStats stats =
+      exp::run_session_experiment(shared_library(), spec, sessions);
+  ASSERT_EQ(stats.completed_count(), 3);
+  // Cap 1 serialises the sessions: each admission waits for the previous
+  // session to finish, so the runs must not overlap.
+  EXPECT_GT(stats.max_queue_seconds(), 0.0);
+  for (std::size_t i = 1; i < stats.sessions.size(); ++i) {
+    EXPECT_GE(stats.sessions[i].admit_seconds,
+              stats.sessions[i - 1].end_seconds);
+  }
+}
+
+TEST(RunSessionExperiment, ClosedLoopRespectsThinkTime) {
+  const auto spec = small_experiment(core::AlgorithmKind::kOneShot);
+  SessionSpec sessions;
+  sessions.mode = ArrivalMode::kClosedLoop;
+  sessions.clients = 2;
+  sessions.queries_per_client = 2;
+  sessions.think_seconds = 120.0;
+  const SessionStats stats =
+      exp::run_session_experiment(shared_library(), spec, sessions);
+  ASSERT_EQ(stats.completed_count(), 4);
+  // Each client's second query arrives one think time after its first one
+  // completed.
+  for (int client = 0; client < 2; ++client) {
+    const SessionRecord* first = nullptr;
+    const SessionRecord* second = nullptr;
+    for (const SessionRecord& r : stats.sessions) {
+      if (r.client != client) continue;
+      if (!first) {
+        first = &r;
+      } else {
+        second = &r;
+      }
+    }
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_DOUBLE_EQ(second->arrival_seconds,
+                     first->end_seconds + sessions.think_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace wadc::session

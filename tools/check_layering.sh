@@ -4,7 +4,9 @@
 # must not reach up into dataflow/, and src/net must not reach up into
 # monitor/ or dataflow/ — the refactor that split the engine into
 # transport / policy / change-over layers depends on those edges staying
-# absent.
+# absent. The session runtime sits between dataflow and exp: it may include
+# dataflow/net/monitor, and nothing at or below dataflow may include
+# session/.
 #
 # Usage: check_layering.sh [repo-root]
 set -u
@@ -25,7 +27,8 @@ allowed() {
     fault)    echo "common sim obs trace net" ;;
     core)     echo "common sim obs trace net monitor" ;;
     dataflow) echo "common sim obs trace net monitor fault core workload" ;;
-    exp)      echo "common sim obs trace net monitor fault core workload dataflow" ;;
+    session)  echo "common sim obs trace net monitor core workload dataflow" ;;
+    exp)      echo "common sim obs trace net monitor fault core workload dataflow session" ;;
     *)        echo "__unknown__" ;;
   esac
 }

@@ -36,6 +36,8 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/tracer.h"
+#include "session/session_spec.h"
+#include "session/session_stats.h"
 #include "trace/io.h"
 #include "trace/library.h"
 #include "trace/stats.h"
@@ -59,6 +61,8 @@ struct Options {
   bool with_baseline = true;
   std::string trace_set_path;
   std::string fault_spec_path;  // fault schedule (see docs/FAULTS.md)
+  std::string sessions_spec_path;  // multi-client spec (docs/SESSIONS.md)
+  int num_clients = 0;  // shorthand: N sessions at t=0, unbounded admission
   std::string dump_traces_path;
   std::string dump_run_path;  // JSON of the final configuration's run
   std::string trace_out_path;    // Chrome trace JSON of the final run
@@ -89,6 +93,11 @@ void usage() {
       "  --fault-spec=FILE      inject faults from FILE (crash/blackout/drop\n"
       "                         lines, see docs/FAULTS.md) and run the\n"
       "                         engine fault-tolerant\n"
+      "  --sessions-spec=FILE   run concurrent query sessions from FILE\n"
+      "                         (session/open/closed/admission lines, see\n"
+      "                         docs/SESSIONS.md) over one shared network\n"
+      "  --num-clients=N        shorthand for N sessions all arriving at\n"
+      "                         t=0 with unbounded admission\n"
       "  --dump-traces=FILE     write the synthetic pool to FILE and exit\n"
       "  --dump-run=FILE        write the last run's stats as JSON\n"
       "  --trace-out=FILE       write the last run's Chrome trace-event JSON\n"
@@ -205,6 +214,18 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.fault_spec_path = *vf;
+    } else if (auto vs = flag_value(arg, "--sessions-spec")) {
+      if (vs->empty()) {
+        std::fprintf(stderr, "--sessions-spec requires a file path\n");
+        return false;
+      }
+      opt.sessions_spec_path = *vs;
+    } else if (auto vn = flag_value(arg, "--num-clients")) {
+      if (!to_int(*vn, "--num-clients", opt.num_clients)) return false;
+      if (opt.num_clients < 1) {
+        std::fprintf(stderr, "--num-clients must be >= 1\n");
+        return false;
+      }
     } else if (auto v11 = flag_value(arg, "--dump-traces")) {
       opt.dump_traces_path = *v11;
     } else if (auto v12 = flag_value(arg, "--dump-run")) {
@@ -244,7 +265,144 @@ bool parse(int argc, char** argv, Options& opt) {
     std::fprintf(stderr, "servers/iterations/configs must be positive\n");
     return false;
   }
+  if (!opt.sessions_spec_path.empty() && opt.num_clients > 0) {
+    std::fprintf(stderr,
+                 "--sessions-spec and --num-clients are mutually exclusive\n");
+    return false;
+  }
+  if ((!opt.sessions_spec_path.empty() || opt.num_clients > 0) &&
+      !opt.fault_spec_path.empty()) {
+    std::fprintf(stderr,
+                 "fault injection is not supported in session mode\n");
+    return false;
+  }
   return true;
+}
+
+// Worker-thread count for the configuration runs (shared by both modes).
+int resolve_run_jobs(const Options& opt) {
+  return opt.jobs < 0    ? exp::resolve_jobs(0)
+         : opt.jobs == 0 ? static_cast<int>(std::max(
+                               1u, std::thread::hardware_concurrency()))
+                         : opt.jobs;
+}
+
+// Multi-client session mode: every configuration runs `sessions` concurrent
+// query sessions over one shared network and prints aggregate response-time
+// and fairness statistics. Parallel over configurations like the normal
+// mode; output is byte-identical for any --jobs value.
+int run_session_mode(const Options& opt, const exp::ExperimentSpec& base_spec,
+                     const trace::TraceLibrary& library,
+                     const session::SessionSpec& sessions) {
+  const char* policy =
+      session::admission_policy_name(sessions.admission.policy);
+  if (opt.csv) {
+    std::printf("config_seed,algorithm,policy,sessions,completed,"
+                "mean_response_s,p95_response_s,mean_queue_s,jain_fairness,"
+                "throughput_per_s,makespan_s\n");
+  } else {
+    std::printf("wadc_run: %s, %d servers, %d iterations, %s tree, "
+                "%d session(s), admission %s, %d configuration(s)\n\n",
+                core::algorithm_name(opt.algorithm), opt.servers,
+                opt.iterations, core::tree_shape_name(opt.shape),
+                sessions.total_sessions(), policy, opt.configs);
+    std::printf("config    sessions  done  mean_resp     p95_resp      "
+                "mean_queue  jain   makespan\n");
+  }
+
+  const bool want_obs =
+      !opt.trace_out_path.empty() || !opt.metrics_out_path.empty();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  const int jobs = resolve_run_jobs(opt);
+  std::vector<session::SessionStats> outcomes(
+      static_cast<std::size_t>(opt.configs));
+  const exp::WallTimer timer;
+  exp::parallel_for(opt.configs, jobs, [&](int c) {
+    exp::ExperimentSpec s = base_spec;
+    s.config_seed = opt.seed + static_cast<std::uint64_t>(c);
+    s.obs = {};
+    if (want_obs && c == opt.configs - 1) {
+      s.obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
+      s.obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
+    }
+    outcomes[static_cast<std::size_t>(c)] =
+        exp::run_session_experiment(library, s, sessions);
+  });
+  const double wall_seconds = timer.seconds();
+
+  std::vector<double> mean_responses;
+  for (int c = 0; c < opt.configs; ++c) {
+    const session::SessionStats& st =
+        outcomes[static_cast<std::size_t>(c)];
+    const std::uint64_t config_seed =
+        opt.seed + static_cast<std::uint64_t>(c);
+    if (!opt.dump_run_path.empty() && c == opt.configs - 1) {
+      try {
+        exp::write_sessions_json_file(st, opt.dump_run_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "failed to dump run: %s\n", e.what());
+      }
+    }
+    mean_responses.push_back(st.mean_response_seconds());
+    if (opt.csv) {
+      std::printf("%llu,%s,%s,%zu,%d,%.3f,%.3f,%.3f,%.4f,%.6f,%.3f\n",
+                  static_cast<unsigned long long>(config_seed),
+                  core::algorithm_name(opt.algorithm), policy,
+                  st.sessions.size(), st.completed_count(),
+                  st.mean_response_seconds(), st.p95_response_seconds(),
+                  st.mean_queue_seconds(), st.jain_fairness(),
+                  st.aggregate_throughput(), st.makespan_seconds);
+    } else {
+      std::printf("%-9llu %-9zu %-5d %9.1f s %11.1f s %9.1f s  %.3f  "
+                  "%9.1f s\n",
+                  static_cast<unsigned long long>(config_seed),
+                  st.sessions.size(), st.completed_count(),
+                  st.mean_response_seconds(), st.p95_response_seconds(),
+                  st.mean_queue_seconds(), st.jain_fairness(),
+                  st.makespan_seconds);
+    }
+  }
+
+  if (!opt.bench_out_path.empty()) {
+    exp::BenchReport report;
+    report.name = "wadc_run";
+    report.jobs = jobs;
+    report.runs = static_cast<long long>(opt.configs) *
+                  sessions.total_sessions();
+    report.wall_seconds = wall_seconds;
+    try {
+      exp::write_bench_json_file(report, opt.bench_out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (!opt.trace_out_path.empty()) {
+    try {
+      tracer.write_chrome_json_file(opt.trace_out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write trace: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (!opt.metrics_out_path.empty()) {
+    try {
+      metrics.write_json_file(opt.metrics_out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write metrics: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (!opt.csv && opt.configs > 1) {
+    std::printf("\nsummary over %d configurations:\n", opt.configs);
+    std::printf("  mean response   mean %9.1f s   median %9.1f s\n",
+                trace::mean_of(mean_responses),
+                trace::median_of(mean_responses));
+  }
+  return 0;
 }
 
 }  // namespace
@@ -320,6 +478,21 @@ int main(int argc, char** argv) {
   }
   const bool faulting = !spec.fault.empty();
 
+  if (!opt.sessions_spec_path.empty() || opt.num_clients > 0) {
+    session::SessionSpec sessions;
+    if (!opt.sessions_spec_path.empty()) {
+      try {
+        sessions = session::load_session_spec_file(opt.sessions_spec_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "failed to load sessions spec: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      sessions = session::SessionSpec::concurrent_clients(opt.num_clients);
+    }
+    return run_session_mode(opt, spec, *library, sessions);
+  }
+
   if (!opt.csv) {
     std::printf("wadc_run: %s, %d servers, %d iterations, %s tree, period "
                 "%.0f s, %d configuration(s)\n\n",
@@ -353,11 +526,7 @@ int main(int argc, char** argv) {
   // independent job; results land in index-keyed slots and are printed in
   // configuration order afterwards, so output is byte-identical for any
   // --jobs value.
-  const int jobs = opt.jobs < 0    ? exp::resolve_jobs(0)
-                   : opt.jobs == 0 ? static_cast<int>(std::max(
-                                         1u,
-                                         std::thread::hardware_concurrency()))
-                                   : opt.jobs;
+  const int jobs = resolve_run_jobs(opt);
   struct ConfigOutcome {
     double base_time = 0;
     exp::RunResult run;
