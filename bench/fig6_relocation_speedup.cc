@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   sweep.configs = exp::env_configs(300);
   sweep.base_seed = exp::env_seed(1000);
   sweep.jobs = bench.jobs();
+  sweep.profiler = bench.profiler();
 
   std::printf("=== Figure 6: speedup over download-all, %d configurations, "
               "8 servers ===\n",
@@ -88,5 +89,5 @@ int main(int argc, char** argv) {
       {download_all.mean_interarrival, one_shot.mean_interarrival,
        local.mean_interarrival, global.mean_interarrival},
       "s");
-  return 0;
+  return bench_rc;
 }

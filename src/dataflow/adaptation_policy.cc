@@ -143,6 +143,16 @@ class GlobalPolicy final : public OneShotPolicy {
     // current_placement is re-read after the probing awaits: a repair may
     // have patched the plan while we probed.
     decision.changed = !(outcome.placement == services.current_placement());
+    const obs::Obs& obs = services.observability();
+    if (obs.decisions) {
+      obs.decisions->record(
+          services.simulation().now(), "plan",
+          decision.changed ? "global_adopt" : "global_keep",
+          services.params().session_id,
+          {{"cost", outcome.cost},
+           {"iterations", outcome.iterations},
+           {"candidates", outcome.candidates_evaluated}});
+    }
     decision.placement = std::move(outcome.placement);
     co_return decision;
   }
@@ -183,8 +193,23 @@ class OrderPolicy final : public AdaptationPolicy {
                                         services.cost_model().params());
     const double current_cost =
         current_model.placement_cost(services.current_placement(), resolver);
-    if (outcome.cost <
-        services.params().order_adoption_threshold * current_cost) {
+    const bool adopt =
+        outcome.cost <
+        services.params().order_adoption_threshold * current_cost;
+    const obs::Obs& obs = services.observability();
+    if (obs.decisions) {
+      // The adopt/reject call with its cost-model evidence: the candidate
+      // order's estimated cost vs the incumbent's, and the hysteresis
+      // threshold that separates them.
+      obs.decisions->record(services.simulation().now(), "plan",
+                            adopt ? "order_adopt" : "order_reject",
+                            services.params().session_id,
+                            {{"candidate_cost", outcome.cost},
+                             {"current_cost", current_cost},
+                             {"threshold",
+                              services.params().order_adoption_threshold}});
+    }
+    if (adopt) {
       decision.tree = std::move(outcome.tree);
       decision.placement = std::move(outcome.placement);
       decision.changed = true;
@@ -273,6 +298,16 @@ class LocalPolicy final : public OneShotPolicy {
       core::CacheResolver fresh(services.bandwidth_cache(self), sim.now(),
                                 session_start);
       decision = rule.choose(self, p0, p1, consumer, extras, fresh);
+    }
+    const obs::Obs& obs = services.observability();
+    if (obs.decisions) {
+      obs.decisions->record(sim.now(), "relocation",
+                            decision.moved ? "local_move" : "local_stay",
+                            services.params().session_id,
+                            {{"op", op},
+                             {"self", self},
+                             {"chosen", decision.chosen},
+                             {"local_cost", decision.local_cost}});
     }
     if (decision.moved) {
       if (services.faults_active() && !services.host_alive(decision.chosen)) {

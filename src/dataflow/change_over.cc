@@ -171,6 +171,14 @@ sim::Task<void> ChangeOverCoordinator::replanner_process(
           {{"changed", decision.changed ? 1 : 0},
            {"client_iteration", services_.client_next_iteration()}});
     }
+    if (obs_.decisions) {
+      obs_.decisions->record(
+          sim_.now(), "plan",
+          decision.changed ? "replan_changed" : "replan_unchanged",
+          services_.params().session_id,
+          {{"client_iteration", services_.client_next_iteration()},
+           {"plan_s", sim_.now() - replan_begin}});
+    }
     WADC_DEBUGLOG("[t=%9.1f] replanner: %s", sim_.now(),
                   decision.changed ? "CHANGED" : "unchanged");
     if (services_.finished()) co_return;
@@ -197,6 +205,11 @@ sim::Task<void> ChangeOverCoordinator::replanner_process(
       obs_.tracer->instant("barrier", "barrier_initiated",
                            tree_.client_host(), obs::kControlLane, sim_.now(),
                            {{"version", active_barrier_->version}});
+    }
+    if (obs_.decisions) {
+      obs_.decisions->record(sim_.now(), "barrier", "initiated",
+                             services_.params().session_id,
+                             {{"version", active_barrier_->version}});
     }
     sim_.spawn(barrier_coordinator(active_barrier_->version));
   }
@@ -239,6 +252,13 @@ sim::Task<void> ChangeOverCoordinator::barrier_coordinator(int version) {
                 version, switch_iteration);
   epochs_.push_back(PlanEpoch{switch_iteration, active_barrier_->new_tree,
                               active_barrier_->new_placement});
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "barrier", "switch_scheduled",
+                           services_.params().session_id,
+                           {{"version", version},
+                            {"switch_iteration", switch_iteration},
+                            {"collect_s", sim_.now() - collect_begin}});
+  }
   if (services_.params().check_invariants) {
     for (core::OperatorId op = 0; op < tree_.num_operators(); ++op) {
       WADC_ASSERT(op_barrier(op).next_fetch_iteration < switch_iteration,
@@ -364,6 +384,11 @@ void ChangeOverCoordinator::complete_barrier() {
                          obs::kControlLane, sim_.now(),
                          {{"version", version}, {"round_s", round}});
   }
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "barrier", "complete",
+                           services_.params().session_id,
+                           {{"version", version}, {"round_s", round}});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -397,6 +422,14 @@ sim::Task<void> ChangeOverCoordinator::relocate(core::OperatorId op,
                          sim_.now(), {{"op", op}, {"from", from}});
   }
   if (relocations_counter_) relocations_counter_->add();
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "relocation", "relocate",
+                           services_.params().session_id,
+                           {{"op", op},
+                            {"from", from},
+                            {"to", to},
+                            {"move_s", sim_.now() - begin}});
+  }
   if (traits_.uses_directory) {
     // §2.3: "the original site updates the corresponding entry in the
     // location vector and increments ... the timestamp vector."
@@ -463,6 +496,11 @@ void ChangeOverCoordinator::apply_repair_move(core::OperatorId op,
                          obs::operator_lane(op), sim_.now(),
                          {{"op", op}, {"from", from}});
   }
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "repair", "relocate",
+                           services_.params().session_id,
+                           {{"op", op}, {"from", from}, {"to", to}});
+  }
   if (traits_.uses_directory) {
     // The dead origin cannot gossip its own move; the client records it on
     // the origin's behalf so directories converge on the repair location.
@@ -503,6 +541,10 @@ sim::Task<void> ChangeOverCoordinator::repair_process() {
   if (obs_.tracer) {
     obs_.tracer->instant("engine", "recovery_replan", tree_.client_host(),
                          obs::kControlLane, sim_.now(), {});
+  }
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "repair", "recovery_replan",
+                           services_.params().session_id, {});
   }
   // Repair until no operator sits on a dead host (more hosts may die while
   // we work; the sweep restarts until the placement is clean).

@@ -239,6 +239,10 @@ RunStats Engine::run() {
 void Engine::abort_run(std::string reason) {
   if (aborted_) return;
   aborted_ = true;
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "fault", "abort", params_.session_id,
+                           {{"reason", reason}});
+  }
   stats_.failure_summary.abort_reason = std::move(reason);
   if (detached_) {
     // Other sessions share the loop; report this engine's end instead of
@@ -261,12 +265,39 @@ void Engine::note_retry(net::HostId from, net::HostId to, int attempt) {
     obs_.tracer->instant("engine", "retry", from, obs::kControlLane,
                          sim_.now(), {{"to", to}, {"attempt", attempt}});
   }
+  if (obs_.decisions) {
+    obs_.decisions->record(
+        sim_.now(), "retry", "backoff", params_.session_id,
+        {{"from", from},
+         {"to", to},
+         {"attempt", attempt},
+         {"backoff_s", channel_.retry_backoff(attempt)}});
+  }
 }
 
 void Engine::on_fault_event(const fault::FaultEvent& ev) {
   FailureSummary& fs = stats_.failure_summary;
   fs.active = true;
   ++fs.faults_injected;
+  if (obs_.decisions) {
+    const char* kind = "?";
+    switch (ev.kind) {
+      case fault::FaultEvent::Kind::kHostDown: kind = "host_down"; break;
+      case fault::FaultEvent::Kind::kHostUp: kind = "host_up"; break;
+      case fault::FaultEvent::Kind::kBlackoutBegin:
+        kind = "blackout_begin";
+        break;
+      case fault::FaultEvent::Kind::kBlackoutEnd:
+        kind = "blackout_end";
+        break;
+    }
+    std::vector<obs::TraceArg> args{{"kind", kind}};
+    if (ev.host >= 0) args.emplace_back("host", ev.host);
+    if (ev.a >= 0) args.emplace_back("a", ev.a);
+    if (ev.b >= 0) args.emplace_back("b", ev.b);
+    obs_.decisions->record(sim_.now(), "fault", "observed",
+                           params_.session_id, std::move(args));
+  }
   switch (ev.kind) {
     case fault::FaultEvent::Kind::kHostDown: {
       ++fs.host_crashes;

@@ -97,6 +97,11 @@ class Engine : private EngineServices {
 
   const RunStats& stats() const { return stats_; }
 
+  // True once the computation has completed or aborted. Read-only state
+  // probes (the exp-layer timeline sampler) use this as their stop
+  // predicate so they stop self-rescheduling and let the event queue drain.
+  bool run_finished() const { return done_ || aborted_; }
+
  private:
   // ---- per-entity state ------------------------------------------------
   struct OperatorState {

@@ -48,13 +48,22 @@ BenchOptions parse_bench_options(int argc, char** argv, const char* name) {
         std::exit(2);
       }
       opt.bench_out = arg + 12;
+    } else if (std::strncmp(arg, "--profile-out=", 14) == 0) {
+      if (arg[14] == '\0') {
+        std::fprintf(stderr, "--profile-out requires a file path\n");
+        std::exit(2);
+      }
+      opt.profile_out = arg + 14;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--jobs=N] [--bench-out=FILE]\n"
-                   "  --jobs=N         sweep worker threads (0 = all "
+                   "usage: %s [--jobs=N] [--bench-out=FILE] "
+                   "[--profile-out=FILE]\n"
+                   "  --jobs=N           sweep worker threads (0 = all "
                    "hardware threads;\n"
-                   "                   default: WADC_JOBS, else serial)\n"
-                   "  --bench-out=FILE write a JSON perf report\n"
+                   "                     default: WADC_JOBS, else serial)\n"
+                   "  --bench-out=FILE   write a JSON perf report\n"
+                   "  --profile-out=FILE write a wall-clock phase profile "
+                   "(obs::Profiler)\n"
                    "environment: WADC_CONFIGS, WADC_SEED, WADC_JOBS\n",
                    name);
       std::exit(0);
@@ -68,7 +77,11 @@ BenchOptions parse_bench_options(int argc, char** argv, const char* name) {
 }
 
 BenchHarness::BenchHarness(int argc, char** argv, const char* name)
-    : name_(name), options_(parse_bench_options(argc, argv, name)) {}
+    : name_(name), options_(parse_bench_options(argc, argv, name)) {
+  if (!options_.profile_out.empty()) {
+    profiler_ = std::make_unique<obs::Profiler>();
+  }
+}
 
 int BenchHarness::finish(int resolved_jobs) {
   BenchReport report;
@@ -83,6 +96,14 @@ int BenchHarness::finish(int resolved_jobs) {
       write_bench_json_file(report, options_.bench_out);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (profiler_ != nullptr) {
+    try {
+      profiler_->write_json_file(options_.profile_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write profile: %s\n", e.what());
       return 1;
     }
   }

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
+
+#include "obs/profiler.h"
 
 namespace wadc::exp {
 
@@ -13,12 +16,13 @@ struct BenchOptions {
   // 0 = default (WADC_JOBS if set, else serial). --jobs=0 on the command
   // line resolves to all hardware threads at parse time.
   int jobs = 0;
-  std::string bench_out;  // optional JSON perf-report path
+  std::string bench_out;    // optional JSON perf-report path
+  std::string profile_out;  // optional wall-clock profiler JSON path
 };
 
-// Parses --jobs=N and --bench-out=FILE; --help prints usage and exits 0;
-// unknown flags and malformed values are fatal (exit 2). `name` labels the
-// usage text and perf reports.
+// Parses --jobs=N, --bench-out=FILE, and --profile-out=FILE; --help prints
+// usage and exits 0; unknown flags and malformed values are fatal (exit 2).
+// `name` labels the usage text and perf reports.
 BenchOptions parse_bench_options(int argc, char** argv, const char* name);
 
 class WallTimer {
@@ -72,17 +76,22 @@ class BenchHarness {
   // Worker-count request for SweepSpec::jobs / resolve_jobs().
   int jobs() const { return options_.jobs; }
 
+  // Non-null iff --profile-out was given; hand to SweepSpec::profiler so
+  // the sweep runner records per-phase/per-worker wall-clock breakdowns.
+  obs::Profiler* profiler() { return profiler_.get(); }
+
   void add_runs(long long n) { runs_ += n; }
 
-  // Prints the stderr report line, writes --bench-out JSON if requested,
-  // and returns main()'s exit code. `resolved_jobs` records how many
-  // workers actually ran (default: resolve_jobs(jobs()); benches that
-  // drive runs serially pass 1).
+  // Prints the stderr report line, writes --bench-out JSON and
+  // --profile-out JSON if requested, and returns main()'s exit code.
+  // `resolved_jobs` records how many workers actually ran (default:
+  // resolve_jobs(jobs()); benches that drive runs serially pass 1).
   int finish(int resolved_jobs = -1);
 
  private:
   std::string name_;
   BenchOptions options_;
+  std::unique_ptr<obs::Profiler> profiler_;  // null unless --profile-out
   WallTimer timer_;
   long long runs_ = 0;
 };

@@ -13,9 +13,13 @@
 #include "common/assert.h"
 #include "dataflow/engine.h"
 #include "exp/parallel.h"
+#include "exp/timeline_sampler.h"
 #include "fault/injector.h"
 #include "net/network.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 #include "session/session_manager.h"
 #include "sim/simulation.h"
@@ -83,6 +87,15 @@ RunResult run_experiment(const trace::TraceLibrary& library,
   dataflow::Engine engine(sim, network, monitoring, tree, workload, ep);
   if (injector) injector->arm();
 
+  std::unique_ptr<TimelineSampler> sampler;
+  if (spec.obs.timeline != nullptr) {
+    sampler = std::make_unique<TimelineSampler>(
+        sim, network, monitoring, tree, /*sessions=*/nullptr,
+        *spec.obs.timeline, spec.timeline_sample_seconds,
+        [&engine] { return engine.run_finished(); });
+    sampler->start();
+  }
+
   RunResult result;
   result.stats = engine.run();
   result.completion_seconds = result.stats.completion_seconds;
@@ -94,8 +107,6 @@ session::SessionStats run_session_experiment(
     const trace::TraceLibrary& library, const ExperimentSpec& spec,
     const session::SessionSpec& sessions) {
   WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
-  WADC_ASSERT(spec.fault.empty(),
-              "fault injection is not supported under the session runtime");
   const int num_hosts = spec.num_servers + 1;
 
   // Construction order doubles as destruction-safety order: the manager
@@ -106,7 +117,24 @@ session::SessionStats run_session_experiment(
   const net::LinkTable links = make_network_config(
       library, num_hosts, spec.config_seed, spec.config);
   net::Network network(sim, links, spec.network);
-  monitor::MonitoringSystem monitoring(network, spec.monitor);
+
+  const bool faults = !spec.fault.empty();
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (faults) {
+    const std::string problem = spec.fault.validate(num_hosts);
+    WADC_ASSERT(problem.empty(), "bad fault spec: ", problem);
+    injector = std::make_unique<fault::FaultInjector>(
+        sim, network, spec.fault.build(num_hosts, spec.config_seed),
+        spec.config_seed);
+    if (spec.obs.enabled()) injector->set_obs(spec.obs);
+  }
+
+  monitor::MonitorParams mp = spec.monitor;
+  if (faults && mp.probe_timeout_seconds == 0) {
+    // A probe against a crashed host must resolve, not hang the planner.
+    mp.probe_timeout_seconds = 120;
+  }
+  monitor::MonitoringSystem monitoring(network, mp);
   if (spec.obs.enabled()) {
     network.set_obs(spec.obs);
     monitoring.set_obs(spec.obs);
@@ -119,9 +147,20 @@ session::SessionStats run_session_experiment(
   const workload::ImageWorkload workload(wp, spec.num_servers,
                                          spec.config_seed);
 
+  dataflow::EngineParams ep = spec.engine_params(spec.config_seed);
+  ep.fault_injector = injector.get();
   session::SessionManager manager(sim, network, monitoring, tree, workload,
-                                  spec.engine_params(spec.config_seed),
-                                  sessions, spec.config_seed);
+                                  ep, sessions, spec.config_seed);
+  if (injector) injector->arm();
+
+  std::unique_ptr<TimelineSampler> sampler;
+  if (spec.obs.timeline != nullptr) {
+    sampler = std::make_unique<TimelineSampler>(
+        sim, network, monitoring, tree, &manager, *spec.obs.timeline,
+        spec.timeline_sample_seconds,
+        [&manager] { return manager.all_finished(); });
+    sampler->start();
+  }
   return manager.run();
 }
 
@@ -138,6 +177,8 @@ struct SeriesDesc {
 struct CellObs {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::DecisionLog> decisions;
+  std::unique_ptr<obs::Timeline> timeline;
 };
 
 // Runs descs.size() x sweep.configs independent cells on a fixed-size
@@ -171,32 +212,49 @@ std::vector<AlgorithmSeries> run_cells(const trace::TraceLibrary& library,
                                     ? static_cast<std::size_t>(total)
                                     : 0);
 
+  obs::Profiler* const prof = sweep.profiler;
   std::mutex progress_mu;
   int done = 0;
 
-  parallel_for(total, jobs, [&](int idx) {
+  parallel_for(total, jobs, [&](int idx, int worker) {
     const int s = idx / configs;
     const int c = idx % configs;
     ExperimentSpec spec = sweep.experiment;
-    spec.algorithm = descs[static_cast<std::size_t>(s)].algorithm;
-    spec.local_extra_candidates = descs[static_cast<std::size_t>(s)].extras;
-    spec.config_seed = sweep.base_seed + static_cast<std::uint64_t>(c);
-    if (sink.enabled()) {
-      // Record into private sinks; merged below in deterministic order.
-      CellObs& slot = cell_obs[static_cast<std::size_t>(idx)];
-      spec.obs = {};
-      if (sink.tracer != nullptr) {
-        slot.tracer = std::make_unique<obs::Tracer>();
-        spec.obs.tracer = slot.tracer.get();
-      }
-      if (sink.metrics != nullptr) {
-        slot.metrics = std::make_unique<obs::MetricsRegistry>();
-        spec.obs.metrics = slot.metrics.get();
+    {
+      obs::Profiler::Scope setup_scope(prof, "setup", worker);
+      spec.algorithm = descs[static_cast<std::size_t>(s)].algorithm;
+      spec.local_extra_candidates =
+          descs[static_cast<std::size_t>(s)].extras;
+      spec.config_seed = sweep.base_seed + static_cast<std::uint64_t>(c);
+      if (sink.enabled()) {
+        // Record into private sinks; merged below in deterministic order.
+        CellObs& slot = cell_obs[static_cast<std::size_t>(idx)];
+        spec.obs = {};
+        if (sink.tracer != nullptr) {
+          slot.tracer = std::make_unique<obs::Tracer>();
+          spec.obs.tracer = slot.tracer.get();
+        }
+        if (sink.metrics != nullptr) {
+          slot.metrics = std::make_unique<obs::MetricsRegistry>();
+          spec.obs.metrics = slot.metrics.get();
+        }
+        if (sink.decisions != nullptr) {
+          slot.decisions = std::make_unique<obs::DecisionLog>();
+          spec.obs.decisions = slot.decisions.get();
+        }
+        if (sink.timeline != nullptr) {
+          slot.timeline = std::make_unique<obs::Timeline>();
+          spec.obs.timeline = slot.timeline.get();
+        }
       }
     }
-    results[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
-        run_experiment(library, spec);
+    {
+      obs::Profiler::Scope run_scope(prof, "engine_run", worker);
+      results[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+          run_experiment(library, spec);
+    }
     if (progress) {
+      if (prof != nullptr) prof->count("progress_lock_acquisitions");
       std::lock_guard<std::mutex> lock(progress_mu);
       progress(++done, total);
     }
@@ -206,13 +264,19 @@ std::vector<AlgorithmSeries> run_cells(const trace::TraceLibrary& library,
   // (series, configuration) order — the order the serial path visits runs —
   // independent of how workers interleaved.
   if (sink.enabled()) {
+    obs::Profiler::Scope merge_scope(prof, "obs_merge");
     for (int idx = 0; idx < total; ++idx) {
       CellObs& slot = cell_obs[static_cast<std::size_t>(idx)];
       if (slot.tracer) sink.tracer->merge_from(std::move(*slot.tracer));
       if (slot.metrics) sink.metrics->merge_from(*slot.metrics);
+      if (slot.decisions) {
+        sink.decisions->merge_from(std::move(*slot.decisions));
+      }
+      if (slot.timeline) sink.timeline->merge_from(std::move(*slot.timeline));
     }
   }
 
+  obs::Profiler::Scope collect_scope(prof, "result_collect");
   const std::vector<RunResult>& baseline = results[0];
   std::vector<AlgorithmSeries> out(static_cast<std::size_t>(num_series));
   for (int s = 0; s < num_series; ++s) {

@@ -13,6 +13,7 @@
 #include "fault/fault_schedule.h"
 #include "monitor/monitoring_system.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "session/session_spec.h"
 #include "session/session_stats.h"
 #include "trace/library.h"
@@ -52,12 +53,17 @@ struct ExperimentSpec {
 
   // Observability sink for the run: attached to the network, the monitoring
   // subsystem, and the engine, so one run's transfer/relocation/barrier/
-  // probe events and metrics land in one trace. Null by default (no
-  // overhead). The sweep runners treat this as the sweep-level sink: each
-  // run records into a private tracer/registry which is merged into these
-  // pointers in (series, configuration) order after all workers join, so
-  // the combined output is byte-identical for any jobs count.
+  // probe events, metrics, and adaptation-decision records land in one
+  // place. Null by default (no overhead). The sweep runners treat this as
+  // the sweep-level sink: each run records into private sinks which are
+  // merged into these pointers in (series, configuration) order after all
+  // workers join, so the combined output is byte-identical for any jobs
+  // count. When obs.timeline is set, the run drives an exp-layer
+  // TimelineSampler at `timeline_sample_seconds` of simulated time.
   obs::Obs obs;
+
+  // Sampling interval for obs.timeline, in simulated seconds.
+  sim::SimTime timeline_sample_seconds = 60;
 
   dataflow::EngineParams engine_params(std::uint64_t seed) const;
 };
@@ -77,8 +83,11 @@ RunResult run_experiment(const trace::TraceLibrary& library,
 // monitoring) for the configuration and runs `sessions` concurrent query
 // sessions over it under the session runtime (session/session_manager.h).
 // spec.algorithm/engine_base configure every session's engine; per-session
-// seeds fork from config_seed. spec.fault must be empty — fault injection
-// is not supported under the session runtime.
+// seeds fork from config_seed. A non-empty spec.fault arms a FaultInjector
+// against the shared network; every admitted engine runs fault-tolerant.
+// Prefer transient (crash + restart) schedules — detached session engines
+// have no run deadline, and a permanently dead client/server aborts the
+// affected sessions (see session/session_manager.h).
 session::SessionStats run_session_experiment(
     const trace::TraceLibrary& library, const ExperimentSpec& spec,
     const session::SessionSpec& sessions);
@@ -96,6 +105,11 @@ struct SweepSpec {
   // ordering and any attached obs output are byte-identical for every jobs
   // value (see docs/PERFORMANCE.md).
   int jobs = 0;
+
+  // Optional wall-clock profiler for the sweep runner itself (setup /
+  // engine-run / obs-merge / result-collection phases, per worker).
+  // Non-deterministic by nature; never merged into the obs sinks above.
+  obs::Profiler* profiler = nullptr;
 };
 
 struct AlgorithmSeries {

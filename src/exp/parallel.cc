@@ -45,10 +45,15 @@ int resolve_jobs(int requested) {
 }
 
 void parallel_for(int n, int jobs, const std::function<void(int)>& fn) {
+  parallel_for(n, jobs, [&fn](int i, int /*worker*/) { fn(i); });
+}
+
+void parallel_for(int n, int jobs,
+                  const std::function<void(int, int)>& fn) {
   WADC_ASSERT(n >= 0, "parallel_for over negative range: ", n);
   const int workers = std::min(jobs, n);
   if (workers <= 1) {
-    for (int i = 0; i < n; ++i) fn(i);
+    for (int i = 0; i < n; ++i) fn(i, 0);
     return;
   }
 
@@ -60,13 +65,13 @@ void parallel_for(int n, int jobs, const std::function<void(int)>& fn) {
     std::vector<std::jthread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, w] {
         for (;;) {
           if (failed.load(std::memory_order_relaxed)) return;
           const int i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
           try {
-            fn(i);
+            fn(i, w);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!first_error) first_error = std::current_exception();

@@ -25,4 +25,11 @@ int env_jobs(int fallback);
 // is rethrown here after all workers join.
 void parallel_for(int n, int jobs, const std::function<void(int)>& fn);
 
+// Worker-aware variant: fn(i, worker) additionally receives the index of
+// the pool worker executing the item (0-based; the serial path — one
+// worker or fewer items than workers — always reports worker 0). Used by
+// the sweep profiler to break phase wall-clock down per worker.
+void parallel_for(int n, int jobs,
+                  const std::function<void(int, int)>& fn);
+
 }  // namespace wadc::exp

@@ -1,0 +1,94 @@
+#include "exp/timeline_sampler.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "monitor/bandwidth_cache.h"
+
+namespace wadc::exp {
+
+TimelineSampler::TimelineSampler(sim::Simulation& sim,
+                                 const net::Network& network,
+                                 const monitor::MonitoringSystem& monitoring,
+                                 const core::CombinationTree& tree,
+                                 const session::SessionManager* sessions,
+                                 obs::Timeline& out,
+                                 sim::SimTime interval_seconds,
+                                 std::function<bool()> finished)
+    : sim_(sim),
+      network_(network),
+      monitoring_(monitoring),
+      tree_(tree),
+      sessions_(sessions),
+      out_(out),
+      interval_(interval_seconds),
+      finished_(std::move(finished)) {
+  WADC_ASSERT(interval_ > 0, "timeline sample interval must be positive, got ",
+              interval_);
+}
+
+void TimelineSampler::start() {
+  sample();
+  sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+void TimelineSampler::tick() {
+  if (finished_ && finished_()) return;
+  sample();
+  sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+void TimelineSampler::sample() {
+  const sim::SimTime now = sim_.now();
+  const net::HostId client = tree_.client_host();
+  const net::LinkTable& links = network_.links();
+  const monitor::BandwidthCache& client_cache = monitoring_.cache(client);
+
+  // Host rows: what the client believes about each host vs the truth, plus
+  // the host NIC's in-flight / queued transfer counts.
+  for (net::HostId h = 0; h < network_.num_hosts(); ++h) {
+    obs::Timeline::Row row;
+    row.t = now;
+    row.kind = "host";
+    row.id = h;
+    if (h != client && links.has_link(client, h)) {
+      row.truth_bw = links.bandwidth_at(client, h, now);
+      if (const std::optional<monitor::Sample> s =
+              client_cache.lookup_any_age(client, h)) {
+        row.est_bw = s->bandwidth;
+        row.est_age = now - s->measured_at;
+      }
+    }
+    row.active = network_.host_active_transfers(h);
+    row.queued = network_.host_pending_transfers(h);
+    out_.add(row);
+  }
+
+  // One net row: global transport state.
+  {
+    obs::Timeline::Row row;
+    row.t = now;
+    row.kind = "net";
+    row.active = network_.active_transfer_count();
+    row.queued = static_cast<int>(network_.pending_count());
+    row.bytes = network_.bytes_delivered();
+    out_.add(row);
+  }
+
+  // Session rows: every session the manager has seen so far.
+  if (sessions_ != nullptr) {
+    for (int id = 0; id < sessions_->known_sessions(); ++id) {
+      obs::Timeline::Row row;
+      row.t = now;
+      row.kind = "session";
+      row.id = id;
+      row.state = sessions_->session_state(id);
+      row.queued = sessions_->queued_sessions();
+      row.images = sessions_->session_images(id);
+      row.bytes = network_.session_bytes_delivered(id);
+      out_.add(row);
+    }
+  }
+}
+
+}  // namespace wadc::exp

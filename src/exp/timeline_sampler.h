@@ -1,0 +1,63 @@
+// Drives obs::Timeline from the simulation event loop.
+//
+// The Timeline itself (obs/timeline.h) is a pure data container — the obs
+// layer may depend only on common+sim. Reading network / monitoring /
+// session state to fill it is the experiment harness's job, so the sampling
+// loop lives here: a self-rescheduling simulation event that, every
+// `interval_seconds` of *simulated* time, appends one snapshot (host rows,
+// a net row, and session rows when a SessionManager is attached) and stops
+// once `finished()` reports the run complete.
+//
+// The sampler only reads state, so attaching it never changes a run's
+// results; because it is driven purely by sim time, its output is
+// byte-identical across repeated runs and worker counts. Leftover sampling
+// events after the simulation stops are discarded with the event queue —
+// the finished() predicate is for clean data, not liveness.
+#pragma once
+
+#include <functional>
+
+#include "core/combination_tree.h"
+#include "monitor/monitoring_system.h"
+#include "net/network.h"
+#include "obs/timeline.h"
+#include "session/session_manager.h"
+#include "sim/simulation.h"
+
+namespace wadc::exp {
+
+class TimelineSampler {
+ public:
+  // `sessions` is null for single-session runs. All referenced objects must
+  // outlive the simulation's event queue (the usual stack order works: the
+  // sampler is created last and destroyed first, and pending events die
+  // with the Simulation).
+  TimelineSampler(sim::Simulation& sim, const net::Network& network,
+                  const monitor::MonitoringSystem& monitoring,
+                  const core::CombinationTree& tree,
+                  const session::SessionManager* sessions,
+                  obs::Timeline& out, sim::SimTime interval_seconds,
+                  std::function<bool()> finished);
+
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  // Takes the first sample at the current simulation time and schedules the
+  // rest. Call once, before Simulation::run().
+  void start();
+
+ private:
+  void tick();
+  void sample();
+
+  sim::Simulation& sim_;
+  const net::Network& network_;
+  const monitor::MonitoringSystem& monitoring_;
+  const core::CombinationTree& tree_;
+  const session::SessionManager* sessions_;
+  obs::Timeline& out_;
+  sim::SimTime interval_;
+  std::function<bool()> finished_;
+};
+
+}  // namespace wadc::exp

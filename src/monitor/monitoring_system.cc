@@ -45,8 +45,10 @@ void MonitoringSystem::set_obs(const obs::Obs& obs) {
   probes_delegated_ = nullptr;
   probe_bytes_counter_ = nullptr;
   invalidations_ = nullptr;
+  cache_entries_ = nullptr;
   cache_age_seconds_ = nullptr;
   if (obs_.metrics) {
+    cache_entries_ = &obs_.metrics->gauge("monitor.cache_entries");
     passive_counter_ = &obs_.metrics->counter("monitor.passive_samples");
     cache_hits_ = &obs_.metrics->counter("monitor.cache_hits");
     cache_stale_ = &obs_.metrics->counter("monitor.cache_stale");
@@ -73,6 +75,13 @@ const BandwidthCache& MonitoringSystem::cache(net::HostId h) const {
   return *caches_[static_cast<std::size_t>(h)];
 }
 
+void MonitoringSystem::note_cache_size() {
+  if (!cache_entries_) return;
+  std::size_t total = 0;
+  for (const auto& cache : caches_) total += cache->entry_count();
+  cache_entries_->set(static_cast<double>(total));
+}
+
 void MonitoringSystem::on_transfer(const net::TransferRecord& rec) {
   if (!rec.ok()) return;  // failed/timed-out transfers measure nothing
   if (rec.src == rec.dst) return;  // local move: nothing to measure
@@ -82,6 +91,7 @@ void MonitoringSystem::on_transfer(const net::TransferRecord& rec) {
   // Both endpoints learn the pair bandwidth (§4 feature (1)).
   cache(rec.src).record(rec.src, rec.dst, bw, rec.completed);
   cache(rec.dst).record(rec.src, rec.dst, bw, rec.completed);
+  note_cache_size();
   ++passive_samples_;
   if (passive_counter_) passive_counter_->add();
 }
@@ -103,6 +113,7 @@ void MonitoringSystem::deliver_payload(
     net::HostId dst, const std::vector<PairSample>& payload) {
   if (payload.empty()) return;
   cache(dst).merge(payload);
+  note_cache_size();
   if (piggyback_samples_) {
     piggyback_samples_->add(static_cast<double>(payload.size()));
     piggyback_bytes_->add(payload_bytes(payload));
@@ -111,6 +122,7 @@ void MonitoringSystem::deliver_payload(
 
 void MonitoringSystem::invalidate_host(net::HostId h) {
   for (auto& cache : caches_) cache->invalidate_host(h);
+  note_cache_size();
   if (obs_.metrics) {
     // Lazy: fault-free runs never create this counter.
     if (!invalidations_) {

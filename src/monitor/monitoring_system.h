@@ -101,6 +101,8 @@ class MonitoringSystem {
   // Classifies the state of `requester`'s cache entry for {a, b} right
   // before a fetch (hit / stale / miss) and samples the entry's age.
   void record_lookup_obs(net::HostId requester, net::HostId a, net::HostId b);
+  // Updates the cache-size gauge after any cache mutation.
+  void note_cache_size();
 
   net::Network& network_;
   MonitorParams params_;
@@ -126,6 +128,7 @@ class MonitoringSystem {
   obs::Counter* probes_delegated_ = nullptr;
   obs::Counter* probe_bytes_counter_ = nullptr;
   obs::Counter* invalidations_ = nullptr;  // lazy: fault runs only
+  obs::Gauge* cache_entries_ = nullptr;  // total entries across all caches
   obs::Histogram* cache_age_seconds_ = nullptr;
 };
 

@@ -54,6 +54,7 @@ void Network::set_obs(const obs::Obs& obs) {
   bytes_counter_ = nullptr;
   failed_counter_ = nullptr;
   timed_out_counter_ = nullptr;
+  pending_gauge_ = nullptr;
   transfer_seconds_ = nullptr;
   queue_wait_seconds_ = nullptr;
   transfer_bytes_ = nullptr;
@@ -66,6 +67,7 @@ void Network::set_obs(const obs::Obs& obs) {
     overtakes_counter_ = &obs_.metrics->counter("net.priority_overtakes");
     transfers_counter_ = &obs_.metrics->counter("net.transfers_completed");
     bytes_counter_ = &obs_.metrics->counter("net.bytes_delivered");
+    pending_gauge_ = &obs_.metrics->gauge("net.pending_transfers");
     transfer_seconds_ = &obs_.metrics->histogram(
         "net.transfer_seconds", obs::exponential_buckets(0.01, 2, 16));
     std::vector<double> wait_bounds{0.0};
@@ -98,6 +100,26 @@ bool Network::host_busy(HostId h) const {
 int Network::host_active_transfers(HostId h) const {
   WADC_ASSERT(h >= 0 && h < num_hosts(), "host id out of range");
   return active_[static_cast<std::size_t>(h)];
+}
+
+int Network::host_pending_transfers(HostId h) const {
+  WADC_ASSERT(h >= 0 && h < num_hosts(), "host id out of range");
+  int n = 0;
+  for (const Pending& p : pending_) {
+    if (p.src == h || p.dst == h) ++n;
+  }
+  return n;
+}
+
+double Network::session_bytes_delivered(int session) const {
+  const auto it = session_bytes_delivered_.find(session);
+  return it == session_bytes_delivered_.end() ? 0.0 : it->second;
+}
+
+void Network::note_pending_depth() {
+  if (pending_gauge_) {
+    pending_gauge_->set(static_cast<double>(pending_.size()));
+  }
 }
 
 bool Network::host_alive(HostId h) const {
@@ -159,6 +181,7 @@ sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
                          });
   const auto overtaken = static_cast<int>(pending_.end() - it);
   pending_.insert(it, pending);
+  note_pending_depth();
   if (obs_.tracer) {
     obs_.tracer->instant("net", "enqueue", src, obs::link_lane(dst),
                          record.requested,
@@ -190,6 +213,7 @@ void Network::try_start_transfers() {
         endpoints_usable(p.src, p.dst)) {
       Pending claimed = p;
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      note_pending_depth();
       start(claimed);
       // restart not needed: starting only makes hosts busier
     } else {
@@ -264,6 +288,9 @@ void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
   if (outcome == TransferOutcome::kCompleted) {
     ++transfers_completed_;
     bytes_delivered_ += a.record->bytes;
+    if (a.record->session != kNoSession) {
+      session_bytes_delivered_[a.record->session] += a.record->bytes;
+    }
     record_transfer_obs(*a.record);
   } else {
     note_failure(*a.record);
@@ -276,6 +303,7 @@ void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
 void Network::fail_pending(std::size_t index, TransferOutcome outcome) {
   const Pending p = pending_[index];
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  note_pending_depth();
   // Only timeouts resolve queued transfers, so the timeout event has fired;
   // there is no completion event yet — nothing to cancel.
   p.record->started = p.record->completed = sim_.now();

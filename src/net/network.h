@@ -148,11 +148,21 @@ class Network {
 
   bool host_busy(HostId h) const;  // at capacity
   int host_active_transfers(HostId h) const;
+  // Queued (not yet started) transfers with h as an endpoint — the host's
+  // NIC queue depth under the single-interface model.
+  int host_pending_transfers(HostId h) const;
   std::size_t pending_count() const { return pending_.size(); }
+  int active_transfer_count() const {
+    return static_cast<int>(active_transfers_.size());
+  }
   std::uint64_t transfers_completed() const { return transfers_completed_; }
   std::uint64_t transfers_failed() const { return transfers_failed_; }
   std::uint64_t transfers_timed_out() const { return transfers_timed_out_; }
   double bytes_delivered() const { return bytes_delivered_; }
+  // Bytes delivered on behalf of a tagged session (0 for unknown sessions).
+  // Maintained unconditionally, unlike the lazy per-session metric
+  // counters, so the timeline sampler works with metrics detached.
+  double session_bytes_delivered(int session) const;
 
   // ---- Fault injection (driven by fault::FaultInjector) ----
 
@@ -216,6 +226,8 @@ class Network {
   // Resolves a queued (never-started) transfer as failed/timed out.
   void fail_pending(std::size_t index, TransferOutcome outcome);
 
+  // Updates the NIC-queue-depth gauge after pending_ changes size.
+  void note_pending_depth();
   // Trace/metric emission for one completed transfer.
   void record_transfer_obs(const TransferRecord& rec);
   // Trace/metric emission for one failed/timed-out transfer. Counters are
@@ -236,6 +248,7 @@ class Network {
   std::uint64_t transfers_failed_ = 0;
   std::uint64_t transfers_timed_out_ = 0;
   double bytes_delivered_ = 0;
+  std::map<int, double> session_bytes_delivered_;  // tagged sessions only
 
   // Fault state.
   std::vector<char> host_dead_;      // per host
@@ -250,6 +263,7 @@ class Network {
   obs::Counter* bytes_counter_ = nullptr;
   obs::Counter* failed_counter_ = nullptr;     // lazy: fault runs only
   obs::Counter* timed_out_counter_ = nullptr;  // lazy: fault runs only
+  obs::Gauge* pending_gauge_ = nullptr;  // net.pending_transfers depth
   obs::Histogram* transfer_seconds_ = nullptr;
   obs::Histogram* queue_wait_seconds_ = nullptr;
   obs::Histogram* transfer_bytes_ = nullptr;

@@ -1,0 +1,65 @@
+// Structured log of adaptation decisions.
+//
+// Where the trace answers "what happened when", the decision log answers
+// "what did the adaptive machinery decide, and why": every replan trigger,
+// every adopted or rejected placement with its cost-model delta, every
+// change-over barrier round, every admission admit/defer, every retry and
+// fault-recovery relocation. Records are appended in simulation order and
+// export as JSON Lines — one self-contained object per decision — so the
+// audit trail greps and diffs cleanly.
+//
+// Determinism contract: like the tracer, everything recorded derives from
+// simulated time and protocol state, so same-seed runs serialize to
+// byte-identical files, and the sweep runner merges per-run logs in a fixed
+// (series, configuration) order via merge_from.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "sim/types.h"
+
+namespace wadc::obs {
+
+// One decision. `category` groups related decisions ("plan", "barrier",
+// "relocation", "admission", "retry", "repair", "fault"); `action` names
+// what was decided; `session` tags multi-session runs (-1 = untagged);
+// `args` carries the decision-specific evidence (costs, hosts, deltas).
+struct DecisionRecord {
+  sim::SimTime t;
+  const char* category;
+  const char* action;
+  int session = -1;
+  std::vector<TraceArg> args;
+};
+
+class DecisionLog {
+ public:
+  DecisionLog() = default;
+
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  void record(sim::SimTime t, const char* category, const char* action,
+              int session, std::vector<TraceArg> args = {});
+
+  std::size_t size() const { return records_.size(); }
+  const DecisionRecord& at(std::size_t i) const { return records_[i]; }
+
+  // Appends another log's records after this one's, in the donor's emission
+  // order; the donor is left empty. Same fixed-order merge contract as
+  // Tracer::merge_from.
+  void merge_from(DecisionLog&& other);
+
+  // JSON Lines: {"t": seconds, "category": ..., "action": ..., "session":
+  // N, "args": {...}} per record, in emission order, precision 17.
+  void write_jsonl(std::ostream& out) const;
+  void write_jsonl_file(const std::string& path) const;
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace wadc::obs

@@ -9,6 +9,19 @@
 
 namespace wadc::obs {
 
+void Gauge::merge_from(const Gauge& other) {
+  if (other.updates_ == 0) return;
+  if (updates_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  value_ = other.value_;
+  updates_ += other.updates_;
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
       counts_(bounds_.size() + 1, 0) {
@@ -88,7 +101,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     counter(name).add(c->value());
   }
   for (const auto& [name, g] : other.gauges_) {
-    gauge(name).set(g->value());
+    gauge(name).merge_from(*g);
   }
   for (const auto& [name, h] : other.histograms_) {
     auto& slot = histograms_[name];
@@ -116,7 +129,9 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     write_json_string(out, name);
-    out << ": " << g->value();
+    out << ": {\"last\": " << g->value() << ", \"min\": " << g->min()
+        << ", \"max\": " << g->max() << ", \"updates\": " << g->updates()
+        << "}";
   }
   out << (gauges_.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
   first = true;
@@ -145,6 +160,8 @@ void MetricsRegistry::write_json_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   write_json(out);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 void MetricsRegistry::write_text(std::ostream& out) const {
@@ -153,7 +170,8 @@ void MetricsRegistry::write_text(std::ostream& out) const {
     out << name << " " << c->value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    out << name << " " << g->value() << "\n";
+    out << name << " last=" << g->value() << " min=" << g->min()
+        << " max=" << g->max() << " updates=" << g->updates() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
     out << name << " count=" << h->count() << " sum=" << h->sum()

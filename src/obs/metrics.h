@@ -11,6 +11,7 @@
 // same-seed runs dump byte-identical files.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,13 +30,36 @@ class Counter {
   double value_ = 0;
 };
 
+// A gauge remembers more than its last sample: it tracks the min/max
+// envelope and the update count, so a queue-depth or cache-size gauge says
+// something about the whole run, not just its final instant.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
+  void set(double v) {
+    if (updates_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    value_ = v;
+    ++updates_;
+  }
   double value() const { return value_; }
+  double min() const { return min_; }  // 0 when updates() == 0
+  double max() const { return max_; }
+  std::uint64_t updates() const { return updates_; }
+
+  // Folds another gauge into this one as if its updates happened after
+  // ours: last takes the donor's value, min/max widen, updates add. A
+  // donor that was never set leaves this gauge untouched.
+  void merge_from(const Gauge& other);
 
  private:
   double value_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::uint64_t updates_ = 0;
 };
 
 // Fixed-bucket histogram with Prometheus-style upper-inclusive bounds: an
@@ -92,9 +116,10 @@ class MetricsRegistry {
   }
 
   // Deterministically folds another registry into this one: counters add,
-  // gauges take the donor's value (so merging run registries in run order
-  // reproduces serial last-write-wins), histograms merge bucket-wise
-  // (bounds must match). Instruments missing here are created. The sweep
+  // gauges take the donor's last value with min/max widened and update
+  // counts added (so merging run registries in run order reproduces serial
+  // execution), histograms merge bucket-wise (bounds must match).
+  // Instruments missing here are created. The sweep
   // runner uses this to combine per-run registries after joining its
   // workers, in a fixed (series, configuration) order, so the merged dump
   // is byte-identical no matter how many workers ran the sweep.

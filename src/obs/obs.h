@@ -1,14 +1,16 @@
 // The observability handle threaded through the system.
 //
-// An Obs is a pair of non-owning pointers; default-constructed it is the
+// An Obs is a set of non-owning pointers; default-constructed it is the
 // null sink, and every instrumented call site guards with a pointer check,
 // so a run without observability pays nothing beyond predictable branches.
 // The experiment harness (exp::run_experiment) attaches one Obs to the
-// network, the monitoring subsystem, and the engine so a run's trace and
-// metrics land in one place.
+// network, the monitoring subsystem, and the engine so a run's trace,
+// metrics, and decision log land in one place.
 #pragma once
 
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 
 namespace wadc::obs {
@@ -16,8 +18,16 @@ namespace wadc::obs {
 struct Obs {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  DecisionLog* decisions = nullptr;
+  // The timeline is written by the experiment harness's sampler (which
+  // reads component state), never by the components themselves; it rides
+  // in the handle so sweep-level plumbing and per-run merge stay uniform.
+  Timeline* timeline = nullptr;
 
-  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+  bool enabled() const {
+    return tracer != nullptr || metrics != nullptr || decisions != nullptr ||
+           timeline != nullptr;
+  }
 };
 
 }  // namespace wadc::obs

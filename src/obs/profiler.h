@@ -1,0 +1,95 @@
+// Wall-clock profiler for the sweep runner itself.
+//
+// Everything else in src/obs is deterministic simulated-time data; the
+// profiler is the deliberate exception. It measures *real* time spent in
+// the phases of the experiment pipeline (per-cell setup, engine run, obs
+// merge, result collection), broken down per worker thread, plus counters
+// for contention events (e.g. progress-lock waits). That is the evidence
+// needed to attack the sweep-scaling question — which phase serializes the
+// runner — instead of guessing.
+//
+// Because wall-clock readings differ run to run, profiler output is NEVER
+// merged into golden/deterministic artifacts: it exports through its own
+// `--profile-out` channel only, and the byte-identity tests exclude it.
+//
+// Thread safety: add()/count() take an internal mutex; scopes measure with
+// std::chrono::steady_clock and report on destruction. The disabled path
+// is a null pointer check at the call site (Profiler* == nullptr).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace wadc::obs {
+
+class Profiler {
+ public:
+  // Worker id for phases that run on the calling (main) thread rather than
+  // a pool worker.
+  static constexpr int kMainThread = -1;
+
+  Profiler() : created_(std::chrono::steady_clock::now()) {}
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // RAII timer: records elapsed wall time into `phase` for `worker` when it
+  // goes out of scope.
+  class Scope {
+   public:
+    Scope(Profiler* profiler, const char* phase, int worker = kMainThread)
+        : profiler_(profiler),
+          phase_(phase),
+          worker_(worker),
+          start_(std::chrono::steady_clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      if (profiler_ == nullptr) return;
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      profiler_->add(phase_, worker_,
+                     std::chrono::duration<double>(elapsed).count());
+    }
+
+   private:
+    Profiler* profiler_;  // null = disabled, destructor is a no-op
+    const char* phase_;
+    int worker_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void add(const std::string& phase, int worker, double seconds);
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  // Phase with the largest total wall time ("" when empty) — the dominant
+  // (possibly serialized) stage of the runner.
+  std::string dominant_phase() const;
+  double phase_seconds(const std::string& phase) const;  // 0 when absent
+  double wall_seconds() const;  // since construction
+
+  // {"wall_seconds": ..., "dominant_phase": ..., "phases": {name:
+  // {"total_seconds", "count", "min_seconds", "max_seconds", "by_worker":
+  // {"-1": main-thread seconds, "0": ..., ...}}}, "counters": {...}}
+  void write_json(std::ostream& out) const;
+  void write_json_file(const std::string& path) const;
+
+ private:
+  struct PhaseStat {
+    double total = 0;
+    std::uint64_t count = 0;
+    double min = 0;
+    double max = 0;
+    std::map<int, double> by_worker;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseStat> phases_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::chrono::steady_clock::time_point created_;
+};
+
+}  // namespace wadc::obs

@@ -1,0 +1,85 @@
+// Deterministic sim-time time series.
+//
+// The trace (tracer.h) records events; the timeline records *state*: at a
+// fixed sampling interval, driven from the simulation event loop, the
+// experiment harness appends rows describing what each host, the network,
+// and each session looked like at that instant. That turns
+// estimate-vs-truth bandwidth drift, NIC queue build-up, and per-session
+// queueing into plottable series instead of end-of-run aggregates.
+//
+// Three row kinds share one flat schema (unused fields are -1 / empty):
+//
+//   host     one row per server host per sample: the client's cached
+//            bandwidth estimate toward the host (est_bw, with its age) vs
+//            the ground-truth trace value (truth_bw), plus the host's
+//            in-flight (active) and endpoint-queued (queued) transfer
+//            counts — the single-NIC model makes these the per-link
+//            utilization / queue depth.
+//   net      one row per sample: global in-flight + queued transfer counts
+//            and cumulative bytes delivered.
+//   session  one row per known session per sample: lifecycle state
+//            (queued/running/done), admission queue length at the sample
+//            instant, images completed, and bytes moved by the session.
+//
+// The sampler only reads simulation state, so attaching a timeline never
+// changes a run's results; rows derive purely from simulated time, so
+// same-seed runs export byte-identical files, and the sweep runner merges
+// per-run timelines in a fixed order via merge_from — identical across
+// worker counts.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace wadc::obs {
+
+class Timeline {
+ public:
+  struct Row {
+    sim::SimTime t = 0;
+    const char* kind = "";  // "host" | "net" | "session"
+    int id = -1;            // host id / session id; -1 for net rows
+    double est_bw = -1;     // host: cached estimate, bytes/s (-1 = none)
+    double est_age = -1;    // host: estimate age in seconds (-1 = none)
+    double truth_bw = -1;   // host: ground-truth trace bandwidth, bytes/s
+    int active = -1;        // in-flight transfers (host / global)
+    int queued = -1;        // host/net: endpoint-queued transfers;
+                            // session: admission queue length
+    const char* state = ""; // session: queued | running | done
+    std::int64_t images = -1;  // session: images completed so far
+    double bytes = -1;      // net: cumulative bytes; session: bytes moved
+  };
+
+  Timeline() = default;
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  void add(Row row) { rows_.push_back(row); }
+
+  std::size_t size() const { return rows_.size(); }
+  const Row& row(std::size_t i) const { return rows_[i]; }
+
+  // Appends another timeline's rows after this one's, in the donor's order;
+  // the donor is left empty. Same fixed-order merge contract as
+  // Tracer::merge_from.
+  void merge_from(Timeline&& other);
+
+  // CSV: a header line, then one row per line with empty cells for unset
+  // (-1 / "") fields. Deterministic, precision 17.
+  void write_csv(std::ostream& out) const;
+  // JSON: {"rows": [{...}, ...]} with unset fields omitted.
+  void write_json(std::ostream& out) const;
+  // Writes CSV or JSON by extension (".json" -> JSON, anything else ->
+  // CSV); throws on open or post-write stream failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace wadc::obs

@@ -14,7 +14,9 @@ namespace {
 // Simulated seconds -> Chrome trace microseconds.
 double to_us(sim::SimTime t) { return t * 1e6; }
 
-void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
+}  // namespace
+
+void write_trace_args(std::ostream& out, const std::vector<TraceArg>& args) {
   out << "{";
   for (std::size_t i = 0; i < args.size(); ++i) {
     const TraceArg& a = args[i];
@@ -35,8 +37,6 @@ void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
   }
   out << "}";
 }
-
-}  // namespace
 
 void Tracer::complete(const char* cat, const char* name, int pid, int tid,
                       sim::SimTime begin, sim::SimTime end,
@@ -114,7 +114,7 @@ void Tracer::write_chrome_json(std::ostream& out) const {
       out << ",\"s\":\"t\"";
     }
     out << ",\"args\":";
-    write_args(out, ev.args);
+    write_trace_args(out, ev.args);
     out << "}";
   }
   out << "\n]}\n";
@@ -124,6 +124,8 @@ void Tracer::write_chrome_json_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   write_chrome_json(out);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 }  // namespace wadc::obs

@@ -51,6 +51,10 @@ struct TraceArg {
   std::string string_value;
 };
 
+// Serializes an arg list as a JSON object ({"key":value,...}); shared by
+// the Chrome trace export and the decision-log export.
+void write_trace_args(std::ostream& out, const std::vector<TraceArg>& args);
+
 // Lane (tid) conventions used by the wadc instrumentation. Each host is a
 // trace process; within it, lane 0 is the control plane, operators occupy
 // 1 + op, and outgoing links occupy 1000 + destination host.

@@ -35,8 +35,6 @@ SessionManager::SessionManager(sim::Simulation& sim, net::Network& network,
       obs_(engine_base.obs) {
   const std::string spec_problem = spec_.validate();
   WADC_ASSERT(spec_problem.empty(), "invalid session spec: ", spec_problem);
-  WADC_ASSERT(engine_base_.fault_injector == nullptr,
-              "fault injection is not supported under the session runtime");
   total_ = spec_.total_sessions();
   sessions_.reserve(static_cast<std::size_t>(total_));
   if (obs_.metrics) {
@@ -63,6 +61,24 @@ void SessionManager::trace_session_event(const char* name, int id) {
     obs_.tracer->instant("session", name, tree_.client_host(),
                          obs::kControlLane, sim_.now(), {{"session", id}});
   }
+}
+
+const char* SessionManager::session_state(int id) const {
+  WADC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < sessions_.size(),
+              "session id out of range");
+  const Session& s = sessions_[static_cast<std::size_t>(id)];
+  if (s.done) return "done";
+  return s.engine ? "running" : "queued";
+}
+
+int SessionManager::session_images(int id) const {
+  WADC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < sessions_.size(),
+              "session id out of range");
+  const Session& s = sessions_[static_cast<std::size_t>(id)];
+  if (s.done) return s.record.images;
+  if (!s.engine) return 0;
+  return static_cast<int>(
+      std::as_const(*s.engine).stats().arrival_seconds.size());
 }
 
 std::optional<double> SessionManager::client_link_bandwidth() const {
@@ -129,6 +145,11 @@ void SessionManager::begin_session(int client) {
   } else {
     if (deferred_counter_) deferred_counter_->add();
     trace_session_event("defer", id);
+    if (obs_.decisions) {
+      obs_.decisions->record(sim_.now(), "admission", "defer", id,
+                             {{"queued", admission_.queued()},
+                              {"running", admission_.running()}});
+    }
     maybe_schedule_recheck();
   }
 }
@@ -141,6 +162,12 @@ void SessionManager::admit(int id) {
     queue_seconds_hist_->observe(s.record.queue_seconds());
   }
   trace_session_event("admit", id);
+  if (obs_.decisions) {
+    obs_.decisions->record(sim_.now(), "admission", "admit", id,
+                           {{"queue_s", s.record.queue_seconds()},
+                            {"queued", admission_.queued()},
+                            {"running", admission_.running()}});
+  }
 
   dataflow::EngineParams params = engine_base_;
   params.session_id = id;
@@ -152,6 +179,7 @@ void SessionManager::admit(int id) {
 
 void SessionManager::on_session_done(int id) {
   Session& s = sessions_[static_cast<std::size_t>(id)];
+  s.done = true;
   s.record.end_seconds = sim_.now();
   s.record.run = std::as_const(*s.engine).stats();
   s.record.completed = s.record.run.completed;

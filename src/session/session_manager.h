@@ -17,9 +17,14 @@
 // per-session traffic, and the whole run is deterministic: same spec, same
 // seed, same output, whatever the interleaving.
 //
-// Fault injection is not supported under the session runtime (the fault
-// injector's schedule addresses one engine); the manager rejects engine
-// parameters carrying a fault injector.
+// Fault injection composes with the session runtime: when `engine_base`
+// carries a fault injector, every admitted engine registers its own fault
+// listener at construction (the injector mutates the shared network once
+// per event; listeners added later simply observe later events). Because
+// detached engines have no per-run deadline, fault schedules under the
+// session runtime should be transient (crash + restart) — a permanent
+// client/server crash aborts the affected sessions via the usual
+// surfacing path.
 #pragma once
 
 #include <cstdint>
@@ -61,10 +66,21 @@ class SessionManager {
   // Call at most once.
   SessionStats run();
 
+  // ---- read-only state probes (the exp-layer timeline sampler) ----
+  int total_sessions() const { return total_; }
+  int known_sessions() const { return static_cast<int>(sessions_.size()); }
+  int queued_sessions() const { return admission_.queued(); }
+  bool all_finished() const { return finished_ == total_; }
+  // Lifecycle state of a known session: "queued" | "running" | "done".
+  const char* session_state(int id) const;
+  // Images delivered so far (in-progress engines report live counts).
+  int session_images(int id) const;
+
  private:
   struct Session {
     SessionRecord record;
     std::unique_ptr<dataflow::Engine> engine;  // null while queued
+    bool done = false;
   };
 
   void schedule_arrivals();

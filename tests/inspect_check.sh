@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end observability contract for session mode:
+#
+#   1. Determinism — a faulted multi-session wadc_run exporting trace,
+#      metrics, timeline, and decision-log files produces byte-identical
+#      artifacts at --jobs=1 and --jobs=4.
+#   2. Inspection — `wadc_report inspect` over those artifacts prints the
+#      per-host estimate-vs-truth staleness table and a decision audit
+#      trail containing at least one repair relocation and at least one
+#      admission deferral.
+#
+# Usage: inspect_check.sh <wadc_run binary> <wadc_report binary>
+set -u
+
+RUN=$1
+REPORT=$2
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+
+# Two staggered sessions behind an admission cap (forces a deferral) on a
+# network where host 1 crashes mid-run and restarts (forces repair
+# relocations). Seed/servers/iterations chosen so the crash lands while
+# transfers are assigned to the failed host.
+printf 'session 0\nsession 30\nadmission cap 1\n' > "$TMP/sessions.spec"
+printf 'crash 1 300 900\n' > "$TMP/fault.spec"
+
+run_faulted_sessions() {
+  local configs=$1 jobs=$2 dir=$3
+  mkdir -p "$dir"
+  "$RUN" --sessions-spec="$TMP/sessions.spec" --fault-spec="$TMP/fault.spec" \
+    --servers=4 --iterations=40 --configs="$configs" --seed=1000 --csv \
+    --jobs="$jobs" \
+    --trace-out="$dir/trace.json" --metrics-out="$dir/metrics.json" \
+    --timeline-out="$dir/timeline.csv" --decisions-out="$dir/decisions.jsonl" \
+    > "$dir/stdout" 2> "$dir/stderr"
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: faulted session run (configs=$configs jobs=$jobs) exited $rc" \
+      >&2
+    sed 's/^/  /' "$dir/stderr" >&2
+    fail=1
+  fi
+}
+
+# Multi-config sweep: every exported artifact (and the CSV on stdout) must
+# be byte-identical no matter how many workers ran it.
+run_faulted_sessions 3 1 "$TMP/j1"
+run_faulted_sessions 3 4 "$TMP/j4"
+
+for f in trace.json metrics.json timeline.csv decisions.jsonl stdout; do
+  if ! cmp -s "$TMP/j1/$f" "$TMP/j4/$f"; then
+    echo "FAIL: $f differs between --jobs=1 and --jobs=4" >&2
+    fail=1
+  fi
+done
+
+for f in trace.json metrics.json timeline.csv decisions.jsonl; do
+  if [ ! -s "$TMP/j1/$f" ]; then
+    echo "FAIL: exported artifact $f is missing or empty" >&2
+    fail=1
+  fi
+done
+
+# --- wadc_report inspect ----------------------------------------------------
+
+# Single-config run whose crash window is known to force repair relocations
+# while session 1 waits behind the admission cap.
+run_faulted_sessions 1 1 "$TMP/one"
+
+"$REPORT" inspect --timeline="$TMP/one/timeline.csv" \
+  --metrics="$TMP/one/metrics.json" --decisions="$TMP/one/decisions.jsonl" \
+  --max-trail=1000 > "$TMP/inspect.out" 2> "$TMP/inspect.err"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: wadc_report inspect exited $rc" >&2
+  sed 's/^/  /' "$TMP/inspect.err" >&2
+  fail=1
+fi
+
+expect_output() {
+  local what=$1 pattern=$2
+  if ! grep -q "$pattern" "$TMP/inspect.out"; then
+    echo "FAIL: inspect output missing $what (pattern: $pattern)" >&2
+    fail=1
+  fi
+}
+
+expect_output "host staleness table" '## Host bandwidth estimates'
+expect_output "staleness column headers" 'mean_age_s'
+expect_output "session summaries" '## Sessions (timeline)'
+expect_output "metrics digest" '## Metrics digest'
+expect_output "decision audit trail" '## Decision audit trail'
+# Acceptance: the faulted multi-session run must surface at least one
+# repair relocation and one admission deferral in the audit trail.
+expect_output "repair relocation decision" 'repair/relocate'
+expect_output "admission deferral decision" 'admission/defer'
+
+# inspect with no inputs is a usage error.
+"$REPORT" inspect > /dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL: inspect with no inputs should exit 2" >&2
+  fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+  echo "observability inspect contract OK"
+fi
+exit "$fail"

@@ -1,6 +1,8 @@
 // Tests for the observability subsystem: histogram bucketing, Chrome-trace
-// serialization and escaping, null-sink behavior, and the determinism
-// guarantee (same seed => byte-identical trace and metrics files).
+// serialization and escaping, gauge envelopes, timeline and decision-log
+// containers, the wall-clock profiler, null-sink behavior, and the
+// determinism guarantee (same seed => byte-identical trace and metrics
+// files).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -9,8 +11,11 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 #include "trace/library.h"
 
@@ -91,6 +96,80 @@ TEST(MetricsRegistry, JsonDumpIsSortedAndWellFormed) {
   EXPECT_NE(s.find("\"counters\""), std::string::npos);
   EXPECT_NE(s.find("\"histograms\""), std::string::npos);
   EXPECT_NE(s.find("\"buckets\": [1,0]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge envelope
+
+TEST(Gauge, TracksMinMaxAndUpdateCount) {
+  obs::Gauge g;
+  EXPECT_EQ(g.updates(), 0u);
+  EXPECT_DOUBLE_EQ(g.min(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+
+  g.set(5);
+  EXPECT_DOUBLE_EQ(g.min(), 5);  // first sample seeds the envelope
+  EXPECT_DOUBLE_EQ(g.max(), 5);
+  g.set(-2);
+  g.set(9);
+  g.set(3);
+  EXPECT_DOUBLE_EQ(g.value(), 3);
+  EXPECT_DOUBLE_EQ(g.min(), -2);
+  EXPECT_DOUBLE_EQ(g.max(), 9);
+  EXPECT_EQ(g.updates(), 4u);
+}
+
+TEST(Gauge, MergeFromEmptyDonorIsANoOp) {
+  obs::Gauge g, never_set;
+  g.set(5);
+  g.merge_from(never_set);
+  EXPECT_DOUBLE_EQ(g.value(), 5);
+  EXPECT_DOUBLE_EQ(g.min(), 5);
+  EXPECT_DOUBLE_EQ(g.max(), 5);
+  EXPECT_EQ(g.updates(), 1u);
+}
+
+TEST(Gauge, MergeIntoEmptyDestCopiesDonorEnvelope) {
+  obs::Gauge empty, donor;
+  donor.set(4);
+  donor.set(-1);
+  empty.merge_from(donor);
+  EXPECT_DOUBLE_EQ(empty.value(), -1);
+  EXPECT_DOUBLE_EQ(empty.min(), -1);
+  EXPECT_DOUBLE_EQ(empty.max(), 4);
+  EXPECT_EQ(empty.updates(), 2u);
+}
+
+TEST(Gauge, MergeWidensEnvelopeAndActsAsIfDonorUpdatedAfter) {
+  // merge must be indistinguishable from replaying the donor's sets after
+  // ours — the property the sweep's run-order merge relies on.
+  obs::Gauge a, b, serial;
+  a.set(2);
+  a.set(8);
+  b.set(-3);
+  b.set(5);
+  for (const double v : {2.0, 8.0, -3.0, 5.0}) serial.set(v);
+
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.value(), serial.value());
+  EXPECT_DOUBLE_EQ(a.min(), serial.min());
+  EXPECT_DOUBLE_EQ(a.max(), serial.max());
+  EXPECT_EQ(a.updates(), serial.updates());
+}
+
+TEST(Gauge, JsonExportCarriesFullEnvelope) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("q.depth");
+  g.set(3);
+  g.set(7);
+  g.set(1);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"q.depth\": {\"last\": 1, \"min\": 1, \"max\": 7, "
+                   "\"updates\": 3}"),
+            std::string::npos)
+      << s;
 }
 
 // ---------------------------------------------------------------------------
@@ -279,6 +358,172 @@ TEST(TracerMerge, AppendsEventsInDonorOrderAndEmptiesDonor) {
   EXPECT_NE(json.find("donor-process"), std::string::npos);
   EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
   EXPECT_LT(json.find("\"second\""), json.find("\"third\""));
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+
+obs::Timeline::Row host_row() {
+  obs::Timeline::Row r;
+  r.t = 60;
+  r.kind = "host";
+  r.id = 2;
+  r.est_bw = 1000;
+  r.est_age = 30;
+  r.truth_bw = 1500;
+  r.active = 1;
+  r.queued = 3;
+  return r;
+}
+
+TEST(Timeline, CsvHasStableHeaderAndEmptyCellsForUnsetFields) {
+  obs::Timeline tl;
+  tl.add(host_row());
+  obs::Timeline::Row net;
+  net.t = 60;
+  net.kind = "net";
+  net.active = 2;
+  net.queued = 0;
+  net.bytes = 4096;
+  tl.add(net);
+
+  std::ostringstream out;
+  tl.write_csv(out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.substr(0, s.find('\n')),
+            "t,kind,id,est_bw,est_age_s,truth_bw,active,queued,state,images,"
+            "bytes");
+  EXPECT_NE(s.find("60,host,2,1000,30,1500,1,3,,,"), std::string::npos) << s;
+  // net rows leave id / est / state / images empty.
+  EXPECT_NE(s.find("60,net,,,,,2,0,,,4096"), std::string::npos) << s;
+}
+
+TEST(Timeline, JsonOmitsUnsetFields) {
+  obs::Timeline tl;
+  obs::Timeline::Row sess;
+  sess.t = 120;
+  sess.kind = "session";
+  sess.id = 1;
+  sess.queued = 1;
+  sess.state = "queued";
+  sess.images = 0;
+  sess.bytes = 0;
+  tl.add(sess);
+
+  std::ostringstream out;
+  tl.write_json(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"rows\""), std::string::npos);
+  EXPECT_NE(s.find("\"kind\":\"session\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"state\":\"queued\""), std::string::npos) << s;
+  // Host-only fields must not appear on a session row.
+  EXPECT_EQ(s.find("est_bw"), std::string::npos) << s;
+  EXPECT_EQ(s.find("truth_bw"), std::string::npos) << s;
+}
+
+TEST(Timeline, MergeAppendsInDonorOrderAndEmptiesDonor) {
+  obs::Timeline a, b;
+  obs::Timeline::Row r = host_row();
+  r.t = 60;
+  a.add(r);
+  r.t = 120;
+  b.add(r);
+  r.t = 90;  // donor order preserved, not re-sorted
+  b.add(r);
+
+  a.merge_from(std::move(b));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_DOUBLE_EQ(a.row(0).t, 60);
+  EXPECT_DOUBLE_EQ(a.row(1).t, 120);
+  EXPECT_DOUBLE_EQ(a.row(2).t, 90);
+}
+
+// ---------------------------------------------------------------------------
+// DecisionLog
+
+TEST(DecisionLog, WritesOneJsonObjectPerLine) {
+  obs::DecisionLog log;
+  log.record(30.5, "admission", "defer", 1, {{"active", 2}});
+  log.record(60, "relocation", "relocate", -1,
+             {{"from", 3}, {"to", 1}, {"gain_s", 12.25}});
+
+  std::ostringstream out;
+  log.write_jsonl(out);
+  const std::string s = out.str();
+
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+  EXPECT_NE(lines[0].find("\"t\":30.5"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"category\":\"admission\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"action\":\"defer\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"session\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"active\":2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"session\":-1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"gain_s\":12.25"), std::string::npos);
+}
+
+TEST(DecisionLog, MergeAppendsInDonorOrderAndEmptiesDonor) {
+  obs::DecisionLog a, b;
+  a.record(10, "plan", "replan_changed", -1);
+  b.record(20, "barrier", "initiated", -1);
+  b.record(15, "barrier", "complete", -1);  // donor order preserved
+
+  a.merge_from(std::move(b));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_DOUBLE_EQ(a.at(1).t, 20);
+  EXPECT_DOUBLE_EQ(a.at(2).t, 15);
+  EXPECT_STREQ(a.at(2).action, "complete");
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+TEST(Profiler, AggregatesPhasesPerWorkerAndFindsDominant) {
+  obs::Profiler prof;
+  prof.add("setup", 0, 0.25);
+  prof.add("engine_run", 0, 2.0);
+  prof.add("engine_run", 1, 3.0);
+  prof.add("obs_merge", obs::Profiler::kMainThread, 0.5);
+  prof.count("progress_lock_acquisitions");
+  prof.count("progress_lock_acquisitions", 2);
+
+  EXPECT_EQ(prof.dominant_phase(), "engine_run");
+  EXPECT_DOUBLE_EQ(prof.phase_seconds("engine_run"), 5.0);
+  EXPECT_DOUBLE_EQ(prof.phase_seconds("absent"), 0.0);
+
+  std::ostringstream out;
+  prof.write_json(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"dominant_phase\": \"engine_run\""), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("\"by_worker\""), std::string::npos);
+  EXPECT_NE(s.find("\"progress_lock_acquisitions\": 3"), std::string::npos)
+      << s;
+}
+
+TEST(Profiler, ScopeRecordsElapsedTimeAndNullScopeIsANoOp) {
+  obs::Profiler prof;
+  {
+    obs::Profiler::Scope scope(&prof, "work", 0);
+  }
+  EXPECT_GE(prof.phase_seconds("work"), 0.0);
+  EXPECT_EQ(prof.dominant_phase(), "work");
+
+  // A null profiler pointer disables the scope entirely.
+  { obs::Profiler::Scope disabled(nullptr, "never", 3); }
+  EXPECT_DOUBLE_EQ(prof.phase_seconds("never"), 0.0);
+}
+
+TEST(Profiler, EmptyProfilerReportsNoDominantPhase) {
+  obs::Profiler prof;
+  EXPECT_EQ(prof.dominant_phase(), "");
+  EXPECT_GE(prof.wall_seconds(), 0.0);
 }
 
 }  // namespace

@@ -137,26 +137,56 @@ TEST(ParallelSweepTest, LocalExtrasSweepIdenticalAcrossWorkerCounts) {
   expect_series_equal(serial, parallel);
 }
 
-std::pair<std::string, std::string> obs_dumps_for_jobs(int jobs) {
+struct ObsDumps {
+  std::string trace;
+  std::string metrics;
+  std::string timeline_csv;
+  std::string decisions_jsonl;
+};
+
+ObsDumps obs_dumps_for_jobs(int jobs) {
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
+  obs::Timeline timeline;
+  obs::DecisionLog decisions;
   SweepSpec sweep = small_sweep(jobs);
   sweep.experiment.obs.tracer = &tracer;
   sweep.experiment.obs.metrics = &metrics;
+  sweep.experiment.obs.timeline = &timeline;
+  sweep.experiment.obs.decisions = &decisions;
   (void)run_sweep(shared_library(), sweep, {core::AlgorithmKind::kGlobal});
-  std::ostringstream trace_out, metrics_out;
+  ObsDumps dumps;
+  std::ostringstream trace_out, metrics_out, timeline_out, decisions_out;
   tracer.write_chrome_json(trace_out);
   metrics.write_json(metrics_out);
-  return {trace_out.str(), metrics_out.str()};
+  timeline.write_csv(timeline_out);
+  decisions.write_jsonl(decisions_out);
+  dumps.trace = trace_out.str();
+  dumps.metrics = metrics_out.str();
+  dumps.timeline_csv = timeline_out.str();
+  dumps.decisions_jsonl = decisions_out.str();
+  return dumps;
 }
 
 TEST(ParallelSweepTest, MergedObsOutputIdenticalAcrossWorkerCounts) {
   const auto serial = obs_dumps_for_jobs(1);
   const auto parallel = obs_dumps_for_jobs(4);
-  EXPECT_GT(serial.first.size(), 2u);   // non-trivial trace
-  EXPECT_GT(serial.second.size(), 2u);  // non-trivial metrics dump
-  EXPECT_EQ(serial.first, parallel.first);
-  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_GT(serial.trace.size(), 2u);    // non-trivial trace
+  EXPECT_GT(serial.metrics.size(), 2u);  // non-trivial metrics dump
+  // The timeline holds sampled rows and the decision log holds adaptation
+  // records from every run in the sweep.
+  EXPECT_NE(serial.timeline_csv.find(",host,"), std::string::npos)
+      << "timeline should contain sampled host rows";
+  EXPECT_NE(serial.timeline_csv.find(",net,"), std::string::npos)
+      << "timeline should contain sampled net rows";
+  EXPECT_NE(serial.decisions_jsonl.find("\"category\":\"plan\""),
+            std::string::npos);
+  // All four deterministic artifacts are byte-identical across worker
+  // counts — the tentpole determinism contract.
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.timeline_csv, parallel.timeline_csv);
+  EXPECT_EQ(serial.decisions_jsonl, parallel.decisions_jsonl);
 }
 
 TEST(ParallelSweepTest, ProgressSerializedAndMonotoneUnderParallelism) {

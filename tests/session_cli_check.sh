@@ -47,10 +47,12 @@ expect_exit 2 "--num-clients must be >= 1" --num-clients=0
 expect_exit 2 "--sessions-spec and --num-clients conflict" \
   --sessions-spec="$TMP/empty.sessions" --num-clients=2
 
+# Session mode composes with fault injection (transient crash + restart).
 printf 'session 0\n' > "$TMP/ok.sessions"
 printf 'crash 1 100 200\n' > "$TMP/ok.fault"
-expect_exit 2 "session mode rejects fault injection" \
-  --sessions-spec="$TMP/ok.sessions" --fault-spec="$TMP/ok.fault"
+expect_exit 0 "session mode runs with transient fault schedule" \
+  --sessions-spec="$TMP/ok.sessions" --fault-spec="$TMP/ok.fault" \
+  --servers=2 --iterations=4 --configs=1 --seed=1000 --csv
 
 # --- happy path -------------------------------------------------------------
 

@@ -1,22 +1,37 @@
-// wadc_report — one-command reproduction report.
+// wadc_report — one-command reproduction report, plus a run inspector.
 //
-// Runs scaled-down versions of every experiment in the paper's evaluation
-// (plus this repository's extensions) and writes a self-contained Markdown
-// report with ASCII charts: the Figure 6 sorted speedup curves, the scaling
-// and period sweeps, the tree-shape comparison, and the ablations.
+// Report mode runs scaled-down versions of every experiment in the paper's
+// evaluation (plus this repository's extensions) and writes a
+// self-contained Markdown report with ASCII charts: the Figure 6 sorted
+// speedup curves, the scaling and period sweeps, the tree-shape comparison,
+// and the ablations.
 //
 //   wadc_report [--configs=N] [--out=FILE]
 //
 // Defaults: 60 configurations (the full paper scale of 300 takes a few
 // minutes; pass --configs=300), report to stdout.
+//
+// Inspect mode reads the observability artifacts a wadc_run invocation
+// exported (--timeline-out / --metrics-out / --decisions-out) and prints a
+// human-readable digest: per-host estimate-vs-truth staleness statistics,
+// per-session summaries, and the adaptation-decision audit trail.
+//
+//   wadc_report inspect [--timeline=FILE] [--metrics=FILE]
+//                       [--decisions=FILE] [--max-trail=N]
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/experiment.h"
@@ -96,9 +111,577 @@ std::optional<std::string> flag_value(const char* arg, const char* name) {
   return std::nullopt;
 }
 
+// ---- minimal JSON reader (inspect mode; no external dependencies) ----------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double number_or(const std::string& key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
+  }
+};
+
+// Strict enough for the files this repo writes; throws std::runtime_error
+// with a byte offset on anything malformed.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return {};
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          // The repo's writers only emit \u00XX control escapes; decode the
+          // code point as a single byte and keep anything else verbatim.
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) throw std::runtime_error("read failed: " + path);
+  return buf.str();
+}
+
+// ---- inspect mode ----------------------------------------------------------
+
+// One parsed timeline row (obs::Timeline's flat schema, with strings owned).
+struct TimelineRow {
+  double t = 0;
+  std::string kind;
+  int id = -1;
+  double est_bw = -1;
+  double est_age = -1;
+  double truth_bw = -1;
+  int active = -1;
+  int queued = -1;
+  std::string state;
+  long long images = -1;
+  double bytes = -1;
+};
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (const char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+// Loads a timeline exported by wadc_run --timeline-out, in either format
+// (CSV by default, JSON when the export path ended in .json).
+std::vector<TimelineRow> load_timeline(const std::string& path) {
+  const std::string text = read_file(path);
+  std::vector<TimelineRow> rows;
+
+  std::size_t first = 0;
+  while (first < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[first]))) {
+    ++first;
+  }
+  if (first < text.size() && text[first] == '{') {
+    const JsonValue root = JsonParser(text).parse();
+    const JsonValue* array = root.find("rows");
+    if (array == nullptr || array->kind != JsonValue::Kind::kArray) {
+      throw std::runtime_error(path + ": no \"rows\" array");
+    }
+    for (const JsonValue& r : array->array) {
+      TimelineRow row;
+      row.t = r.number_or("t", 0);
+      row.kind = r.string_or("kind", "");
+      row.id = static_cast<int>(r.number_or("id", -1));
+      row.est_bw = r.number_or("est_bw", -1);
+      row.est_age = r.number_or("est_age_s", -1);
+      row.truth_bw = r.number_or("truth_bw", -1);
+      row.active = static_cast<int>(r.number_or("active", -1));
+      row.queued = static_cast<int>(r.number_or("queued", -1));
+      row.state = r.string_or("state", "");
+      row.images = static_cast<long long>(r.number_or("images", -1));
+      row.bytes = r.number_or("bytes", -1);
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error(path + ": empty");
+  const std::string expected =
+      "t,kind,id,est_bw,est_age_s,truth_bw,active,queued,state,images,bytes";
+  if (line != expected) {
+    throw std::runtime_error(path + ": unexpected CSV header '" + line + "'");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (cells.size() != 11) {
+      throw std::runtime_error(path + ": malformed CSV row '" + line + "'");
+    }
+    const auto num = [](const std::string& s, double fallback) {
+      return s.empty() ? fallback : std::stod(s);
+    };
+    TimelineRow row;
+    row.t = num(cells[0], 0);
+    row.kind = cells[1];
+    row.id = static_cast<int>(num(cells[2], -1));
+    row.est_bw = num(cells[3], -1);
+    row.est_age = num(cells[4], -1);
+    row.truth_bw = num(cells[5], -1);
+    row.active = static_cast<int>(num(cells[6], -1));
+    row.queued = static_cast<int>(num(cells[7], -1));
+    row.state = cells[8];
+    row.images = static_cast<long long>(num(cells[9], -1));
+    row.bytes = num(cells[10], -1);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+struct InspectOptions {
+  std::string timeline_path;
+  std::string metrics_path;
+  std::string decisions_path;
+  int max_trail = 200;  // decision records printed in full
+};
+
+void print_host_staleness(const std::vector<TimelineRow>& rows) {
+  struct HostAgg {
+    int samples = 0;       // host rows seen
+    int with_estimate = 0; // rows where the client held any estimate
+    double age_sum = 0, age_max = 0;
+    double err_sum = 0;    // relative |est - truth| / truth, truth > 0
+    int err_count = 0;
+    double truth_sum = 0;
+    int truth_count = 0;
+  };
+  std::map<int, HostAgg> hosts;
+  for (const TimelineRow& r : rows) {
+    if (r.kind != "host") continue;
+    HostAgg& h = hosts[r.id];
+    ++h.samples;
+    if (r.truth_bw >= 0) {
+      h.truth_sum += r.truth_bw;
+      ++h.truth_count;
+    }
+    if (r.est_bw >= 0) {
+      ++h.with_estimate;
+      h.age_sum += r.est_age;
+      h.age_max = std::max(h.age_max, r.est_age);
+      if (r.truth_bw > 0) {
+        h.err_sum += std::fabs(r.est_bw - r.truth_bw) / r.truth_bw;
+        ++h.err_count;
+      }
+    }
+  }
+  std::printf("## Host bandwidth estimates (client's cache vs ground "
+              "truth)\n\n");
+  if (hosts.empty()) {
+    std::printf("no host rows in the timeline\n\n");
+    return;
+  }
+  std::printf("host  samples  coverage  mean_age_s  max_age_s  mean_|err|  "
+              "mean_truth_bw\n");
+  for (const auto& [id, h] : hosts) {
+    const double coverage =
+        h.samples > 0 ? 100.0 * h.with_estimate / h.samples : 0;
+    const double mean_age =
+        h.with_estimate > 0 ? h.age_sum / h.with_estimate : 0;
+    const double mean_err = h.err_count > 0 ? h.err_sum / h.err_count : 0;
+    const double mean_truth =
+        h.truth_count > 0 ? h.truth_sum / h.truth_count : 0;
+    if (h.truth_count == 0 && h.with_estimate == 0) {
+      // The client host: no client->client link, only NIC activity.
+      std::printf("%-4d  %7d  (client host: NIC activity only)\n", id,
+                  h.samples);
+      continue;
+    }
+    std::printf("%-4d  %7d  %7.1f%%  %10.1f  %9.1f  %9.1f%%  %13.0f\n", id,
+                h.samples, coverage, mean_age, h.age_max, 100.0 * mean_err,
+                mean_truth);
+  }
+  std::printf("\n");
+}
+
+void print_session_summaries(const std::vector<TimelineRow>& rows) {
+  struct SessionAgg {
+    std::string last_state;
+    long long last_images = 0;
+    double last_bytes = 0;
+    double first_seen = 0, last_seen = 0;
+    int samples_queued = 0;
+    int samples = 0;
+  };
+  std::map<int, SessionAgg> sessions;
+  for (const TimelineRow& r : rows) {
+    if (r.kind != "session") continue;
+    SessionAgg& s = sessions[r.id];
+    if (s.samples == 0) s.first_seen = r.t;
+    ++s.samples;
+    s.last_seen = r.t;
+    s.last_state = r.state;
+    s.last_images = r.images;
+    s.last_bytes = r.bytes;
+    if (r.state == "queued") ++s.samples_queued;
+  }
+  if (sessions.empty()) return;
+  std::printf("## Sessions (timeline)\n\n");
+  std::printf("session  final_state  images  bytes_moved    queued_samples  "
+              "observed_s\n");
+  for (const auto& [id, s] : sessions) {
+    std::printf("%-7d  %-11s  %6lld  %12.0f  %14d  %10.0f\n", id,
+                s.last_state.c_str(), s.last_images, s.last_bytes,
+                s.samples_queued, s.last_seen - s.first_seen);
+  }
+  std::printf("\n");
+}
+
+void print_metrics_digest(const std::string& path) {
+  const JsonValue root = JsonParser(read_file(path)).parse();
+  std::printf("## Metrics digest\n\n");
+  if (const JsonValue* gauges = root.find("gauges");
+      gauges != nullptr && !gauges->object.empty()) {
+    std::printf("gauges (last / min / max / updates):\n");
+    for (const auto& [name, g] : gauges->object) {
+      std::printf("  %-28s %12.0f %10.0f %10.0f %10.0f\n", name.c_str(),
+                  g.number_or("last", 0), g.number_or("min", 0),
+                  g.number_or("max", 0), g.number_or("updates", 0));
+    }
+  }
+  if (const JsonValue* counters = root.find("counters");
+      counters != nullptr) {
+    bool header = false;
+    for (const auto& [name, v] : counters->object) {
+      if (name.rfind("session.", 0) != 0 && name.rfind("fault.", 0) != 0 &&
+          name.rfind("engine.retr", 0) != 0 &&
+          name.rfind("engine.repair", 0) != 0) {
+        continue;
+      }
+      if (!header) {
+        std::printf("session/fault counters:\n");
+        header = true;
+      }
+      std::printf("  %-28s %12.0f\n", name.c_str(), v.number);
+    }
+  }
+  std::printf("\n");
+}
+
+// Integral values print as integers, everything else with 3 decimals —
+// decision args mix host/op ids with costs and durations.
+std::string format_number(double v) {
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+int print_decision_trail(const std::string& path, int max_trail) {
+  const std::string text = read_file(path);
+  std::istringstream in(text);
+  std::string line;
+  std::map<std::string, int> counts;  // "category/action" -> count
+  std::vector<std::string> trail;
+  int total = 0;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue rec;
+    try {
+      rec = JsonParser(line).parse();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), lineno, e.what());
+      return 2;
+    }
+    const std::string category = rec.string_or("category", "?");
+    const std::string action = rec.string_or("action", "?");
+    ++counts[category + "/" + action];
+    ++total;
+    if (static_cast<int>(trail.size()) >= max_trail) continue;
+    std::ostringstream f;
+    f << "  t=" << format_number(rec.number_or("t", 0)) << "  " << category
+      << "/" << action;
+    if (const JsonValue* session = rec.find("session");
+        session != nullptr && session->number >= 0) {
+      f << "  session=" << static_cast<int>(session->number);
+    }
+    if (const JsonValue* args = rec.find("args");
+        args != nullptr && !args->object.empty()) {
+      f << "  {";
+      bool first = true;
+      for (const auto& [k, v] : args->object) {
+        if (!first) f << ", ";
+        first = false;
+        f << k << "=";
+        if (v.kind == JsonValue::Kind::kString) {
+          f << v.string;
+        } else if (v.kind == JsonValue::Kind::kNumber) {
+          f << format_number(v.number);
+        } else if (v.kind == JsonValue::Kind::kBool) {
+          f << (v.boolean ? "true" : "false");
+        }
+      }
+      f << "}";
+    }
+    trail.push_back(f.str());
+  }
+
+  std::printf("## Decision audit trail\n\n");
+  std::printf("%d decision record(s):\n", total);
+  for (const auto& [key, n] : counts) {
+    std::printf("  %-28s %6d\n", key.c_str(), n);
+  }
+  std::printf("\n");
+  for (const std::string& entry : trail) std::printf("%s\n", entry.c_str());
+  if (total > static_cast<int>(trail.size())) {
+    std::printf("  ... %d more (raise --max-trail to see them)\n",
+                total - static_cast<int>(trail.size()));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int run_inspect(int argc, char** argv) {
+  InspectOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    if (auto v = flag_value(argv[i], "--timeline")) {
+      opt.timeline_path = *v;
+    } else if (auto v2 = flag_value(argv[i], "--metrics")) {
+      opt.metrics_path = *v2;
+    } else if (auto v3 = flag_value(argv[i], "--decisions")) {
+      opt.decisions_path = *v3;
+    } else if (auto v4 = flag_value(argv[i], "--max-trail")) {
+      opt.max_trail = std::atoi(v4->c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: wadc_report inspect [--timeline=FILE] "
+                   "[--metrics=FILE] [--decisions=FILE] [--max-trail=N]\n");
+      return 2;
+    }
+  }
+  if (opt.timeline_path.empty() && opt.metrics_path.empty() &&
+      opt.decisions_path.empty()) {
+    std::fprintf(stderr,
+                 "inspect: nothing to do — pass at least one of "
+                 "--timeline / --metrics / --decisions\n");
+    return 2;
+  }
+
+  std::printf("# wadc run inspection\n\n");
+  try {
+    if (!opt.timeline_path.empty()) {
+      const std::vector<TimelineRow> rows = load_timeline(opt.timeline_path);
+      print_host_staleness(rows);
+      print_session_summaries(rows);
+    }
+    if (!opt.metrics_path.empty()) print_metrics_digest(opt.metrics_path);
+    if (!opt.decisions_path.empty()) {
+      if (const int rc =
+              print_decision_trail(opt.decisions_path, opt.max_trail);
+          rc != 0) {
+        return rc;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "inspect: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "inspect") == 0) {
+    return run_inspect(argc, argv);
+  }
+
   Options opt;
   for (int i = 1; i < argc; ++i) {
     if (auto v = flag_value(argv[i], "--configs")) {
@@ -106,7 +689,10 @@ int main(int argc, char** argv) {
     } else if (auto v2 = flag_value(argv[i], "--out")) {
       opt.out_path = *v2;
     } else {
-      std::fprintf(stderr, "usage: wadc_report [--configs=N] [--out=FILE]\n");
+      std::fprintf(stderr,
+                   "usage: wadc_report [--configs=N] [--out=FILE]\n"
+                   "       wadc_report inspect [--timeline=FILE] "
+                   "[--metrics=FILE] [--decisions=FILE] [--max-trail=N]\n");
       return 2;
     }
   }

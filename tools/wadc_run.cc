@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,8 +35,11 @@
 #include "fault/spec_io.h"
 #include "exp/parallel.h"
 #include "exp/report.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "obs/tracer.h"
 #include "session/session_spec.h"
 #include "session/session_stats.h"
@@ -67,6 +72,10 @@ struct Options {
   std::string dump_run_path;  // JSON of the final configuration's run
   std::string trace_out_path;    // Chrome trace JSON of the final run
   std::string metrics_out_path;  // metrics JSON of the final run
+  std::string timeline_out_path;   // sim-time timeline of the final run
+  std::string decisions_out_path;  // decision log (JSONL) of the final run
+  std::string profile_out_path;  // wall-clock phase profile (whole invocation)
+  sim::SimTime timeline_interval_seconds = 60;
   std::string bench_out_path;    // JSON perf report for the whole invocation
 };
 
@@ -102,6 +111,15 @@ void usage() {
       "  --dump-run=FILE        write the last run's stats as JSON\n"
       "  --trace-out=FILE       write the last run's Chrome trace-event JSON\n"
       "  --metrics-out=FILE     write the last run's metrics as JSON\n"
+      "  --timeline-out=FILE    write the last run's sim-time timeline\n"
+      "                         (.json for JSON, anything else CSV)\n"
+      "  --timeline-interval=SECONDS\n"
+      "                         timeline sampling interval (default 60)\n"
+      "  --decisions-out=FILE   write the last run's adaptation-decision log\n"
+      "                         (one JSON object per line)\n"
+      "  --profile-out=FILE     write a wall-clock phase profile of this\n"
+      "                         invocation (non-deterministic; never merge\n"
+      "                         into golden artifacts)\n"
       "  --bench-out=FILE       write a JSON perf report (name, jobs, runs,\n"
       "                         wall_seconds, runs_per_second)\n"
       "  --no-baseline          skip the download-all baseline run\n"
@@ -242,6 +260,33 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.metrics_out_path = *v14;
+    } else if (auto vt = flag_value(arg, "--timeline-out")) {
+      if (vt->empty()) {
+        std::fprintf(stderr, "--timeline-out requires a file path\n");
+        return false;
+      }
+      opt.timeline_out_path = *vt;
+    } else if (auto vti = flag_value(arg, "--timeline-interval")) {
+      if (!to_double(*vti, "--timeline-interval",
+                     opt.timeline_interval_seconds)) {
+        return false;
+      }
+      if (opt.timeline_interval_seconds <= 0) {
+        std::fprintf(stderr, "--timeline-interval must be positive\n");
+        return false;
+      }
+    } else if (auto vd = flag_value(arg, "--decisions-out")) {
+      if (vd->empty()) {
+        std::fprintf(stderr, "--decisions-out requires a file path\n");
+        return false;
+      }
+      opt.decisions_out_path = *vd;
+    } else if (auto vp = flag_value(arg, "--profile-out")) {
+      if (vp->empty()) {
+        std::fprintf(stderr, "--profile-out requires a file path\n");
+        return false;
+      }
+      opt.profile_out_path = *vp;
     } else if (auto v15 = flag_value(arg, "--bench-out")) {
       if (v15->empty()) {
         std::fprintf(stderr, "--bench-out requires a file path\n");
@@ -270,12 +315,6 @@ bool parse(int argc, char** argv, Options& opt) {
                  "--sessions-spec and --num-clients are mutually exclusive\n");
     return false;
   }
-  if ((!opt.sessions_spec_path.empty() || opt.num_clients > 0) &&
-      !opt.fault_spec_path.empty()) {
-    std::fprintf(stderr,
-                 "fault injection is not supported in session mode\n");
-    return false;
-  }
   return true;
 }
 
@@ -287,13 +326,72 @@ int resolve_run_jobs(const Options& opt) {
                          : opt.jobs;
 }
 
+// Per-run observability sinks (attached to the final configuration's run)
+// shared by both modes.
+struct RunObs {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::DecisionLog decisions;
+  obs::Timeline timeline;
+
+  // True when any per-run export was requested.
+  static bool wanted(const Options& opt) {
+    return !opt.trace_out_path.empty() || !opt.metrics_out_path.empty() ||
+           !opt.timeline_out_path.empty() || !opt.decisions_out_path.empty();
+  }
+
+  // Points spec-level obs at the sinks whose exports were requested.
+  void attach(const Options& opt, obs::Obs& obs) {
+    obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
+    obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
+    obs.decisions = opt.decisions_out_path.empty() ? nullptr : &decisions;
+    obs.timeline = opt.timeline_out_path.empty() ? nullptr : &timeline;
+  }
+
+  // Writes every requested artifact. Returns 0 on success, 2 after the
+  // first failure: a run whose requested observability artifacts cannot be
+  // written must not exit 0.
+  int export_all(const Options& opt, const obs::Profiler* profiler) const {
+    struct Export {
+      const char* what;
+      const std::string* path;
+      std::function<void(const std::string&)> write;
+    };
+    const std::vector<Export> exports = {
+        {"trace", &opt.trace_out_path,
+         [this](const std::string& p) { tracer.write_chrome_json_file(p); }},
+        {"metrics", &opt.metrics_out_path,
+         [this](const std::string& p) { metrics.write_json_file(p); }},
+        {"timeline", &opt.timeline_out_path,
+         [this](const std::string& p) { timeline.write_file(p); }},
+        {"decision log", &opt.decisions_out_path,
+         [this](const std::string& p) { decisions.write_jsonl_file(p); }},
+        {"profile", &opt.profile_out_path,
+         [profiler](const std::string& p) {
+           if (profiler != nullptr) profiler->write_json_file(p);
+         }},
+    };
+    for (const Export& e : exports) {
+      if (e.path->empty()) continue;
+      try {
+        e.write(*e.path);
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "failed to write %s: %s\n", e.what, ex.what());
+        return 2;
+      }
+    }
+    return 0;
+  }
+};
+
 // Multi-client session mode: every configuration runs `sessions` concurrent
 // query sessions over one shared network and prints aggregate response-time
 // and fairness statistics. Parallel over configurations like the normal
 // mode; output is byte-identical for any --jobs value.
 int run_session_mode(const Options& opt, const exp::ExperimentSpec& base_spec,
                      const trace::TraceLibrary& library,
-                     const session::SessionSpec& sessions) {
+                     const session::SessionSpec& sessions,
+                     obs::Profiler* profiler) {
   const char* policy =
       session::admission_policy_name(sessions.admission.policy);
   if (opt.csv) {
@@ -310,28 +408,25 @@ int run_session_mode(const Options& opt, const exp::ExperimentSpec& base_spec,
                 "mean_queue  jain   makespan\n");
   }
 
-  const bool want_obs =
-      !opt.trace_out_path.empty() || !opt.metrics_out_path.empty();
-  obs::Tracer tracer;
-  obs::MetricsRegistry metrics;
+  const bool want_obs = RunObs::wanted(opt);
+  RunObs run_obs;
 
   const int jobs = resolve_run_jobs(opt);
   std::vector<session::SessionStats> outcomes(
       static_cast<std::size_t>(opt.configs));
   const exp::WallTimer timer;
-  exp::parallel_for(opt.configs, jobs, [&](int c) {
+  exp::parallel_for(opt.configs, jobs, [&](int c, int worker) {
+    obs::Profiler::Scope run_scope(profiler, "session_run", worker);
     exp::ExperimentSpec s = base_spec;
     s.config_seed = opt.seed + static_cast<std::uint64_t>(c);
     s.obs = {};
-    if (want_obs && c == opt.configs - 1) {
-      s.obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
-      s.obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
-    }
+    if (want_obs && c == opt.configs - 1) run_obs.attach(opt, s.obs);
     outcomes[static_cast<std::size_t>(c)] =
         exp::run_session_experiment(library, s, sessions);
   });
   const double wall_seconds = timer.seconds();
 
+  int exit_code = 0;
   std::vector<double> mean_responses;
   for (int c = 0; c < opt.configs; ++c) {
     const session::SessionStats& st =
@@ -343,6 +438,7 @@ int run_session_mode(const Options& opt, const exp::ExperimentSpec& base_spec,
         exp::write_sessions_json_file(st, opt.dump_run_path);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "failed to dump run: %s\n", e.what());
+        exit_code = 2;
       }
     }
     mean_responses.push_back(st.mean_response_seconds());
@@ -376,24 +472,11 @@ int run_session_mode(const Options& opt, const exp::ExperimentSpec& base_spec,
       exp::write_bench_json_file(report, opt.bench_out_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
-      return 1;
+      exit_code = 2;
     }
   }
-  if (!opt.trace_out_path.empty()) {
-    try {
-      tracer.write_chrome_json_file(opt.trace_out_path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "failed to write trace: %s\n", e.what());
-      return 1;
-    }
-  }
-  if (!opt.metrics_out_path.empty()) {
-    try {
-      metrics.write_json_file(opt.metrics_out_path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "failed to write metrics: %s\n", e.what());
-      return 1;
-    }
+  if (const int rc = run_obs.export_all(opt, profiler); rc != 0) {
+    exit_code = rc;
   }
 
   if (!opt.csv && opt.configs > 1) {
@@ -402,7 +485,7 @@ int run_session_mode(const Options& opt, const exp::ExperimentSpec& base_spec,
                 trace::mean_of(mean_responses),
                 trace::median_of(mean_responses));
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
@@ -477,6 +560,14 @@ int main(int argc, char** argv) {
     }
   }
   const bool faulting = !spec.fault.empty();
+  spec.timeline_sample_seconds = opt.timeline_interval_seconds;
+
+  // Wall-clock profiling of this invocation (explicitly non-deterministic;
+  // exported through its own channel only).
+  std::unique_ptr<obs::Profiler> profiler;
+  if (!opt.profile_out_path.empty()) {
+    profiler = std::make_unique<obs::Profiler>();
+  }
 
   if (!opt.sessions_spec_path.empty() || opt.num_clients > 0) {
     session::SessionSpec sessions;
@@ -490,7 +581,7 @@ int main(int argc, char** argv) {
     } else {
       sessions = session::SessionSpec::concurrent_clients(opt.num_clients);
     }
-    return run_session_mode(opt, spec, *library, sessions);
+    return run_session_mode(opt, spec, *library, sessions, profiler.get());
   }
 
   if (!opt.csv) {
@@ -514,13 +605,11 @@ int main(int argc, char** argv) {
     std::printf("config    completion  interarrival  speedup  relocations\n");
   }
 
-  // Observability: attach a tracer/metrics registry to the final
-  // configuration's main-algorithm run (the same run --dump-run exports).
-  // Only that one job touches the sinks, so no merging is needed here.
-  const bool want_obs =
-      !opt.trace_out_path.empty() || !opt.metrics_out_path.empty();
-  obs::Tracer tracer;
-  obs::MetricsRegistry metrics;
+  // Observability: attach the per-run sinks to the final configuration's
+  // main-algorithm run (the same run --dump-run exports). Only that one job
+  // touches the sinks, so no merging is needed here.
+  const bool want_obs = RunObs::wanted(opt);
+  RunObs run_obs;
 
   // Every configuration (baseline + algorithm under study) is an
   // independent job; results land in index-keyed slots and are printed in
@@ -534,25 +623,25 @@ int main(int argc, char** argv) {
   std::vector<ConfigOutcome> outcomes(
       static_cast<std::size_t>(opt.configs));
   const exp::WallTimer timer;
-  exp::parallel_for(opt.configs, jobs, [&](int c) {
+  exp::parallel_for(opt.configs, jobs, [&](int c, int worker) {
     exp::ExperimentSpec s = spec;
     s.config_seed = opt.seed + static_cast<std::uint64_t>(c);
     s.obs = {};
-    if (want_obs && c == opt.configs - 1) {
-      s.obs.tracer = opt.trace_out_path.empty() ? nullptr : &tracer;
-      s.obs.metrics = opt.metrics_out_path.empty() ? nullptr : &metrics;
-    }
+    if (want_obs && c == opt.configs - 1) run_obs.attach(opt, s.obs);
     ConfigOutcome& out = outcomes[static_cast<std::size_t>(c)];
     if (opt.with_baseline) {
+      obs::Profiler::Scope base_scope(profiler.get(), "baseline_run", worker);
       exp::ExperimentSpec base = s;
       base.algorithm = core::AlgorithmKind::kDownloadAll;
       base.obs = {};  // trace the algorithm under study, not the baseline
       out.base_time = exp::run_experiment(*library, base).completion_seconds;
     }
+    obs::Profiler::Scope run_scope(profiler.get(), "engine_run", worker);
     out.run = exp::run_experiment(*library, s);
   });
   const double wall_seconds = timer.seconds();
 
+  int exit_code = 0;
   std::vector<double> speedups, completions, interarrivals;
   for (int c = 0; c < opt.configs; ++c) {
     const ConfigOutcome& out = outcomes[static_cast<std::size_t>(c)];
@@ -564,6 +653,7 @@ int main(int argc, char** argv) {
         exp::write_run_json_file(r.stats, opt.dump_run_path);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "failed to dump run: %s\n", e.what());
+        exit_code = 2;
       }
     }
     const double speedup =
@@ -617,25 +707,12 @@ int main(int argc, char** argv) {
       exp::write_bench_json_file(report, opt.bench_out_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
-      return 1;
+      exit_code = 2;
     }
   }
 
-  if (!opt.trace_out_path.empty()) {
-    try {
-      tracer.write_chrome_json_file(opt.trace_out_path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "failed to write trace: %s\n", e.what());
-      return 1;
-    }
-  }
-  if (!opt.metrics_out_path.empty()) {
-    try {
-      metrics.write_json_file(opt.metrics_out_path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "failed to write metrics: %s\n", e.what());
-      return 1;
-    }
+  if (const int rc = run_obs.export_all(opt, profiler.get()); rc != 0) {
+    exit_code = rc;
   }
 
   if (!opt.csv && opt.configs > 1) {
@@ -650,5 +727,5 @@ int main(int argc, char** argv) {
                   trace::mean_of(speedups), trace::median_of(speedups));
     }
   }
-  return 0;
+  return exit_code;
 }
