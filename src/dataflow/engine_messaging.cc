@@ -73,12 +73,12 @@ sim::Task<bool> Engine::hop(net::HostId from, net::HostId to, double bytes,
   // The channel re-invokes the builder before every attempt: the piggyback
   // payload and directory snapshot are rebuilt because the sender's
   // knowledge may have advanced during the backoff.
-  std::vector<monitor::PairSample> payload;
+  monitor::Payload payload;
   std::unique_ptr<core::OperatorDirectory> directory_snapshot;
   co_return co_await channel_.send(
       from, to, priority,
       [&] {
-        payload = monitoring_.piggyback_payload(from);
+        payload = monitoring_.piggyback_payload_shared(from);
         double total = bytes + monitoring_.payload_bytes(payload);
         directory_snapshot.reset();
         if (uses_directory_) {

@@ -90,6 +90,11 @@ int BenchHarness::finish(int resolved_jobs) {
                                    : resolve_jobs(options_.jobs);
   report.runs = runs_;
   report.wall_seconds = timer_.seconds();
+  report.hardware_concurrency =
+      static_cast<int>(std::thread::hardware_concurrency());
+#ifdef WADC_BUILD_TYPE
+  report.build_type = WADC_BUILD_TYPE;
+#endif
   print_bench_report(report);
   if (!options_.bench_out.empty()) {
     try {
@@ -126,6 +131,9 @@ void write_bench_json_file(const BenchReport& report,
       << "  \"name\": \"" << report.name << "\",\n"
       << "  \"jobs\": " << report.jobs << ",\n"
       << "  \"runs\": " << report.runs << ",\n"
+      << "  \"hardware_concurrency\": " << report.hardware_concurrency
+      << ",\n"
+      << "  \"build_type\": \"" << report.build_type << "\",\n"
       << "  \"wall_seconds\": " << std::fixed << report.wall_seconds
       << ",\n"
       << "  \"runs_per_second\": " << report.runs_per_second() << "\n"

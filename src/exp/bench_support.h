@@ -43,6 +43,11 @@ struct BenchReport {
   int jobs = 1;
   long long runs = 0;  // simulated runs executed
   double wall_seconds = 0;
+  // Machine/build context, so a BENCH_*.json is comparable across commits:
+  // a jobs=4 number from a 1-core container and one from a 16-core desktop
+  // are different experiments.
+  int hardware_concurrency = 0;   // std::thread::hardware_concurrency()
+  std::string build_type;         // CMAKE_BUILD_TYPE at compile time
 
   double runs_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(runs) / wall_seconds : 0;

@@ -4,6 +4,7 @@
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <iterator>
 #include <memory>
 #include <mutex>
@@ -37,19 +38,17 @@ dataflow::EngineParams ExperimentSpec::engine_params(
   return ep;
 }
 
-RunResult run_experiment(const trace::TraceLibrary& library,
-                         const ExperimentSpec& spec) {
-  WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
+namespace {
+
+// The body shared by both run_experiment overloads: everything downstream
+// of the simulation/network pair, which the fresh-context overload builds
+// on the stack and the epoch-reuse overload resets in place. Construction
+// order doubles as destruction-safety order: the engine is destroyed first
+// and tears down all coroutine frames while the objects they reference are
+// still alive.
+RunResult run_on(const ExperimentSpec& spec, sim::Simulation& sim,
+                 net::Network& network) {
   const int num_hosts = spec.num_servers + 1;
-
-  // Construction order doubles as destruction-safety order: the engine is
-  // destroyed first and tears down all coroutine frames while the objects
-  // they reference are still alive.
-  sim::Simulation sim;
-  const net::LinkTable links = make_network_config(
-      library, num_hosts, spec.config_seed, spec.config);
-  net::Network network(sim, links, spec.network);
-
   const bool faults = !spec.fault.empty();
   // Declared before the monitoring system and the engine: the injector must
   // outlive the engine (which holds a listener into it) and is destroyed
@@ -100,6 +99,52 @@ RunResult run_experiment(const trace::TraceLibrary& library,
   result.stats = engine.run();
   result.completion_seconds = result.stats.completion_seconds;
   result.mean_interarrival_seconds = result.stats.mean_interarrival_seconds();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_experiment(const trace::TraceLibrary& library,
+                         const ExperimentSpec& spec) {
+  WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
+  const int num_hosts = spec.num_servers + 1;
+  sim::Simulation sim;
+  const net::LinkTable links = make_network_config(
+      library, num_hosts, spec.config_seed, spec.config);
+  net::Network network(sim, links, spec.network);
+  return run_on(spec, sim, network);
+}
+
+RunResult run_experiment(const trace::TraceLibrary& library,
+                         const ExperimentSpec& spec, RunContext& ctx) {
+  WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
+  const int num_hosts = spec.num_servers + 1;
+
+  // Everything allocated from here to the end of the run comes from the
+  // worker's arena (coroutine frames and Callback spills always; the rest
+  // whenever WADC_POOLED_GLOBAL_NEW is on).
+  sim::Arena::Scope mem(&ctx.arena_);
+
+  // Epoch boundary: rewind the kernel objects instead of reconstructing
+  // them. The previous run's engine already tore down every process frame,
+  // so reset() only rewinds counters and clears queues, keeping capacity.
+  ctx.sim_.reset();
+  ctx.links_ = make_network_config(library, num_hosts, spec.config_seed,
+                                   spec.config);
+  if (ctx.network_ == nullptr) {
+    ctx.network_ =
+        std::make_unique<net::Network>(ctx.sim_, *ctx.links_, spec.network);
+  } else {
+    ctx.network_->reset(*ctx.links_, spec.network);
+  }
+
+  RunResult result = run_on(spec, ctx.sim_, *ctx.network_);
+
+  // Recycle the run's memory. Anything that escaped (the result, recorded
+  // obs data) keeps the arena's outstanding count nonzero, in which case
+  // reset() skips the bump rewind and reuse continues via the free lists —
+  // still allocation-free once warm.
+  ctx.arena_.reset();
   return result;
 }
 
@@ -181,6 +226,22 @@ struct CellObs {
   std::unique_ptr<obs::Timeline> timeline;
 };
 
+// Process-lifetime RunContext per sweep-worker index. Deliberately leaked:
+// recorded obs data and run results escape a run still pointing into the
+// worker's arena, and sweep callers may hold them arbitrarily long, so the
+// arenas must never be destroyed. Contexts are exclusive to one worker per
+// sweep and sweeps do not overlap, so the only synchronization needed is
+// around pool growth.
+RunContext& sweep_worker_context(int worker) {
+  static auto* contexts = new std::deque<RunContext>();
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  while (static_cast<int>(contexts->size()) <= worker) {
+    contexts->emplace_back();
+  }
+  return (*contexts)[static_cast<std::size_t>(worker)];
+}
+
 // Runs descs.size() x sweep.configs independent cells on a fixed-size
 // worker pool. descs[0] must be the download-all baseline; every series'
 // speedup is measured against it. Cells share only the read-only trace
@@ -250,8 +311,26 @@ std::vector<AlgorithmSeries> run_cells(const trace::TraceLibrary& library,
     }
     {
       obs::Profiler::Scope run_scope(prof, "engine_run", worker);
+      RunContext& ctx = sweep_worker_context(worker);
+      const sim::ArenaStats before = ctx.arena_stats();
+      const sim::GlobalAllocStats& tls = sim::global_alloc_stats();
+      const std::uint64_t news_before = tls.global_news;
       results[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
-          run_experiment(library, spec);
+          run_experiment(library, spec, ctx);
+      if (prof != nullptr) {
+        // Allocator traffic per cell. Warmth-dependent (a cold context
+        // mallocs its blocks, a warm one doesn't), so these go to the
+        // profiler only — never to the deterministic metrics channel, or
+        // goldens would differ across jobs counts.
+        const sim::ArenaStats& after = ctx.arena_stats();
+        prof->count("sim.alloc.arena_allocs", after.allocs - before.allocs);
+        prof->count("sim.alloc.freelist_hits",
+                    after.freelist_hits - before.freelist_hits);
+        prof->count("sim.alloc.spills", after.spills - before.spills);
+        prof->count("sim.alloc.block_allocs",
+                    after.block_allocs - before.block_allocs);
+        prof->count("sim.alloc.global_news", tls.global_news - news_before);
+      }
     }
     if (progress) {
       if (prof != nullptr) prof->count("progress_lock_acquisitions");

@@ -20,6 +20,7 @@ void BandwidthCache::record(net::HostId a, net::HostId b, double bandwidth,
   if (measured_at > e.measured_at) {
     e.bandwidth = bandwidth;
     e.measured_at = measured_at;
+    ++version_;
   }
 }
 
@@ -38,17 +39,28 @@ std::optional<Sample> BandwidthCache::lookup_any_age(net::HostId a,
   return e;
 }
 
-std::vector<PairSample> BandwidthCache::freshest(
-    sim::SimTime now, std::size_t max_entries) const {
-  std::vector<PairSample> out;
+Payload BandwidthCache::freshest_shared(sim::SimTime now,
+                                        std::size_t max_entries) const {
+  // Memo hit: the cache content is unchanged, the request shape matches,
+  // and no entry in the memo has crossed its TTL horizon yet (see the
+  // header for why excluded entries cannot re-enter). This is the per-
+  // message hot path — a payload is recomputed only after a record/merge
+  // actually changed something or time passed an expiry boundary.
+  if (memo_ && memo_version_ == version_ && memo_max_entries_ == max_entries &&
+      now <= memo_valid_until_) {
+    return memo_;
+  }
+
+  auto fresh = std::make_shared<std::vector<PairSample>>();
+  sim::SimTime oldest_included = sim::kTimeInfinity;
   for (net::HostId a = 0; a < num_hosts_; ++a) {
     for (net::HostId b = a + 1; b < num_hosts_; ++b) {
       const Sample& e = entries_[net::pair_index(a, b, num_hosts_)];
       if (e.measured_at < 0 || now - e.measured_at > ttl_) continue;
-      out.push_back(PairSample{a, b, e});
+      fresh->push_back(PairSample{a, b, e});
     }
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(fresh->begin(), fresh->end(),
             [](const PairSample& x, const PairSample& y) {
               if (x.sample.measured_at != y.sample.measured_at) {
                 return x.sample.measured_at > y.sample.measured_at;
@@ -56,8 +68,22 @@ std::vector<PairSample> BandwidthCache::freshest(
               if (x.a != y.a) return x.a < y.a;
               return x.b < y.b;
             });
-  if (out.size() > max_entries) out.resize(max_entries);
-  return out;
+  if (fresh->size() > max_entries) fresh->resize(max_entries);
+  // Truncation drops the *oldest* entries; they can only re-enter after an
+  // included entry expires, which already invalidates the memo.
+  if (!fresh->empty()) {
+    oldest_included = fresh->back().sample.measured_at + ttl_;
+  }
+  memo_ = std::move(fresh);
+  memo_version_ = version_;
+  memo_max_entries_ = max_entries;
+  memo_valid_until_ = oldest_included;
+  return memo_;
+}
+
+std::vector<PairSample> BandwidthCache::freshest(
+    sim::SimTime now, std::size_t max_entries) const {
+  return *freshest_shared(now, max_entries);
 }
 
 void BandwidthCache::merge(const std::vector<PairSample>& samples) {
@@ -68,6 +94,7 @@ void BandwidthCache::merge(const std::vector<PairSample>& samples) {
 
 void BandwidthCache::invalidate(net::HostId a, net::HostId b) {
   entries_[net::pair_index(a, b, num_hosts_)] = Sample{};
+  ++version_;
 }
 
 void BandwidthCache::invalidate_host(net::HostId h) {
@@ -75,6 +102,7 @@ void BandwidthCache::invalidate_host(net::HostId h) {
     if (other == h) continue;
     entries_[net::pair_index(h, other, num_hosts_)] = Sample{};
   }
+  ++version_;
 }
 
 std::size_t BandwidthCache::entry_count() const {

@@ -7,6 +7,8 @@
 // information that the placement algorithms consume (§2).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -25,6 +27,12 @@ struct PairSample {
   net::HostId b = net::kInvalidHost;
   Sample sample;
 };
+
+// Immutable snapshot of a freshest() result, shared between the cache's
+// memo and every in-flight message carrying it. Copying a Payload is a
+// refcount bump, so attaching the piggyback list to a message is O(1)
+// instead of a vector copy per send.
+using Payload = std::shared_ptr<const std::vector<PairSample>>;
 
 class BandwidthCache {
  public:
@@ -47,7 +55,9 @@ class BandwidthCache {
   std::optional<Sample> lookup_any_age(net::HostId a, net::HostId b) const;
 
   // Up to `max_entries` freshest unexpired entries, newest first — the
-  // payload source for piggybacking.
+  // payload source for piggybacking. The shared form returns the memoized
+  // snapshot itself (never null); the vector form copies it.
+  Payload freshest_shared(sim::SimTime now, std::size_t max_entries) const;
   std::vector<PairSample> freshest(sim::SimTime now,
                                    std::size_t max_entries) const;
 
@@ -68,6 +78,25 @@ class BandwidthCache {
   int num_hosts_;
   sim::SimTime ttl_;
   std::vector<Sample> entries_;  // indexed by pair_index; measured_at<0 = none
+
+  // Bumped on every content change (record of a newer sample, invalidate);
+  // lets freshest() memoize.
+  std::uint64_t version_ = 0;
+
+  // freshest() memo. The hottest call in a run is freshest() — once per
+  // outgoing message for the piggyback payload — while the cache content
+  // changes far less often, so the scan+sort result is cached. It stays
+  // valid while (a) nothing was recorded or invalidated (version_), (b) the
+  // request shape is unchanged, and (c) no included entry has crossed its
+  // TTL horizon — entries excluded at compute time stay excluded, because
+  // "never measured" only changes through record() and expiry is monotone
+  // in now. Simulation time never goes backward within a version. Each
+  // rebuild allocates a fresh vector: snapshots held by in-flight messages
+  // keep the old one alive.
+  mutable Payload memo_;
+  mutable sim::SimTime memo_valid_until_ = -1;  // min(measured_at)+ttl
+  mutable std::size_t memo_max_entries_ = 0;
+  mutable std::uint64_t memo_version_ = ~std::uint64_t{0};
 };
 
 }  // namespace wadc::monitor

@@ -96,17 +96,27 @@ void MonitoringSystem::on_transfer(const net::TransferRecord& rec) {
   if (passive_counter_) passive_counter_->add();
 }
 
-std::vector<PairSample> MonitoringSystem::piggyback_payload(
-    net::HostId src) const {
-  if (!params_.piggyback_enabled) return {};
+Payload MonitoringSystem::piggyback_payload_shared(net::HostId src) const {
+  if (!params_.piggyback_enabled) return nullptr;
   const std::size_t max_entries =
       params_.piggyback_budget_bytes / params_.piggyback_entry_bytes;
-  return cache(src).freshest(network_.simulation().now(), max_entries);
+  return cache(src).freshest_shared(network_.simulation().now(), max_entries);
+}
+
+std::vector<PairSample> MonitoringSystem::piggyback_payload(
+    net::HostId src) const {
+  const Payload p = piggyback_payload_shared(src);
+  if (!p) return {};
+  return *p;
 }
 
 double MonitoringSystem::payload_bytes(
     const std::vector<PairSample>& payload) const {
   return static_cast<double>(payload.size() * params_.piggyback_entry_bytes);
+}
+
+double MonitoringSystem::payload_bytes(const Payload& payload) const {
+  return payload ? payload_bytes(*payload) : 0.0;
 }
 
 void MonitoringSystem::deliver_payload(
@@ -118,6 +128,11 @@ void MonitoringSystem::deliver_payload(
     piggyback_samples_->add(static_cast<double>(payload.size()));
     piggyback_bytes_->add(payload_bytes(payload));
   }
+}
+
+void MonitoringSystem::deliver_payload(net::HostId dst,
+                                       const Payload& payload) {
+  if (payload) deliver_payload(dst, *payload);
 }
 
 void MonitoringSystem::invalidate_host(net::HostId h) {

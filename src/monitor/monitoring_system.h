@@ -61,12 +61,18 @@ class MonitoringSystem {
 
   // ---- piggybacking --------------------------------------------------
   // Samples host `src` would attach to an outgoing message right now
-  // (freshest entries that fit the 1KB budget).
+  // (freshest entries that fit the 1KB budget). The shared form hands out
+  // the cache's memoized snapshot — O(1) per message, null when
+  // piggybacking is disabled — and is what the dataflow engine's per-hop
+  // path uses; the vector form copies it.
+  Payload piggyback_payload_shared(net::HostId src) const;
   std::vector<PairSample> piggyback_payload(net::HostId src) const;
   // Wire size of a payload; the dataflow engine adds this to message sizes.
   double payload_bytes(const std::vector<PairSample>& payload) const;
+  double payload_bytes(const Payload& payload) const;
   // Merges an arriving payload into the receiver's cache.
   void deliver_payload(net::HostId dst, const std::vector<PairSample>& payload);
+  void deliver_payload(net::HostId dst, const Payload& payload);
 
   // ---- probing -------------------------------------------------------
   // Ensures `requester` has a fresh sample for {a, b}, probing if needed.

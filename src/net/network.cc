@@ -34,13 +34,41 @@ const char* transfer_outcome_name(TransferOutcome outcome) {
 Network::Network(sim::Simulation& sim, const LinkTable& links,
                  const NetworkParams& params)
     : sim_(sim),
-      links_(links),
+      links_(&links),
       params_(params),
       active_(static_cast<std::size_t>(links.num_hosts()), 0),
       host_dead_(static_cast<std::size_t>(links.num_hosts()), 0),
       blackout_depth_(pair_count(links.num_hosts()), 0) {
   const std::string problem = params_.validate();
   WADC_ASSERT(problem.empty(), "bad NetworkParams: ", problem);
+}
+
+void Network::reset(const LinkTable& links, const NetworkParams& params) {
+  // A finished run may leave transfers queued or in flight (e.g. probes
+  // outstanding when the engine completes); their coroutine frames — and
+  // the latches/records these entries point to — were destroyed with the
+  // simulation, so the bookkeeping entries are dropped without touching
+  // them.
+  pending_.clear();
+  active_transfers_.clear();
+  links_ = &links;
+  params_ = params;
+  const std::string problem = params_.validate();
+  WADC_ASSERT(problem.empty(), "bad NetworkParams: ", problem);
+  const auto hosts = static_cast<std::size_t>(links.num_hosts());
+  active_.assign(hosts, 0);
+  observers_.clear();
+  next_seq_ = 0;
+  transfers_completed_ = 0;
+  transfers_failed_ = 0;
+  transfers_timed_out_ = 0;
+  bytes_delivered_ = 0;
+  session_bytes_delivered_.clear();
+  host_dead_.assign(hosts, 0);
+  blackout_depth_.assign(pair_count(links.num_hosts()), 0);
+  drop_probability_ = 0;
+  drop_rng_.reset();
+  set_obs(obs::Obs{});  // detach; also nulls every cached counter pointer
 }
 
 void Network::add_observer(TransferObserver observer) {
@@ -207,10 +235,18 @@ void Network::try_start_transfers() {
   // which may block later (lower-priority) entries — exactly the behavior
   // of per-NIC priority queues. Transfers whose endpoints are dead or
   // blacked out stay queued until conditions clear or their timeout fires.
+  //
+  // This runs after every enqueue and every completion, so the scan reads
+  // the occupancy/fault vectors directly instead of going through the
+  // asserting public accessors.
+  const int cap = params_.host_capacity;
   for (std::size_t i = 0; i < pending_.size();) {
     const Pending& p = pending_[i];
-    if (!host_busy(p.src) && !host_busy(p.dst) &&
-        endpoints_usable(p.src, p.dst)) {
+    const auto src = static_cast<std::size_t>(p.src);
+    const auto dst = static_cast<std::size_t>(p.dst);
+    if (active_[src] < cap && active_[dst] < cap && !host_dead_[src] &&
+        !host_dead_[dst] &&
+        blackout_depth_[pair_index(p.src, p.dst, num_hosts())] == 0) {
       Pending claimed = p;
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       note_pending_depth();
@@ -228,7 +264,8 @@ void Network::start(Pending p) {
 
   const sim::SimTime now = sim_.now();
   const sim::SimTime tx_begin = now + params_.startup_seconds;
-  const sim::SimTime end = links_.finish_time(p.src, p.dst, tx_begin, p.bytes);
+  const sim::SimTime end =
+      links_->finish_time(p.src, p.dst, tx_begin, p.bytes);
   WADC_ASSERT(end >= tx_begin, "transfer finishes before it starts");
 
   p.record->started = now;

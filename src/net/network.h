@@ -135,6 +135,15 @@ class Network {
 
   void add_observer(TransferObserver observer);
 
+  // Epoch boundary for sweep workers: rebinds the network to a new link
+  // table and parameter set and rewinds every counter, queue, observer
+  // list, obs attachment, and fault flag to its just-constructed value —
+  // keeping container capacity, so a reused Network allocates nothing in
+  // steady state. The caller must have torn down all processes first
+  // (Simulation::reset()); a reset Network behaves byte-identically to a
+  // freshly constructed one.
+  void reset(const LinkTable& links, const NetworkParams& params);
+
   // Attaches tracing/metrics (see obs::Obs). Emits per-transfer enqueue /
   // queue-wait / transfer events on the source host's link lanes plus
   // latency, queue-wait, size, and per-link byte metrics. Call before
@@ -142,9 +151,9 @@ class Network {
   void set_obs(const obs::Obs& obs);
 
   sim::Simulation& simulation() { return sim_; }
-  const LinkTable& links() const { return links_; }
+  const LinkTable& links() const { return *links_; }
   const NetworkParams& params() const { return params_; }
-  int num_hosts() const { return links_.num_hosts(); }
+  int num_hosts() const { return links_->num_hosts(); }
 
   bool host_busy(HostId h) const;  // at capacity
   int host_active_transfers(HostId h) const;
@@ -235,7 +244,10 @@ class Network {
   void note_failure(const TransferRecord& rec);
 
   sim::Simulation& sim_;
-  const LinkTable& links_;
+  // Pointer, not reference: reset() rebinds it to the next run's table.
+  // Never null; may dangle between a run's teardown and the next reset(),
+  // during which nothing dereferences it.
+  const LinkTable* links_;
   NetworkParams params_;
   std::vector<int> active_;  // concurrent transfers per host
   std::vector<Pending> pending_;  // sorted: higher priority first, then seq

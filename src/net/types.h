@@ -15,10 +15,13 @@ using HostId = int;
 inline constexpr HostId kInvalidHost = -1;
 
 // Index of an unordered host pair {a, b}, a != b, into a triangular array.
+// Debug-only checks: this sits inside per-message loops (blackout lookups,
+// bandwidth-cache indexing); host ids are validated where they enter the
+// system (transfer(), fault calls, cache records).
 inline std::size_t pair_index(HostId a, HostId b, int num_hosts) {
-  WADC_ASSERT(a != b, "pair_index of a host with itself");
-  WADC_ASSERT(a >= 0 && b >= 0 && a < num_hosts && b < num_hosts,
-              "host id out of range");
+  WADC_DASSERT(a != b, "pair_index of a host with itself");
+  WADC_DASSERT(a >= 0 && b >= 0 && a < num_hosts && b < num_hosts,
+               "host id out of range");
   if (a > b) {
     const HostId t = a;
     a = b;

@@ -1,0 +1,281 @@
+// Per-run memory arena: the allocator behind the simulation hot path.
+//
+// A sweep is the same-sized run repeated hundreds of times per worker, so
+// the allocation pattern of run N+1 is (almost exactly) the allocation
+// pattern of run N. Arena exploits that shape the way felis's epoch/worker
+// pools do: each sweep worker owns one Arena, installs it as the thread's
+// current arena for the duration of a run, and reset()s it between runs —
+// the blocks are kept, not freed, so steady-state runs are served entirely
+// from warm memory and perform zero global-allocator calls.
+//
+// Layout: every pooled allocation is prefixed by a 16-byte AllocHeader
+// recording the owning arena (null = global fallback) and the rounded
+// size. That makes pooled_delete() self-describing — it frees correctly
+// whether or not an arena is current, and whether or not the pointer was
+// ever arena-backed — which is what lets coroutine frames, type-erased
+// callbacks, and (optionally) the whole binary's operator new route
+// through one pair of functions.
+//
+// Inside an arena, small sizes (<= kMaxSmallBytes, rounded to 16) are
+// served LIFO from per-size-class free lists, falling back to a bump
+// pointer over kBlockBytes blocks. Larger allocations pass through to the
+// global allocator (with a header, so they free uniformly) and are counted
+// as spills. deallocate() pushes small blocks back onto the free list, so
+// allocation-heavy phases recycle at push/pop cost; reset() additionally
+// rewinds the bump pointer — but only when nothing is outstanding, because
+// rewinding under live objects would recycle memory still in use. Either
+// way the steady state stops touching malloc.
+//
+// The freelist fast paths live in this header: a simulation performs tens
+// of millions of pooled_new/pooled_delete pairs per sweep, so the pop/push
+// must inline into coroutine-frame allocation and the global operator new.
+//
+// Thread model: an Arena is single-owner. The sweep runner gives each
+// worker its own arena; deallocations from a different thread are only
+// legal when externally synchronized (e.g. the obs-merge phase frees
+// worker-arena memory on the main thread strictly after the pool joined).
+//
+// Under AddressSanitizer the arena poisons free-listed payloads and
+// reset() re-poisons the whole bump region, so use-after-free and
+// use-after-reset inside arena memory stay detectable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define WADC_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WADC_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef WADC_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define WADC_ARENA_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define WADC_ARENA_UNPOISON(addr, size) \
+  ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define WADC_ARENA_POISON(addr, size) ((void)0)
+#define WADC_ARENA_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace wadc::sim {
+
+class Arena;
+
+struct ArenaStats {
+  std::uint64_t allocs = 0;          // pooled_new requests served by arenas
+  std::uint64_t frees = 0;           // pooled_delete returns into arenas
+  std::uint64_t freelist_hits = 0;   // served without touching the bump ptr
+  std::uint64_t spills = 0;          // too large for the pool: global pass
+  std::uint64_t block_allocs = 0;    // new kBlockBytes blocks from malloc
+  std::uint64_t resets = 0;
+  std::uint64_t bytes_allocated = 0;  // cumulative request bytes
+  std::uint64_t outstanding = 0;      // live allocations right now
+};
+
+// Thread-local counters for the global-fallback path (no current arena, or
+// a size the pool refuses). One underlying malloc per global_news tick —
+// this is the number the allocation-budget guard drives to zero.
+struct GlobalAllocStats {
+  std::uint64_t global_news = 0;
+  std::uint64_t global_bytes = 0;
+  std::uint64_t global_deletes = 0;
+};
+
+namespace detail {
+
+// Prefix of every pooled allocation. While the node sits on a free list
+// the `owner` word is overlaid by the free-list link, so only the payload
+// past the first word is poisoned.
+struct AllocHeader {
+  Arena* owner;       // null = global allocator owns the storage
+  std::size_t total;  // header + payload, rounded to Arena::kAlign
+};
+
+// The calling thread's current arena (null = global fallback) and its
+// global-fallback counters. Inline thread_locals so the fast paths below
+// inline into every TU.
+inline thread_local Arena* tls_current = nullptr;
+inline thread_local GlobalAllocStats tls_global;
+
+// Out-of-line cold paths (arena.cc): headered malloc / free.
+void* global_new(std::size_t size, std::size_t total);
+void global_free(AllocHeader* header) noexcept;
+
+}  // namespace detail
+
+class Arena {
+ public:
+  static constexpr std::size_t kAlign = 16;
+  static constexpr std::size_t kMaxSmallBytes = 4096;  // pooled size ceiling
+  static constexpr std::size_t kBlockBytes = 1u << 20;  // 1 MiB bump blocks
+
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Aligned-16 storage of at least `size` bytes, owned by this arena (or
+  // recorded as a spill when `size` exceeds the pool ceiling).
+  void* allocate(std::size_t size) {
+    const std::size_t total = rounded_total(size);
+    if (total > kMaxSmallBytes) [[unlikely]] {
+      ++stats_.spills;
+      return detail::global_new(size, total);
+    }
+    const std::size_t cls = total / kAlign - 1;
+    void* node;
+    if (FreeNode* n = free_[cls]; n != nullptr) [[likely]] {
+      WADC_ARENA_UNPOISON(
+          reinterpret_cast<unsigned char*>(n) + sizeof(FreeNode),
+          total - sizeof(FreeNode));
+      free_[cls] = n->next;
+      node = n;
+      ++stats_.freelist_hits;
+    } else {
+      node = bump(total);
+    }
+    auto* header = static_cast<detail::AllocHeader*>(node);
+    header->owner = this;
+    header->total = total;
+    ++stats_.allocs;
+    ++stats_.outstanding;
+    stats_.bytes_allocated += size;
+    return header + 1;
+  }
+
+  // Returns storage from allocate(). Reads the size from the header; the
+  // caller needs no bookkeeping.
+  void deallocate(void* p) {
+    auto* header = static_cast<detail::AllocHeader*>(p) - 1;
+    const std::size_t total = header->total;
+    const std::size_t cls = total / kAlign - 1;
+    auto* node = reinterpret_cast<FreeNode*>(header);
+    node->next = free_[cls];
+    free_[cls] = node;
+    WADC_ARENA_POISON(
+        reinterpret_cast<unsigned char*>(node) + sizeof(FreeNode),
+        total - sizeof(FreeNode));
+    ++stats_.frees;
+    --stats_.outstanding;
+  }
+
+  // Epoch boundary: clears the free lists and, when nothing is
+  // outstanding, rewinds the bump pointer to the first block. Blocks are
+  // kept either way — reset never returns memory to the system. With
+  // outstanding allocations (escapes into longer-lived structures) the
+  // rewind is skipped and reuse continues through the free lists alone,
+  // which is always safe.
+  void reset();
+
+  const ArenaStats& stats() const { return stats_; }
+  std::size_t block_count() const { return stats_.block_allocs; }
+  std::uint64_t outstanding() const { return stats_.outstanding; }
+
+  // The calling thread's current arena (null outside any Scope).
+  static Arena* current() { return detail::tls_current; }
+
+  // RAII installation of an arena as the calling thread's current arena.
+  // Nests: the previous arena is restored on destruction.
+  class Scope {
+   public:
+    explicit Scope(Arena* arena) : previous_(detail::tls_current) {
+      detail::tls_current = arena;
+    }
+    ~Scope() { detail::tls_current = previous_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena* previous_;
+  };
+
+ private:
+  struct Block {
+    Block* next;
+    std::size_t used;  // bytes handed out from data
+    // data[] follows, kBlockBytes - sizeof(Block) bytes, 16-aligned.
+  };
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kNumClasses = kMaxSmallBytes / kAlign;
+
+  static std::size_t rounded_total(std::size_t size) {
+    return (size + sizeof(detail::AllocHeader) + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  unsigned char* block_data(Block* b) {
+    return reinterpret_cast<unsigned char*>(b) + sizeof(Block);
+  }
+  void* bump(std::size_t bytes);  // out-of-line: block walk / growth
+
+  Block* head_ = nullptr;     // most recently added block (bump target)
+  Block* first_ = nullptr;    // first block ever allocated (reset target)
+  FreeNode* free_[kNumClasses] = {};
+  ArenaStats stats_;
+};
+
+static_assert(sizeof(detail::AllocHeader) == Arena::kAlign);
+
+// Allocation entry points used by coroutine-frame operator new, the
+// Callback heap spill, and (when WADC_POOLED_GLOBAL_NEW is on) the global
+// operator new replacement. pooled_new consults the thread's current
+// arena; pooled_delete consults the header, so the two sides need not
+// agree on which arena (if any) was current.
+inline void* pooled_new(std::size_t size) {
+  if (Arena* a = detail::tls_current; a != nullptr) [[likely]] {
+    return a->allocate(size);
+  }
+  return detail::global_new(size,
+                            (size + sizeof(detail::AllocHeader) +
+                             Arena::kAlign - 1) &
+                                ~(Arena::kAlign - 1));
+}
+
+inline void pooled_delete(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* header = static_cast<detail::AllocHeader*>(p) - 1;
+  if (Arena* owner = header->owner; owner != nullptr) [[likely]] {
+    owner->deallocate(p);
+  } else {
+    detail::global_free(header);
+  }
+}
+
+// Sized variant: the size is informational (the header is authoritative);
+// cross-checked in debug builds only.
+inline void pooled_delete(void* p, [[maybe_unused]] std::size_t size)
+    noexcept {
+#ifndef NDEBUG
+  if (p != nullptr) {
+    auto* header = static_cast<detail::AllocHeader*>(p) - 1;
+    if (header->total < size) __builtin_trap();
+  }
+#endif
+  pooled_delete(p);
+}
+
+// This thread's global-fallback counters (monotonic).
+inline const GlobalAllocStats& global_alloc_stats() {
+  return detail::tls_global;
+}
+
+// Mixin providing pooled frame allocation for coroutine promise types:
+// `struct promise_type : PooledFrame { ... };` routes the whole coroutine
+// frame through the current arena.
+struct PooledFrame {
+  static void* operator new(std::size_t size) { return pooled_new(size); }
+  static void operator delete(void* p) noexcept { pooled_delete(p); }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    pooled_delete(p, size);
+  }
+};
+
+}  // namespace wadc::sim

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "sim/arena.h"
 
 namespace wadc::sim {
 
@@ -56,7 +57,10 @@ class Callback {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
       ops_ = &InlineOps<D>::ops;
     } else {
-      void* p = new D(std::forward<F>(f));
+      // Oversized captures spill to the thread's current Arena (plain
+      // malloc outside a scope), same policy as coroutine frames.
+      void* p = pooled_new(sizeof(D));
+      ::new (p) D(std::forward<F>(f));
       std::memcpy(storage_, &p, sizeof(p));
       ops_ = &HeapOps<D>::ops;
     }
@@ -134,7 +138,10 @@ class Callback {
     static void relocate(void* from_storage, void* to_storage) noexcept {
       std::memcpy(to_storage, from_storage, sizeof(void*));
     }
-    static void destroy(void* obj) noexcept { delete held(obj); }
+    static void destroy(void* obj) noexcept {
+      held(obj)->~D();
+      pooled_delete(obj, sizeof(D));
+    }
     static constexpr Ops ops{&invoke, &relocate, &destroy,
                              /*stored_inline=*/false,
                              /*trivial_relocate=*/true,

@@ -1,19 +1,55 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/assert.h"
 
 namespace wadc::sim {
 
-void EventQueue::prune_top() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    heap_.pop_back();
+void EventQueue::sift_up(std::size_t i) {
+  Key k = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(k, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = k;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Key k = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], k)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = k;
+}
+
+void EventQueue::pop_key() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  s.seq = kNoEventSeq;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::prune_top() const {
+  // Stale keys carry no live callback (cancel already freed the slot), so
+  // dropping them from the heap is observable-state-neutral.
+  auto* self = const_cast<EventQueue*>(this);
+  while (!heap_.empty() && stale(heap_.front())) self->pop_key();
 }
 
 SimTime EventQueue::next_time() const {
@@ -22,23 +58,56 @@ SimTime EventQueue::next_time() const {
   return heap_.front().time;
 }
 
-void EventQueue::push(SimTime time, EventSeq seq, Callback action) {
-  heap_.push_back(Entry{time, seq, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
+std::uint32_t EventQueue::push(SimTime time, EventSeq seq, Callback action) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    WADC_ASSERT(slot != kNoSlot, "event slot space exhausted");
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.seq = seq;
+  heap_.push_back(Key{time, seq, slot});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return slot;
 }
 
 EventQueue::Entry EventQueue::pop() {
   prune_top();
   WADC_ASSERT(!heap_.empty(), "pop on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
+  const Key k = heap_.front();
+  pop_key();
+  Slot& s = slots_[k.slot];
+  Entry e{k.time, k.seq, std::move(s.action)};
+  free_slot(k.slot);
+  --live_;
   return e;
 }
 
-void EventQueue::cancel(EventSeq seq) {
-  WADC_DASSERT(!cancelled_.contains(seq), "double-cancel of event");
-  cancelled_.insert(seq);
+void EventQueue::cancel(std::uint32_t slot, EventSeq seq) {
+  WADC_ASSERT(slot < slots_.size() && slots_[slot].seq == seq,
+              "cancel of a fired, cancelled, or unknown event");
+  free_slot(slot);
+  --live_;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    s.action.reset();
+    s.seq = kNoEventSeq;
+    s.next_free = (i + 1 < slots_.size())
+                      ? static_cast<std::uint32_t>(i + 1)
+                      : kNoSlot;
+  }
+  free_head_ = slots_.empty() ? kNoSlot : 0;
+  live_ = 0;
 }
 
 }  // namespace wadc::sim

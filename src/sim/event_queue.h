@@ -1,7 +1,7 @@
 // Deterministic pending-event set for the simulation kernel.
 #pragma once
 
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/callback.h"
@@ -9,16 +9,24 @@
 
 namespace wadc::sim {
 
-// A binary min-heap of (time, seq)-ordered events. Events at equal times
-// execute in the order they were scheduled, which makes runs exactly
-// reproducible. Actions are small-buffer-optimized Callbacks, so the
-// common case (coroutine-resume thunks and small completion lambdas)
-// schedules without touching the heap allocator.
+// A (time, seq)-ordered min-heap of events. Events at equal times execute
+// in the order they were scheduled, which makes runs exactly reproducible.
 //
-// Cancellation is lazy: cancel(seq) records the sequence number, and the
-// entry is dropped when it reaches the top of the heap. A cancelled event
-// never observes its action running, and size()/empty()/next_time() account
-// for cancellations immediately.
+// Storage is split for the cache: the heap orders 24-byte Key entries
+// (time, seq, slot index) — so a sift moves small trivially copyable keys,
+// never a Callback — while the move-only Callback payloads sit in a
+// slot vector that is written once at push and read once at pop. Slots are
+// recycled LIFO through an intrusive free list, so a steady-state run
+// touches a compact, stable working set.
+//
+// Cancellation is generation-tagged and O(1): each slot stores the seq of
+// the event occupying it, and cancel(slot, seq) destroys the callback and
+// frees the slot immediately. The key left in the heap becomes stale — its
+// seq no longer matches the slot's — and is dropped when it reaches the
+// top. A cancelled event never observes its action running, and
+// size()/empty()/next_time() account for cancellations immediately. No
+// hashing anywhere: the old unordered_set<EventSeq> lazy-cancel design
+// paid a hash lookup per pop.
 class EventQueue {
  public:
   struct Entry {
@@ -27,41 +35,67 @@ class EventQueue {
     Callback action;
   };
 
-  bool empty() const { return size() == 0; }
-  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   // Time of the earliest pending (non-cancelled) event; queue must be
   // non-empty.
   SimTime next_time() const;
 
-  void push(SimTime time, EventSeq seq, Callback action);
+  // Schedules an event. `seq` values must be strictly increasing across
+  // pushes (the caller owns the counter). Returns the slot index holding
+  // the action, for use with cancel().
+  std::uint32_t push(SimTime time, EventSeq seq, Callback action);
 
   // Removes and returns the earliest pending event; queue must be non-empty.
   Entry pop();
 
-  // Marks the event with the given sequence number as cancelled. The caller
-  // must ensure the event is still pending (pushed, not yet popped) and not
-  // already cancelled — cancelling a fired or unknown seq corrupts the size
-  // accounting.
-  void cancel(EventSeq seq);
+  // Cancels the pending event occupying `slot` with generation tag `seq`
+  // (both from push). The caller must ensure the event is still pending
+  // (pushed, not yet popped or cancelled) — the generation tag turns a
+  // violation into an assertion failure instead of corruption.
+  void cancel(std::uint32_t slot, EventSeq seq);
 
-  void clear() {
-    heap_.clear();
-    cancelled_.clear();
-  }
+  // Drops everything; keeps heap and slot capacity for reuse.
+  void clear();
 
  private:
-  static bool later(const Entry& a, const Entry& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+  struct Key {
+    SimTime time;
+    EventSeq seq;
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    Callback action;
+    EventSeq seq = kNoEventSeq;     // kNoEventSeq = vacant (generation tag)
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = ~static_cast<std::uint32_t>(0);
+
+  static bool earlier(const Key& a, const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
   }
 
-  // Drops cancelled entries sitting at the top of the heap. Logically const:
-  // observable state (pending events and their order) is unchanged.
+  bool stale(const Key& k) const {
+    return slots_[k.slot].seq != k.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_key();
+  void free_slot(std::uint32_t slot);
+
+  // Drops stale (cancelled) keys sitting at the top of the heap. Logically
+  // const: observable state (pending events and their order) is unchanged.
   void prune_top() const;
 
-  mutable std::vector<Entry> heap_;
-  mutable std::unordered_set<EventSeq> cancelled_;
+  mutable std::vector<Key> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;  // pending, non-cancelled events
 };
 
 }  // namespace wadc::sim

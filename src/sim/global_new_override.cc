@@ -1,0 +1,116 @@
+// Global operator new/delete replacement routing through sim::pooled_new.
+//
+// Compiled only when WADC_POOLED_GLOBAL_NEW is on (the default for plain
+// builds; sanitizer builds turn it off so ASan/TSan keep their own
+// interceptors). With this in the link, *every* C++ allocation in the
+// binary — std::function spills, piggyback vectors, map nodes, mailbox
+// buffers — lands in the thread's current sim::Arena when one is
+// installed, which is what lets a warm sweep worker run whole simulations
+// without a single global-allocator call. Outside an Arena::Scope the
+// behavior is plain malloc plus a 16-byte header.
+//
+// The header makes deallocation self-describing, so pointers allocated
+// inside an arena scope may be freed outside it (and vice versa); the only
+// cross-thread requirement is external synchronization, which the sweep
+// runner provides by joining workers before touching their output.
+//
+// Over-aligned allocations bypass the pool: the header would break the
+// alignment contract, they are rare, and the aligned new/delete overloads
+// always pair with each other.
+
+#include <cstdlib>
+#include <new>
+
+#include "sim/arena.h"
+
+void* operator new(std::size_t size) { return wadc::sim::pooled_new(size); }
+
+void* operator new[](std::size_t size) { return wadc::sim::pooled_new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return wadc::sim::pooled_new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return wadc::sim::pooled_new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { wadc::sim::pooled_delete(p); }
+
+void operator delete[](void* p) noexcept { wadc::sim::pooled_delete(p); }
+
+void operator delete(void* p, std::size_t size) noexcept {
+  wadc::sim::pooled_delete(p, size);
+}
+
+void operator delete[](void* p, std::size_t size) noexcept {
+  wadc::sim::pooled_delete(p, size);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  wadc::sim::pooled_delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  wadc::sim::pooled_delete(p);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) & ~(a - 1);
+  void* p = std::aligned_alloc(a, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&)
+    noexcept {
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&)
+    noexcept {
+  std::free(p);
+}

@@ -23,14 +23,19 @@ void Simulation::schedule_in(SimTime dt, Callback action) {
 EventSeq Simulation::schedule_at_cancellable(SimTime t, Callback action) {
   if (tearing_down_) return kNoEventSeq;
   WADC_ASSERT(t >= now_, "scheduling into the past: t=", t, " now=", now_);
-  const EventSeq id = next_seq_++;
-  queue_.push(t, id, std::move(action));
-  return id;
+  const EventSeq seq = next_seq_++;
+  WADC_ASSERT(seq < kHandleSeqMask, "event sequence space exhausted");
+  const std::uint32_t slot = queue_.push(t, seq, std::move(action));
+  WADC_ASSERT(slot < (1u << (64 - kHandleSeqBits)),
+              "event slot does not fit in a cancellation handle");
+  return (static_cast<EventSeq>(slot) << kHandleSeqBits) | seq;
 }
 
 void Simulation::cancel_scheduled(EventSeq id) {
-  if (id == kNoEventSeq || tearing_down_ || id < stale_before_) return;
-  queue_.cancel(id);
+  if (id == kNoEventSeq || tearing_down_) return;
+  const EventSeq seq = id & kHandleSeqMask;
+  if (seq < stale_before_) return;
+  queue_.cancel(static_cast<std::uint32_t>(id >> kHandleSeqBits), seq);
 }
 
 Simulation::Driver Simulation::drive(Task<> process) {
@@ -85,6 +90,17 @@ void Simulation::terminate_all() {
   processes_.clear();
   for (auto h : handles) h.destroy();
   tearing_down_ = false;
+}
+
+void Simulation::reset() {
+  terminate_all();
+  now_ = 0;
+  next_seq_ = 0;
+  stale_before_ = 0;
+  next_process_id_ = 1;
+  events_processed_ = 0;
+  stop_requested_ = false;
+  process_exception_ = nullptr;
 }
 
 }  // namespace wadc::sim

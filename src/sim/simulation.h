@@ -20,6 +20,7 @@
 #include <exception>
 #include <unordered_map>
 
+#include "sim/arena.h"
 #include "sim/callback.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
@@ -52,6 +53,8 @@ class Simulation {
 
   // Like schedule_at, but returns a handle usable with cancel_scheduled.
   // Returns kNoEventSeq if nothing was scheduled (teardown in progress).
+  // The handle is opaque: it packs the event's sequence number with its
+  // queue slot so cancellation is O(1), no hashing or search.
   EventSeq schedule_at_cancellable(SimTime t, Callback action);
 
   // Cancels a pending event previously returned by schedule_at_cancellable.
@@ -79,6 +82,13 @@ class Simulation {
   // process frames must call it before those members die.
   void terminate_all();
 
+  // Epoch boundary: terminate_all() plus a rewind of every counter to its
+  // just-constructed value, keeping the event queue's heap and slot
+  // capacity. A reset simulation replays byte-identically to a freshly
+  // constructed one, so sweep workers reuse one Simulation across runs
+  // instead of reconstructing it.
+  void reset();
+
   std::size_t live_process_count() const { return processes_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -101,9 +111,17 @@ class Simulation {
   }
 
  private:
+  // Handles returned by schedule_at_cancellable: low bits carry the event
+  // sequence number, high bits the queue slot, so cancel_scheduled goes
+  // straight to the slot. 2^40 events per queue epoch and 2^24 concurrent
+  // pending events are both far beyond any run.
+  static constexpr int kHandleSeqBits = 40;
+  static constexpr EventSeq kHandleSeqMask =
+      (static_cast<EventSeq>(1) << kHandleSeqBits) - 1;
+
   // Top-level wrapper that drives a detached Task<> and self-destructs.
   struct Driver {
-    struct promise_type {
+    struct promise_type : PooledFrame {
       Simulation* sim = nullptr;
       std::uint64_t id = 0;
 
@@ -137,8 +155,8 @@ class Simulation {
   EventQueue queue_;
   SimTime now_ = 0;
   EventSeq next_seq_ = 0;
-  // Handles issued before the last terminate_all() point at events that no
-  // longer exist; cancel_scheduled ignores them.
+  // Handles whose seq part is below this point at events dropped by the
+  // last terminate_all(); cancel_scheduled ignores them.
   EventSeq stale_before_ = 0;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_processed_ = 0;

@@ -31,11 +31,13 @@ class Event {
   }
 
   void trigger() {
-    std::vector<std::coroutine_handle<>> woken;
-    woken.swap(waiters_);
-    for (auto h : woken) {
+    // schedule_at runs no user code (it only enqueues), so iterating the
+    // live vector is safe; clear() keeps its capacity across pulses where
+    // the old swap-with-a-temporary reset it to zero every time.
+    for (auto h : waiters_) {
       sim_.schedule_at(sim_.now(), [h] { h.resume(); });
     }
+    waiters_.clear();
   }
 
   std::size_t waiter_count() const { return waiters_.size(); }
@@ -68,11 +70,11 @@ class Latch {
   void set() {
     if (set_) return;
     set_ = true;
-    std::vector<std::coroutine_handle<>> woken;
-    woken.swap(waiters_);
-    for (auto h : woken) {
+    // See Event::trigger() for why iterating the live vector is safe.
+    for (auto h : waiters_) {
       sim_.schedule_at(sim_.now(), [h] { h.resume(); });
     }
+    waiters_.clear();
   }
 
   bool is_set() const { return set_; }

@@ -17,6 +17,7 @@
 #include <variant>
 
 #include "common/assert.h"
+#include "sim/arena.h"
 
 namespace wadc::sim {
 
@@ -37,7 +38,11 @@ struct TaskFinalAwaiter {
   void await_resume() const noexcept {}
 };
 
-struct TaskPromiseBase {
+// Coroutine frame allocation routes through the thread's current Arena
+// (inherited PooledFrame operator new/delete is found by frame allocation
+// lookup), so a warm sweep worker spawns and retires tens of thousands of
+// processes per run without touching the global allocator.
+struct TaskPromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;
 
   std::suspend_always initial_suspend() const noexcept { return {}; }

@@ -1,0 +1,73 @@
+// CI allocation-budget guard: a steady-state sweep run through a warm
+// RunContext must be served from arena memory, not the global allocator.
+//
+// The budget is a small constant, not literally zero, because each run
+// legitimately makes a handful of over-kMaxSmallBytes allocations (arena
+// spills) that pass through to malloc by design. What this test pins is
+// the asymptote: run N+1 of an identical spec performs no *new* block
+// allocations and at most kGlobalBudget global-allocator hits, so the
+// hot loop's tens of thousands of allocations per run are all recycled.
+// A regression that detaches coroutine frames, callbacks, or containers
+// from the arena shows up here as hundreds-to-thousands of hits per run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "exp/experiment.h"
+#include "sim/arena.h"
+#include "trace/library.h"
+
+namespace wadc::exp {
+namespace {
+
+TEST(AllocBudgetTest, SteadyStateRunsStayWithinGlobalAllocatorBudget) {
+#if !defined(WADC_POOLED_GLOBAL_NEW)
+  GTEST_SKIP() << "global operator new is not pooled in this build "
+                  "(sanitizer or WADC_POOLED_GLOBAL_NEW=OFF); the budget "
+                  "only holds when container traffic routes through the "
+                  "arena";
+#else
+  const trace::TraceLibrary library(trace::TraceLibraryParams{}, 2026);
+  ExperimentSpec spec;
+  spec.algorithm = core::AlgorithmKind::kGlobal;
+  spec.num_servers = 8;
+  spec.iterations = 40;
+  spec.config_seed = 11;
+
+  RunContext ctx;
+  // Warm-up: first runs grow arena blocks, container capacity, and the
+  // trace cache. Results are discarded so nothing stays outstanding and
+  // reset() can rewind between runs.
+  for (int i = 0; i < 3; ++i) {
+    (void)run_experiment(library, spec, ctx);
+  }
+
+  // Steady state: measure per-run global-allocator traffic.
+  constexpr int kRuns = 5;
+  constexpr std::uint64_t kGlobalBudget = 16;  // per run, spills included
+  const std::uint64_t news_before = sim::global_alloc_stats().global_news;
+  const std::uint64_t blocks_before = ctx.arena_stats().block_allocs;
+  const std::uint64_t arena_before = ctx.arena_stats().allocs;
+  for (int i = 0; i < kRuns; ++i) {
+    const std::uint64_t run_before = sim::global_alloc_stats().global_news;
+    (void)run_experiment(library, spec, ctx);
+    const std::uint64_t run_hits =
+        sim::global_alloc_stats().global_news - run_before;
+    EXPECT_LE(run_hits, kGlobalBudget)
+        << "run " << i << " hit the global allocator " << run_hits
+        << " times";
+  }
+  const std::uint64_t total_news =
+      sim::global_alloc_stats().global_news - news_before;
+  const std::uint64_t arena_allocs = ctx.arena_stats().allocs - arena_before;
+
+  // Warm blocks only: steady-state runs never malloc a new arena block.
+  EXPECT_EQ(ctx.arena_stats().block_allocs, blocks_before);
+  // Sanity: the runs really did allocate heavily — through the arena.
+  EXPECT_GT(arena_allocs, static_cast<std::uint64_t>(kRuns) * 10000u);
+  EXPECT_LE(total_news, static_cast<std::uint64_t>(kRuns) * kGlobalBudget);
+#endif
+}
+
+}  // namespace
+}  // namespace wadc::exp

@@ -1,0 +1,197 @@
+// Tests for the per-run memory arena (sim/arena.h): alignment, freelist
+// recycling, epoch reset semantics, block growth, the large-object spill
+// path, and — under AddressSanitizer — poisoning of freed and reset
+// memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/arena.h"
+
+namespace wadc::sim {
+namespace {
+
+bool aligned16(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % Arena::kAlign == 0;
+}
+
+TEST(ArenaTest, AllocationsAreSixteenByteAligned) {
+  Arena arena;
+  std::vector<void*> ptrs;
+  for (std::size_t size : {1u, 7u, 8u, 15u, 16u, 17u, 100u, 1000u, 4000u}) {
+    void* p = arena.allocate(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(aligned16(p)) << "size " << size;
+    std::memset(p, 0xAB, size);  // the full request must be writable
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) arena.deallocate(p);
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(ArenaTest, FreelistRecyclesSameStorage) {
+  Arena arena;
+  void* a = arena.allocate(64);
+  arena.deallocate(a);
+  void* b = arena.allocate(64);  // LIFO: must reuse a's storage
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(arena.stats().freelist_hits, 1u);
+  arena.deallocate(b);
+}
+
+TEST(ArenaTest, DistinctSizeClassesDoNotShareFreelists) {
+  Arena arena;
+  void* small = arena.allocate(16);
+  arena.deallocate(small);
+  void* large = arena.allocate(1024);  // different class: fresh storage
+  EXPECT_NE(small, large);
+  EXPECT_EQ(arena.stats().freelist_hits, 0u);
+  arena.deallocate(large);
+}
+
+TEST(ArenaTest, ResetRewindsBumpPointerWhenNothingOutstanding) {
+  Arena arena;
+  void* first = arena.allocate(128);
+  void* second = arena.allocate(128);
+  EXPECT_NE(first, second);
+  arena.deallocate(second);
+  arena.deallocate(first);
+  arena.reset();
+  EXPECT_EQ(arena.stats().resets, 1u);
+  // After a rewind the next allocation bumps from the start of the first
+  // block again — same address as the very first allocation ever made.
+  void* again = arena.allocate(128);
+  EXPECT_EQ(again, first);
+  arena.deallocate(again);
+}
+
+TEST(ArenaTest, ResetWithOutstandingAllocationsKeepsLiveStorage) {
+  Arena arena;
+  auto* live = static_cast<std::uint64_t*>(arena.allocate(64));
+  *live = 0xDEADBEEFCAFEF00Dull;
+  void* dead = arena.allocate(64);
+  arena.deallocate(dead);
+  arena.reset();  // must NOT rewind: `live` escaped the epoch
+  EXPECT_EQ(arena.outstanding(), 1u);
+  void* fresh = arena.allocate(64);
+  EXPECT_NE(fresh, static_cast<void*>(live));
+  EXPECT_EQ(*live, 0xDEADBEEFCAFEF00Dull);  // untouched by reset + realloc
+  arena.deallocate(fresh);
+  arena.deallocate(live);
+  // Now idle: the next reset may rewind.
+  arena.reset();
+  EXPECT_EQ(arena.stats().resets, 2u);
+}
+
+TEST(ArenaTest, GrowsNewBlocksWhenABlockFills) {
+  Arena arena;
+  // > 1 MiB of live 4000-byte objects forces at least a second block.
+  std::vector<void*> ptrs;
+  const std::size_t count = Arena::kBlockBytes / 4000 + 8;
+  for (std::size_t i = 0; i < count; ++i) {
+    void* p = arena.allocate(4000);
+    std::memset(p, static_cast<int>(i), 4000);
+    ptrs.push_back(p);
+  }
+  EXPECT_GE(arena.block_count(), 2u);
+  for (void* p : ptrs) arena.deallocate(p);
+  // Reset, then refill: warm blocks must be reused, not re-malloced.
+  arena.reset();
+  const std::uint64_t blocks_before = arena.stats().block_allocs;
+  for (std::size_t i = 0; i < count; ++i) ptrs[i] = arena.allocate(4000);
+  EXPECT_EQ(arena.stats().block_allocs, blocks_before);
+  for (void* p : ptrs) arena.deallocate(p);
+}
+
+TEST(ArenaTest, LargeAllocationsSpillToGlobalAllocator) {
+  Arena arena;
+  const std::uint64_t global_before = global_alloc_stats().global_news;
+  void* p = arena.allocate(Arena::kMaxSmallBytes + 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(aligned16(p));
+  std::memset(p, 0x5A, Arena::kMaxSmallBytes + 1);
+  EXPECT_EQ(arena.stats().spills, 1u);
+  EXPECT_EQ(global_alloc_stats().global_news, global_before + 1);
+  // A spill is global-owned: pooled_delete must route it to free(), not
+  // into the arena, and the arena's outstanding count must not include it.
+  EXPECT_EQ(arena.outstanding(), 0u);
+  const std::uint64_t deletes_before = global_alloc_stats().global_deletes;
+  pooled_delete(p);
+  EXPECT_EQ(global_alloc_stats().global_deletes, deletes_before + 1);
+}
+
+TEST(ArenaTest, ScopeInstallsAndRestoresCurrentArena) {
+  EXPECT_EQ(Arena::current(), nullptr);
+  Arena outer_arena;
+  Arena inner_arena;
+  {
+    Arena::Scope outer(&outer_arena);
+    EXPECT_EQ(Arena::current(), &outer_arena);
+    {
+      Arena::Scope inner(&inner_arena);
+      EXPECT_EQ(Arena::current(), &inner_arena);
+    }
+    EXPECT_EQ(Arena::current(), &outer_arena);
+  }
+  EXPECT_EQ(Arena::current(), nullptr);
+}
+
+TEST(ArenaTest, PooledNewRoutesThroughCurrentArena) {
+  Arena arena;
+  void* p;
+  {
+    Arena::Scope scope(&arena);
+    p = pooled_new(256);
+  }
+  EXPECT_EQ(arena.stats().allocs, 1u);
+  EXPECT_EQ(arena.outstanding(), 1u);
+  // Freeing outside the scope still finds the owner via the header.
+  pooled_delete(p);
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(ArenaTest, PooledNewWithoutArenaUsesGlobalAllocator) {
+  ASSERT_EQ(Arena::current(), nullptr);
+  const std::uint64_t news_before = global_alloc_stats().global_news;
+  const std::uint64_t deletes_before = global_alloc_stats().global_deletes;
+  void* p = pooled_new(64);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, 64);
+  EXPECT_EQ(global_alloc_stats().global_news, news_before + 1);
+  pooled_delete(p, 64);
+  EXPECT_EQ(global_alloc_stats().global_deletes, deletes_before + 1);
+}
+
+#ifdef WADC_ARENA_ASAN
+TEST(ArenaAsanTest, FreedPayloadIsPoisoned) {
+  Arena arena;
+  auto* p = static_cast<unsigned char*>(arena.allocate(256));
+  EXPECT_FALSE(__asan_address_is_poisoned(p));
+  arena.deallocate(p);
+  // The free-list link overlays the header; the payload itself (which
+  // starts 16 bytes past the node) must be poisoned.
+  EXPECT_TRUE(__asan_address_is_poisoned(p));
+  // Re-allocation of the same class unpoisons it again.
+  auto* q = static_cast<unsigned char*>(arena.allocate(256));
+  EXPECT_EQ(p, q);
+  EXPECT_FALSE(__asan_address_is_poisoned(q));
+  arena.deallocate(q);
+}
+
+TEST(ArenaAsanTest, ResetRepoisonsTheBumpRegion) {
+  Arena arena;
+  auto* p = static_cast<unsigned char*>(arena.allocate(256));
+  arena.deallocate(p);
+  arena.reset();  // idle: rewinds and re-poisons every block
+  EXPECT_TRUE(__asan_address_is_poisoned(p));
+  auto* q = static_cast<unsigned char*>(arena.allocate(256));
+  EXPECT_EQ(p, q);  // rewound to the start of the first block
+  EXPECT_FALSE(__asan_address_is_poisoned(q));
+  arena.deallocate(q);
+}
+#endif  // WADC_ARENA_ASAN
+
+}  // namespace
+}  // namespace wadc::sim

@@ -20,6 +20,7 @@ int fuzz_round_with_cancellation(std::uint64_t seed, int steps) {
   struct Ref {
     SimTime time;
     EventSeq seq;
+    std::uint32_t slot;
   };
   std::vector<Ref> live;  // pushed, not yet popped or cancelled
   EventSeq seq = 0;
@@ -29,14 +30,14 @@ int fuzz_round_with_cancellation(std::uint64_t seed, int steps) {
     const double dice = rng.next_double();
     if (live.empty() || dice < 0.5) {
       const SimTime t = static_cast<double>(rng.next_below(50));
-      queue.push(t, seq, [] {});
-      live.push_back(Ref{t, seq});
+      const std::uint32_t slot = queue.push(t, seq, [] {});
+      live.push_back(Ref{t, seq, slot});
       ++seq;
     } else if (dice < 0.7) {
       // Cancel a random live event (never one already cancelled/popped:
       // that is the documented contract of cancel()).
       const std::size_t pick = rng.next_below(live.size());
-      queue.cancel(live[pick].seq);
+      queue.cancel(live[pick].slot, live[pick].seq);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
       ++processed;
     } else {
@@ -136,6 +137,68 @@ TEST_P(EventQueueCancelFuzzTest, CancelledEventsNeverSurface) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueCancelFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 11));
+
+// Cancel/reschedule stress: a handful of timers being continually cancelled
+// and re-armed — the retransmit-timer pattern that dominates cancellations
+// in the simulator. Hammers slot reuse: every cancel frees a slot that the
+// next push immediately reclaims, so generation tags must keep stale heap
+// keys from ever resurfacing as live events.
+TEST(EventQueueCancelStress, RescheduleRecyclesSlotsWithoutResurrection) {
+  Rng rng(0xca11);
+  EventQueue queue;
+  constexpr int kTimers = 8;
+  struct Timer {
+    SimTime time = 0;
+    EventSeq seq = kNoEventSeq;
+    std::uint32_t slot = 0;
+    int fired = 0;
+  };
+  Timer timers[kTimers];
+  EventSeq seq = 0;
+  SimTime now = 0;
+
+  auto arm = [&](Timer& tm) {
+    tm.time = now + 1.0 + static_cast<double>(rng.next_below(10));
+    tm.seq = seq;
+    tm.slot = queue.push(tm.time, seq, [&tm] { ++tm.fired; });
+    ++seq;
+  };
+  for (auto& tm : timers) arm(tm);
+
+  int fired_total = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.bernoulli(0.7)) {
+      // Re-arm a random timer: cancel + push, the hot reschedule path.
+      Timer& tm = timers[rng.next_below(kTimers)];
+      queue.cancel(tm.slot, tm.seq);
+      arm(tm);
+    } else {
+      auto e = queue.pop();
+      ASSERT_GE(e.time, now);
+      now = e.time;
+      e.action();
+      ++fired_total;
+      // Exactly one timer matches; it fired exactly once and was live.
+      Timer* fired = nullptr;
+      for (auto& tm : timers) {
+        if (tm.seq == e.seq) {
+          ASSERT_EQ(fired, nullptr);
+          fired = &tm;
+        }
+      }
+      ASSERT_NE(fired, nullptr) << "a cancelled event resurfaced";
+      EXPECT_EQ(fired->fired, 1);
+      fired->fired = 0;
+      arm(*fired);
+    }
+    ASSERT_EQ(queue.size(), static_cast<std::size_t>(kTimers));
+  }
+  EXPECT_GT(fired_total, 0);
+  // Slot storage stays bounded by the number of concurrently-pending
+  // events, not the number of pushes: clear() then refill must not grow it.
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+}
 
 // Wall-clock-bounded fuzz for CI: runs rounds with fresh seeds until
 // WADC_FUZZ_SECONDS (default 2) of wall time have elapsed. The sanitizer
