@@ -122,8 +122,13 @@ void write_sessions_json(const session::SessionStats& stats,
                          std::ostream& out) {
   out.precision(17);
   out << "{\n";
-  out << "  \"makespan_seconds\": " << stats.makespan_seconds << ",\n";
+  out << "  \"makespan_seconds\": " << stats.makespan_seconds() << ",\n";
   out << "  \"completed\": " << stats.completed_count() << ",\n";
+  out << "  \"admitted\": " << stats.admitted_count() << ",\n";
+  out << "  \"shed\": " << stats.shed_count() << ",\n";
+  out << "  \"deferred\": " << stats.deferred_count() << ",\n";
+  out << "  \"degraded\": " << stats.degraded_count() << ",\n";
+  out << "  \"shed_fraction\": " << stats.shed_fraction() << ",\n";
   out << "  \"mean_response_seconds\": " << stats.mean_response_seconds()
       << ",\n";
   out << "  \"p95_response_seconds\": " << stats.p95_response_seconds()
@@ -133,20 +138,28 @@ void write_sessions_json(const session::SessionStats& stats,
   out << "  \"jain_fairness\": " << stats.jain_fairness() << ",\n";
   out << "  \"aggregate_throughput\": " << stats.aggregate_throughput()
       << ",\n";
+  out << "  \"goodput_per_hour\": " << stats.goodput_per_hour() << ",\n";
   out << "  \"sessions\": [";
-  for (std::size_t i = 0; i < stats.sessions.size(); ++i) {
-    const session::SessionRecord& s = stats.sessions[i];
+  const std::vector<session::SessionRecord>& sessions = stats.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const session::SessionRecord& s = sessions[i];
     if (i > 0) out << ",";
     out << "\n    {\"id\": " << s.id << ", \"client\": " << s.client
         << ", \"arrival_seconds\": " << s.arrival_seconds
         << ", \"admit_seconds\": " << s.admit_seconds
         << ", \"end_seconds\": " << s.end_seconds << ", \"completed\": "
-        << (s.completed ? "true" : "false") << ", \"images\": " << s.images
+        << (s.completed ? "true" : "false") << ", \"shed\": "
+        << (s.shed ? "true" : "false") << ", \"deferred\": "
+        << (s.deferred ? "true" : "false") << ", \"degraded\": "
+        << (s.degraded ? "true" : "false") << ", \"images\": " << s.images
         << ", \"queue_seconds\": " << s.queue_seconds()
         << ", \"response_seconds\": " << s.response_seconds()
-        << ", \"relocations\": " << s.run.relocations << "}";
+        << ", \"deadline_seconds\": " << s.deadline_seconds
+        << ", \"predicted_response_seconds\": "
+        << s.predicted_response_seconds
+        << ", \"relocations\": " << s.relocations << "}";
   }
-  out << (stats.sessions.empty() ? "]" : "\n  ]") << "\n}\n";
+  out << (sessions.empty() ? "]" : "\n  ]") << "\n}\n";
 }
 
 void write_sessions_json_file(const session::SessionStats& stats,

@@ -63,6 +63,7 @@ void Network::reset(const LinkTable& links, const NetworkParams& params) {
   transfers_failed_ = 0;
   transfers_timed_out_ = 0;
   bytes_delivered_ = 0;
+  inflight_bytes_ = 0;
   session_bytes_delivered_.clear();
   host_dead_.assign(hosts, 0);
   blackout_depth_.assign(pair_count(links.num_hosts()), 0);
@@ -209,6 +210,7 @@ sim::Task<TransferRecord> Network::transfer(HostId src, HostId dst,
                          });
   const auto overtaken = static_cast<int>(pending_.end() - it);
   pending_.insert(it, pending);
+  inflight_bytes_ += bytes;
   note_pending_depth();
   if (obs_.tracer) {
     obs_.tracer->instant("net", "enqueue", src, obs::link_lane(dst),
@@ -320,6 +322,7 @@ void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
 
   --active_[static_cast<std::size_t>(a.src)];
   --active_[static_cast<std::size_t>(a.dst)];
+  inflight_bytes_ -= a.record->bytes;
   a.record->completed = sim_.now();
   a.record->outcome = outcome;
   if (outcome == TransferOutcome::kCompleted) {
@@ -340,6 +343,7 @@ void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
 void Network::fail_pending(std::size_t index, TransferOutcome outcome) {
   const Pending p = pending_[index];
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  inflight_bytes_ -= p.bytes;
   note_pending_depth();
   // Only timeouts resolve queued transfers, so the timeout event has fired;
   // there is no completion event yet — nothing to cancel.

@@ -168,6 +168,10 @@ class Network {
   std::uint64_t transfers_failed() const { return transfers_failed_; }
   std::uint64_t transfers_timed_out() const { return transfers_timed_out_; }
   double bytes_delivered() const { return bytes_delivered_; }
+  // Bytes accepted by the transport but not yet delivered (queued + in
+  // flight) — the backpressure signal admission control divides by the
+  // client-link bandwidth to estimate drain time.
+  double inflight_bytes() const { return inflight_bytes_; }
   // Bytes delivered on behalf of a tagged session (0 for unknown sessions).
   // Maintained unconditionally, unlike the lazy per-session metric
   // counters, so the timeline sampler works with metrics detached.
@@ -260,6 +264,7 @@ class Network {
   std::uint64_t transfers_failed_ = 0;
   std::uint64_t transfers_timed_out_ = 0;
   double bytes_delivered_ = 0;
+  double inflight_bytes_ = 0;  // queued + active, resolved transfers excluded
   std::map<int, double> session_bytes_delivered_;  // tagged sessions only
 
   // Fault state.

@@ -14,6 +14,20 @@ namespace {
 constexpr std::uint64_t kSessionSeedLabel = 0x5e5510;
 constexpr std::uint64_t kArrivalLabel = 0x5e551a;
 
+// The response predictor sized from the workload: one session must deliver
+// every server's partitions to the client through its single NIC —
+// iterations * num_servers messages of mean_bytes each. Control traffic is
+// deliberately ignored; it is small and the prediction only has to rank
+// "fits the deadline" against "misses it by a lot".
+ResponsePredictor make_predictor(const core::CombinationTree& tree,
+                                 const workload::ImageWorkload& workload,
+                                 const net::Network& network) {
+  const int messages = workload.iterations() * tree.num_servers();
+  const double bytes = workload.params().mean_bytes * messages;
+  return ResponsePredictor(bytes, messages,
+                           network.params().startup_seconds);
+}
+
 }  // namespace
 
 SessionManager::SessionManager(sim::Simulation& sim, net::Network& network,
@@ -30,8 +44,9 @@ SessionManager::SessionManager(sim::Simulation& sim, net::Network& network,
       engine_base_(engine_base),
       spec_(spec),
       seed_(seed),
-      admission_(spec.admission,
-                 [this]() { return client_link_bandwidth(); }),
+      predictor_(make_predictor(tree, workload, network)),
+      admission_(spec.admission, [this]() { return load_signals(); },
+                 &predictor_),
       obs_(engine_base.obs) {
   const std::string spec_problem = spec_.validate();
   WADC_ASSERT(spec_problem.empty(), "invalid session spec: ", spec_problem);
@@ -41,6 +56,8 @@ SessionManager::SessionManager(sim::Simulation& sim, net::Network& network,
     arrivals_counter_ = &obs_.metrics->counter("session.arrivals");
     admitted_counter_ = &obs_.metrics->counter("session.admitted");
     deferred_counter_ = &obs_.metrics->counter("session.deferred");
+    shed_counter_ = &obs_.metrics->counter("session.shed");
+    degraded_counter_ = &obs_.metrics->counter("session.degraded");
     completed_counter_ = &obs_.metrics->counter("session.completed");
     queue_seconds_hist_ = &obs_.metrics->histogram(
         "session.queue_seconds", obs::exponential_buckets(1, 2, 24));
@@ -67,6 +84,7 @@ const char* SessionManager::session_state(int id) const {
   WADC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < sessions_.size(),
               "session id out of range");
   const Session& s = sessions_[static_cast<std::size_t>(id)];
+  if (s.record.shed) return "shed";
   if (s.done) return "done";
   return s.engine ? "running" : "queued";
 }
@@ -75,37 +93,52 @@ int SessionManager::session_images(int id) const {
   WADC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < sessions_.size(),
               "session id out of range");
   const Session& s = sessions_[static_cast<std::size_t>(id)];
-  if (s.done) return s.record.images;
-  if (!s.engine) return 0;
+  if (!s.engine) return s.record.images;  // queued (0), shed (0), or done
   return static_cast<int>(
       std::as_const(*s.engine).stats().arrival_seconds.size());
 }
 
 std::optional<double> SessionManager::client_link_bandwidth() const {
+  // The minimum, not the mean: every iteration of the combination barriers
+  // on all servers, so a session progresses at the pace of its slowest
+  // client<->server pair. The mean overestimates throughput on
+  // heterogeneous configurations by an order of magnitude, and admission
+  // predictions built on it admit straight into a pileup.
   const net::HostId client = tree_.client_host();
-  double sum = 0;
-  int n = 0;
+  std::optional<double> slowest;
   for (int s = 0; s < tree_.num_servers(); ++s) {
     if (const std::optional<double> bw = monitoring_.cached_bandwidth(
             client, client, tree_.server_host(s))) {
-      sum += *bw;
-      ++n;
+      if (!slowest || *bw < *slowest) slowest = *bw;
     }
   }
-  if (n == 0) return std::nullopt;
-  return sum / n;
+  return slowest;
+}
+
+LoadSignals SessionManager::load_signals() const {
+  LoadSignals s;  // running/queued are filled in by the controller
+  s.inflight_bytes = network_.inflight_bytes();
+  s.client_nic_queue = network_.host_pending_transfers(tree_.client_host());
+  s.client_bandwidth = client_link_bandwidth();
+  return s;
 }
 
 void SessionManager::schedule_arrivals() {
   switch (spec_.mode) {
     case ArrivalMode::kExplicit: {
-      // The event queue orders by (time, seq), so scheduling in listed
-      // order gives sessions ids in arrival order with listed order
-      // breaking ties.
-      std::vector<double> times = spec_.arrivals;
-      std::sort(times.begin(), times.end());
-      for (double t : times) {
-        sim_.schedule_at(t, [this] { begin_session(-1); });
+      // The event queue orders by (time, seq), so scheduling in time order
+      // gives sessions ids in arrival order, with listed order breaking
+      // ties (stable sort).
+      std::vector<ExplicitArrival> arrivals = spec_.arrivals;
+      std::stable_sort(arrivals.begin(), arrivals.end(),
+                       [](const ExplicitArrival& a, const ExplicitArrival& b) {
+                         return a.arrival_seconds < b.arrival_seconds;
+                       });
+      for (const ExplicitArrival& a : arrivals) {
+        sim_.schedule_at(a.arrival_seconds,
+                         [this, id = a.id, deadline = a.deadline_seconds] {
+                           begin_session(-1, id, deadline);
+                         });
       }
       break;
     }
@@ -115,7 +148,7 @@ void SessionManager::schedule_arrivals() {
       double t = 0;
       for (int i = 0; i < spec_.open_count; ++i) {
         t += arrivals_rng.exponential(mean_gap_seconds);
-        sim_.schedule_at(t, [this] { begin_session(-1); });
+        sim_.schedule_at(t, [this] { begin_session(-1, -1, 0); });
       }
       break;
     }
@@ -124,47 +157,85 @@ void SessionManager::schedule_arrivals() {
           static_cast<std::size_t>(spec_.clients),
           spec_.queries_per_client - 1);
       for (int c = 0; c < spec_.clients; ++c) {
-        sim_.schedule_at(0, [this, c] { begin_session(c); });
+        sim_.schedule_at(0, [this, c] { begin_session(c, -1, 0); });
       }
       break;
     }
   }
 }
 
-void SessionManager::begin_session(int client) {
+void SessionManager::begin_session(int client, int spec_id,
+                                   double deadline_seconds) {
   const int id = static_cast<int>(sessions_.size());
   Session s;
   s.record.id = id;
+  s.record.spec_id = spec_id >= 0 ? spec_id : id;
   s.record.client = client;
   s.record.arrival_seconds = sim_.now();
+  s.record.deadline_seconds = deadline_seconds > 0
+                                  ? deadline_seconds
+                                  : spec_.admission.deadline_seconds;
   sessions_.push_back(std::move(s));
   if (arrivals_counter_) arrivals_counter_->add();
   trace_session_event("arrive", id);
-  if (admission_.request(id)) {
-    admit(id);
-  } else {
-    if (deferred_counter_) deferred_counter_->add();
-    trace_session_event("defer", id);
-    if (obs_.decisions) {
-      obs_.decisions->record(sim_.now(), "admission", "defer", id,
-                             {{"queued", admission_.queued()},
-                              {"running", admission_.running()}});
-    }
-    maybe_schedule_recheck();
+
+  const AdmissionDecision d = admission_.request(id, sim_.now(),
+                                                 deadline_seconds);
+  sessions_[static_cast<std::size_t>(id)].record.predicted_response_seconds =
+      d.predicted_response_seconds;
+  switch (d.outcome) {
+    case AdmissionOutcome::kAdmit:
+      admit(id, /*degraded=*/false, d.reason, d.predicted_response_seconds);
+      break;
+    case AdmissionOutcome::kAdmitDegraded:
+      admit(id, /*degraded=*/true, d.reason, d.predicted_response_seconds);
+      break;
+    case AdmissionOutcome::kDefer:
+      sessions_[static_cast<std::size_t>(id)].record.deferred = true;
+      if (deferred_counter_) deferred_counter_->add();
+      trace_session_event("defer", id);
+      if (obs_.decisions) {
+        obs_.decisions->record(sim_.now(), "admission", "defer", id,
+                               {{"reason", d.reason},
+                                {"queued", admission_.queued()},
+                                {"running", admission_.running()}});
+      }
+      maybe_schedule_recheck();
+      break;
+    case AdmissionOutcome::kShed:
+      sessions_[static_cast<std::size_t>(id)].record.shed = true;
+      if (shed_counter_) shed_counter_->add();
+      trace_session_event("shed", id);
+      if (obs_.decisions) {
+        obs_.decisions->record(
+            sim_.now(), "admission", "shed", id,
+            {{"reason", d.reason},
+             {"predicted_s", d.predicted_response_seconds},
+             {"queued", admission_.queued()},
+             {"running", admission_.running()}});
+      }
+      finish_without_running(id);
+      break;
   }
 }
 
-void SessionManager::admit(int id) {
+void SessionManager::admit(int id, bool degraded, const char* reason,
+                           double predicted_seconds) {
   Session& s = sessions_[static_cast<std::size_t>(id)];
   s.record.admit_seconds = sim_.now();
+  s.record.degraded = degraded;
   if (admitted_counter_) admitted_counter_->add();
+  if (degraded && degraded_counter_) degraded_counter_->add();
   if (queue_seconds_hist_) {
     queue_seconds_hist_->observe(s.record.queue_seconds());
   }
-  trace_session_event("admit", id);
+  trace_session_event(degraded ? "degrade" : "admit", id);
   if (obs_.decisions) {
-    obs_.decisions->record(sim_.now(), "admission", "admit", id,
-                           {{"queue_s", s.record.queue_seconds()},
+    obs_.decisions->record(sim_.now(), "admission",
+                           degraded ? "degrade" : "admit", id,
+                           {{"reason", reason},
+                            {"predicted_s", predicted_seconds},
+                            {"queue_s", s.record.queue_seconds()},
                             {"queued", admission_.queued()},
                             {"running", admission_.running()}});
   }
@@ -172,49 +243,85 @@ void SessionManager::admit(int id) {
   dataflow::EngineParams params = engine_base_;
   params.session_id = id;
   params.seed = session_seed(id);
+  params.degraded_mode = degraded;
   s.engine = std::make_unique<dataflow::Engine>(sim_, network_, monitoring_,
                                                 tree_, workload_, params);
   s.engine->start_detached([this, id] { on_session_done(id); });
+}
+
+void SessionManager::finish_without_running(int id) {
+  Session& s = sessions_[static_cast<std::size_t>(id)];
+  s.done = true;
+  s.record.admit_seconds = s.record.arrival_seconds;
+  s.record.end_seconds = sim_.now();
+  ++finished_;
+  maybe_issue_next_query(s.record.client);
+  if (finished_ == total_) sim_.request_stop();
 }
 
 void SessionManager::on_session_done(int id) {
   Session& s = sessions_[static_cast<std::size_t>(id)];
   s.done = true;
   s.record.end_seconds = sim_.now();
-  s.record.run = std::as_const(*s.engine).stats();
-  s.record.completed = s.record.run.completed;
-  s.record.images = static_cast<int>(s.record.run.arrival_seconds.size());
+  // Harvest only the scalars the record keeps; the engine (and its
+  // per-image vectors) is torn down right after this callback returns.
+  const dataflow::RunStats& run = std::as_const(*s.engine).stats();
+  s.record.completed = run.completed;
+  s.record.images = static_cast<int>(run.arrival_seconds.size());
+  s.record.relocations = run.relocations;
   if (completed_counter_) completed_counter_->add();
   if (response_seconds_hist_) {
     response_seconds_hist_->observe(s.record.response_seconds());
   }
   trace_session_event("complete", id);
   ++finished_;
+  // The engine stays alive until the run ends: its destructor terminates
+  // every process in the SHARED simulation, so a finished engine cannot be
+  // retired while other sessions still run. The record keeps only scalars,
+  // so the per-session cost of the finished engine is its fixed state, not
+  // a growing per-image history copy.
+  maybe_issue_next_query(s.record.client);
 
-  // Closed loop: the issuing client thinks, then issues its next query.
-  if (const int c = s.record.client; c >= 0) {
-    if (remaining_queries_[static_cast<std::size_t>(c)] > 0) {
-      --remaining_queries_[static_cast<std::size_t>(c)];
-      sim_.schedule_in(spec_.think_seconds, [this, c] { begin_session(c); });
-    }
+  for (const int next : admission_.on_completed(sim_.now())) {
+    admit(next, /*degraded=*/false, "dequeued", -1);
   }
-
-  for (const int next : admission_.on_completed()) admit(next);
   maybe_schedule_recheck();
 
   if (finished_ == total_) sim_.request_stop();
+}
+
+void SessionManager::maybe_issue_next_query(int client) {
+  if (client < 0) return;
+  if (remaining_queries_[static_cast<std::size_t>(client)] > 0) {
+    --remaining_queries_[static_cast<std::size_t>(client)];
+    sim_.schedule_in(spec_.think_seconds,
+                     [this, client] { begin_session(client, -1, 0); });
+  }
 }
 
 void SessionManager::maybe_schedule_recheck() {
   if (spec_.admission.policy != AdmissionPolicy::kBandwidthAware) return;
   if (recheck_pending_ || admission_.queued() == 0) return;
   recheck_pending_ = true;
-  sim_.schedule_in(spec_.admission.recheck_seconds, [this] { on_recheck(); });
+  double delay = spec_.admission.recheck_seconds;
+  // Never sleep past the queue head's deferral bound: the recheck that
+  // lands on the bound is the one that force-admits it.
+  if (const std::optional<sim::SimTime> forced =
+          admission_.next_forced_admit()) {
+    delay = std::min(delay, std::max(0.0, *forced - sim_.now()));
+  }
+  // now + (forced - now) can round an ulp short of the bound; a zero-width
+  // recheck would then re-fire at the same timestamp forever. The floor
+  // keeps simulated time strictly advancing across rechecks.
+  delay = std::max(delay, 1e-6);
+  sim_.schedule_in(delay, [this] { on_recheck(); });
 }
 
 void SessionManager::on_recheck() {
   recheck_pending_ = false;
-  for (const int id : admission_.on_recheck()) admit(id);
+  for (const int id : admission_.on_recheck(sim_.now())) {
+    admit(id, /*degraded=*/false, "dequeued", -1);
+  }
   maybe_schedule_recheck();
 }
 
@@ -227,12 +334,7 @@ SessionStats SessionManager::run() {
               total_ - finished_, " of ", total_, " sessions unfinished");
 
   SessionStats stats;
-  stats.sessions.reserve(sessions_.size());
-  for (const Session& s : sessions_) {
-    stats.sessions.push_back(s.record);
-    stats.makespan_seconds =
-        std::max(stats.makespan_seconds, s.record.end_seconds);
-  }
+  for (const Session& s : sessions_) stats.add(s.record);
   return stats;
 }
 

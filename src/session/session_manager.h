@@ -11,11 +11,24 @@
 //
 // Arrivals come from a SessionSpec (explicit times, a seeded open-loop
 // Poisson process, or a closed loop of clients with think times); an
-// AdmissionController decides when an arrived session may start. Every
-// engine is seeded from a per-session fork of the manager seed and tagged
-// with its session id, so shared-network traces and metrics attribute
-// per-session traffic, and the whole run is deterministic: same spec, same
-// seed, same output, whatever the interleaving.
+// AdmissionController decides the fate of each arrival — admit, admit
+// degraded, defer, or shed (session/admission.h). The manager supplies the
+// controller's backpressure snapshot (running/queued sessions, aggregate
+// in-flight transport bytes, the client's NIC queue depth, the measured
+// client-link bandwidth) and a ResponsePredictor sized from the workload,
+// records every decision with its reason in the DecisionLog, and bumps the
+// per-outcome counters session.{arrivals,admitted,deferred,shed,degraded,
+// completed}. Every engine is seeded from a per-session fork of the manager
+// seed and tagged with its session id, so shared-network traces and metrics
+// attribute per-session traffic, and the whole run is deterministic: same
+// spec, same seed, same output, whatever the interleaving.
+//
+// A shed session never runs: it is finalized at arrival time with
+// record.shed set; its response metrics are excluded from the aggregates
+// (SessionStats). A degraded session runs with EngineParams::degraded_mode
+// — one-shot placement, no adaptive change-over. Session records keep only
+// scalars (never the engine's per-image vectors), so thousand-session
+// capacity ramps pay O(1) bookkeeping per completion.
 //
 // Fault injection composes with the session runtime: when `engine_base`
 // carries a fault injector, every admitted engine registers its own fault
@@ -39,6 +52,7 @@
 #include "net/network.h"
 #include "obs/obs.h"
 #include "session/admission.h"
+#include "session/overload.h"
 #include "session/session_spec.h"
 #include "session/session_stats.h"
 #include "sim/simulation.h"
@@ -49,9 +63,10 @@ namespace wadc::session {
 class SessionManager {
  public:
   // `engine_base` configures every session's engine; the manager overrides
-  // seed (per-session fork of `seed`) and session_id. The manager must
-  // outlive nothing: destroy it before the simulation, network, monitoring,
-  // tree, and workload it references (the usual stack order works).
+  // seed (per-session fork of `seed`), session_id, and degraded_mode. The
+  // manager must outlive nothing: destroy it before the simulation,
+  // network, monitoring, tree, and workload it references (the usual stack
+  // order works).
   SessionManager(sim::Simulation& sim, net::Network& network,
                  monitor::MonitoringSystem& monitoring,
                  const core::CombinationTree& tree,
@@ -62,8 +77,8 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  // Runs every session to completion and returns the aggregate statistics.
-  // Call at most once.
+  // Runs every session to completion (or rejection) and returns the
+  // aggregate statistics. Call at most once.
   SessionStats run();
 
   // ---- read-only state probes (the exp-layer timeline sampler) ----
@@ -71,7 +86,8 @@ class SessionManager {
   int known_sessions() const { return static_cast<int>(sessions_.size()); }
   int queued_sessions() const { return admission_.queued(); }
   bool all_finished() const { return finished_ == total_; }
-  // Lifecycle state of a known session: "queued" | "running" | "done".
+  // Lifecycle state of a known session:
+  // "queued" | "running" | "done" | "shed".
   const char* session_state(int id) const;
   // Images delivered so far (in-progress engines report live counts).
   int session_images(int id) const;
@@ -79,19 +95,31 @@ class SessionManager {
  private:
   struct Session {
     SessionRecord record;
-    std::unique_ptr<dataflow::Engine> engine;  // null while queued
+    std::unique_ptr<dataflow::Engine> engine;  // null while queued or shed
     bool done = false;
   };
 
   void schedule_arrivals();
   // An arrival fires: assign the next session id and ask admission.
-  void begin_session(int client);
-  void admit(int id);
+  // `spec_id` is the explicit-arrival id (-1 = use the session id);
+  // `deadline_seconds` the per-session deadline (0 = policy default).
+  void begin_session(int client, int spec_id, double deadline_seconds);
+  void admit(int id, bool degraded, const char* reason,
+             double predicted_seconds);
+  // Finalizes a session that will never run (shed at arrival).
+  void finish_without_running(int id);
   void on_session_done(int id);
-  // Bandwidth policy: keep one recheck event pending while sessions queue.
+  // Closed loop: the issuing client thinks, then issues its next query.
+  void maybe_issue_next_query(int client);
+  // Bandwidth policy: keep one recheck event pending while sessions queue,
+  // scheduled no later than the earliest deferral-bound expiry so the
+  // bounded-deferral force-admit always fires on time.
   void maybe_schedule_recheck();
   void on_recheck();
-  // Mean fresh client<->server bandwidth from the client's cache.
+  // The controller's backpressure snapshot (network-side fields).
+  LoadSignals load_signals() const;
+  // Slowest fresh client<->server bandwidth from the client's cache (the
+  // combination barrier advances at the pace of the slowest pair).
   std::optional<double> client_link_bandwidth() const;
   std::uint64_t session_seed(int id) const;
   void trace_session_event(const char* name, int id);
@@ -105,6 +133,7 @@ class SessionManager {
   SessionSpec spec_;
   std::uint64_t seed_;
 
+  ResponsePredictor predictor_;
   AdmissionController admission_;
   std::vector<Session> sessions_;
   // Closed loop: queries each client still has to issue after the current
@@ -120,6 +149,8 @@ class SessionManager {
   obs::Counter* arrivals_counter_ = nullptr;
   obs::Counter* admitted_counter_ = nullptr;
   obs::Counter* deferred_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
   obs::Counter* completed_counter_ = nullptr;
   obs::Histogram* queue_seconds_hist_ = nullptr;
   obs::Histogram* response_seconds_hist_ = nullptr;

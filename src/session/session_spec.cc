@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,6 +31,19 @@ void expect_end(std::istringstream& in, int line_no) {
   if (in >> extra) fail(line_no, "unexpected trailing token '" + extra + "'");
 }
 
+// Parses the numeric value of a `key=value` token; the whole value must be
+// consumed (id=3x is an error, not 3).
+double keyed_value(const std::string& token, std::size_t eq, int line_no) {
+  const std::string value = token.substr(eq + 1);
+  std::istringstream in(value);
+  double v = 0;
+  char extra = 0;
+  if (!(in >> v) || (in >> extra)) {
+    fail(line_no, "malformed value in '" + token + "'");
+  }
+  return v;
+}
+
 }  // namespace
 
 const char* admission_policy_name(AdmissionPolicy policy) {
@@ -40,6 +54,12 @@ const char* admission_policy_name(AdmissionPolicy policy) {
       return "cap";
     case AdmissionPolicy::kBandwidthAware:
       return "bandwidth";
+    case AdmissionPolicy::kLoadShedding:
+      return "shed";
+    case AdmissionPolicy::kDeadlineAware:
+      return "deadline";
+    case AdmissionPolicy::kDegrading:
+      return "degrade";
   }
   return "?";
 }
@@ -59,15 +79,25 @@ int SessionSpec::total_sessions() const {
 std::string SessionSpec::validate() const {
   const auto finite_nonneg = [](double v) { return std::isfinite(v) && v >= 0; };
   switch (mode) {
-    case ArrivalMode::kExplicit:
+    case ArrivalMode::kExplicit: {
       if (arrivals.empty()) return "spec generates no sessions";
-      for (double t : arrivals) {
-        if (!finite_nonneg(t)) {
+      std::set<int> ids;
+      for (const ExplicitArrival& a : arrivals) {
+        if (!finite_nonneg(a.arrival_seconds)) {
           return "session arrival time must be finite and >= 0, got " +
-                 std::to_string(t);
+                 std::to_string(a.arrival_seconds);
+        }
+        if (!finite_nonneg(a.deadline_seconds)) {
+          return "session deadline must be finite and >= 0, got " +
+                 std::to_string(a.deadline_seconds);
+        }
+        if (a.id < 0) return "session id must be >= 0";
+        if (!ids.insert(a.id).second) {
+          return "duplicate session id " + std::to_string(a.id);
         }
       }
       break;
+    }
     case ArrivalMode::kOpenLoop:
       if (open_count <= 0) {
         return "open-loop count must be >= 1, got " +
@@ -113,6 +143,36 @@ std::string SessionSpec::validate() const {
         return "admission recheck period must be finite and > 0, got " +
                std::to_string(admission.recheck_seconds);
       }
+      if (!std::isfinite(admission.max_defer_seconds) ||
+          admission.max_defer_seconds <= 0) {
+        return "deferral cap must be finite and > 0, got " +
+               std::to_string(admission.max_defer_seconds);
+      }
+      break;
+    case AdmissionPolicy::kLoadShedding:
+      // Cap 0 is legal: every session sheds (the degenerate "serve nobody"
+      // controller is a meaningful overload experiment).
+      if (admission.max_concurrent < 0) {
+        return "shed cap must be >= 0, got " +
+               std::to_string(admission.max_concurrent);
+      }
+      if (admission.max_queue < 0) {
+        return "shed queue bound must be >= 0, got " +
+               std::to_string(admission.max_queue);
+      }
+      break;
+    case AdmissionPolicy::kDeadlineAware:
+      if (!std::isfinite(admission.deadline_seconds) ||
+          admission.deadline_seconds < 0) {
+        return "admission deadline must be finite and >= 0, got " +
+               std::to_string(admission.deadline_seconds);
+      }
+      break;
+    case AdmissionPolicy::kDegrading:
+      if (admission.max_concurrent < 1) {
+        return "degrade cap must be >= 1, got " +
+               std::to_string(admission.max_concurrent);
+      }
       break;
   }
   return {};
@@ -121,7 +181,20 @@ std::string SessionSpec::validate() const {
 SessionSpec SessionSpec::concurrent_clients(int n) {
   SessionSpec spec;
   spec.mode = ArrivalMode::kExplicit;
-  spec.arrivals.assign(static_cast<std::size_t>(n > 0 ? n : 0), 0.0);
+  spec.arrivals.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+  for (int i = 0; i < n; ++i) {
+    ExplicitArrival a;
+    a.id = i;
+    spec.arrivals.push_back(a);
+  }
+  return spec;
+}
+
+SessionSpec SessionSpec::poisson(int count, double rate_per_hour) {
+  SessionSpec spec;
+  spec.mode = ArrivalMode::kOpenLoop;
+  spec.open_count = count;
+  spec.open_rate_per_hour = rate_per_hour;
   return spec;
 }
 
@@ -147,8 +220,27 @@ SessionSpec parse_session_spec(const std::string& text) {
       }
       have_explicit = true;
       spec.mode = ArrivalMode::kExplicit;
-      spec.arrivals.push_back(read_double(in, line_no, "arrival seconds"));
-      expect_end(in, line_no);
+      ExplicitArrival a;
+      a.arrival_seconds = read_double(in, line_no, "arrival seconds");
+      // Optional key=value tokens: id=<n>, deadline=<s>.
+      std::string token;
+      while (in >> token) {
+        const auto eq = token.find('=');
+        const std::string key =
+            eq == std::string::npos ? token : token.substr(0, eq);
+        if (eq == std::string::npos) {
+          fail(line_no, "unexpected trailing token '" + token + "'");
+        } else if (key == "id") {
+          a.id = static_cast<int>(keyed_value(token, eq, line_no));
+          if (a.id < 0) fail(line_no, "session id must be >= 0");
+        } else if (key == "deadline") {
+          a.deadline_seconds = keyed_value(token, eq, line_no);
+        } else {
+          fail(line_no, "unknown session option '" + key + "'");
+        }
+      }
+      if (a.id < 0) a.id = static_cast<int>(spec.arrivals.size());
+      spec.arrivals.push_back(a);
     } else if (keyword == "open") {
       if (have_explicit || have_closed || have_open) {
         fail(line_no, "only one arrival mode may be specified");
@@ -168,10 +260,15 @@ SessionSpec parse_session_spec(const std::string& text) {
       spec.queries_per_client = read_int(in, line_no, "queries per client");
       spec.think_seconds = read_double(in, line_no, "think seconds");
       expect_end(in, line_no);
+    } else if (keyword == "defer_cap") {
+      spec.admission.max_defer_seconds =
+          read_double(in, line_no, "deferral cap seconds");
+      expect_end(in, line_no);
     } else if (keyword == "admission") {
       std::string policy;
       if (!(in >> policy)) {
-        fail(line_no, "expected 'unbounded', 'cap' or 'bandwidth'");
+        fail(line_no, "expected 'unbounded', 'cap', 'bandwidth', 'shed', "
+                      "'deadline' or 'degrade'");
       }
       if (policy == "unbounded") {
         spec.admission.policy = AdmissionPolicy::kUnbounded;
@@ -187,6 +284,23 @@ SessionSpec parse_session_spec(const std::string& text) {
             read_double(in, line_no, "minimum bandwidth (bytes/second)");
         double recheck = 0;
         if (in >> recheck) spec.admission.recheck_seconds = recheck;
+        expect_end(in, line_no);
+      } else if (policy == "shed") {
+        spec.admission.policy = AdmissionPolicy::kLoadShedding;
+        spec.admission.max_concurrent =
+            read_int(in, line_no, "max concurrent sessions");
+        int max_queue = 0;
+        if (in >> max_queue) spec.admission.max_queue = max_queue;
+        expect_end(in, line_no);
+      } else if (policy == "deadline") {
+        spec.admission.policy = AdmissionPolicy::kDeadlineAware;
+        spec.admission.deadline_seconds =
+            read_double(in, line_no, "deadline seconds");
+        expect_end(in, line_no);
+      } else if (policy == "degrade") {
+        spec.admission.policy = AdmissionPolicy::kDegrading;
+        spec.admission.max_concurrent =
+            read_int(in, line_no, "max concurrent sessions");
         expect_end(in, line_no);
       } else {
         fail(line_no, "unknown admission policy '" + policy + "'");

@@ -4,7 +4,10 @@
 // Line-oriented text format; '#' starts a comment, blank lines are ignored.
 // Times are simulated seconds. Exactly one arrival mode must be given:
 //
-//   session <arrival_seconds>                # one explicit query session
+//   session <arrival_seconds> [id=<n>] [deadline=<s>]
+//                                            # one explicit query session;
+//                                            # id must be unique, deadline
+//                                            # overrides the default below
 //   open <count> <rate_per_hour>             # Poisson open-loop arrivals
 //   closed <clients> <queries> <think_s>     # closed loop: each client runs
 //                                            # <queries> sessions back to
@@ -13,7 +16,22 @@
 //   admission cap <max_concurrent>           # FIFO queue beyond the cap
 //   admission bandwidth <min_bw> [recheck_s] # defer while the measured
 //                                            # client-link bandwidth (B/s)
-//                                            # is below <min_bw>
+//                                            # is below <min_bw>; deferral
+//                                            # is bounded (defer_cap below)
+//   admission shed <max_concurrent> [max_queue]
+//                                            # load shedding: queue at most
+//                                            # max_queue (default 0) behind
+//                                            # the cap, reject the rest
+//   admission deadline <deadline_s>          # reject sessions whose
+//                                            # predicted response exceeds
+//                                            # their deadline (default
+//                                            # <deadline_s>, overridable
+//                                            # per session line)
+//   admission degrade <max_concurrent>       # beyond the cap, admit but
+//                                            # force the cheap one-shot
+//                                            # engine mode
+//   defer_cap <seconds>                      # bound on bandwidth-aware
+//                                            # deferral (default 900)
 //
 // Parse errors throw std::runtime_error with the offending line number;
 // wadc_run turns that into exit code 2, like the fault-spec path.
@@ -24,20 +42,34 @@
 
 namespace wadc::session {
 
-// How the admission controller treats an arriving session.
+// How the admission controller treats an arriving session. The first three
+// are the original policies; the last three are the overload-control
+// policies (docs/SESSIONS.md "Overload control").
 enum class AdmissionPolicy {
   kUnbounded,       // start every session the moment it arrives
   kFixedCap,        // at most max_concurrent running; FIFO queue beyond
   kBandwidthAware,  // defer while measured client-link bandwidth < threshold
+  kLoadShedding,    // cap + bounded queue; beyond both, shed (reject)
+  kDeadlineAware,   // shed sessions predicted to miss their deadline
+  kDegrading,       // beyond the cap, admit in degraded (one-shot) mode
 };
 
 const char* admission_policy_name(AdmissionPolicy policy);
 
 struct AdmissionParams {
   AdmissionPolicy policy = AdmissionPolicy::kUnbounded;
-  int max_concurrent = 4;        // kFixedCap
+  int max_concurrent = 4;        // kFixedCap / kLoadShedding / kDegrading
   double min_bandwidth = 0;      // bytes/second (kBandwidthAware)
   double recheck_seconds = 30;   // kBandwidthAware re-evaluation period
+  // kBandwidthAware forward-progress bound: a deferred session is force-
+  // admitted once it has waited this long, so congestion can delay but
+  // never starve it (the recheck that fires at the bound admits it).
+  double max_defer_seconds = 900;
+  int max_queue = 0;             // kLoadShedding FIFO room behind the cap
+  // kDeadlineAware default per-session response deadline, seconds. 0 means
+  // "no deadline": sessions without an explicit per-session deadline are
+  // always admitted.
+  double deadline_seconds = 0;
 };
 
 // How query sessions arrive.
@@ -48,10 +80,18 @@ enum class ArrivalMode {
                 // after the previous one completes
 };
 
+// One explicit `session` line: arrival time plus optional stable id and
+// per-session deadline (0 = use AdmissionParams::deadline_seconds).
+struct ExplicitArrival {
+  double arrival_seconds = 0;
+  int id = -1;                  // unique across the spec; -1 = line ordinal
+  double deadline_seconds = 0;  // 0 = default
+};
+
 struct SessionSpec {
   ArrivalMode mode = ArrivalMode::kExplicit;
 
-  std::vector<double> arrivals;  // kExplicit (seconds)
+  std::vector<ExplicitArrival> arrivals;  // kExplicit
 
   int open_count = 0;  // kOpenLoop
   double open_rate_per_hour = 0;
@@ -72,6 +112,10 @@ struct SessionSpec {
   // N sessions all arriving at t=0, unbounded admission — the shape behind
   // wadc_run --num-clients.
   static SessionSpec concurrent_clients(int n);
+
+  // N open-loop Poisson sessions at `rate_per_hour` — the shape behind the
+  // capacity-study ramp harness (bench/ext_capacity).
+  static SessionSpec poisson(int count, double rate_per_hour);
 };
 
 // Parses the format above from a string.

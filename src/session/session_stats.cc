@@ -5,72 +5,65 @@
 #include "trace/stats.h"
 
 namespace wadc::session {
-namespace {
 
-// Response times of completed sessions.
-std::vector<double> completed_responses(const SessionStats& stats) {
-  std::vector<double> xs;
-  xs.reserve(stats.sessions.size());
-  for (const SessionRecord& s : stats.sessions) {
-    if (s.completed) xs.push_back(s.response_seconds());
+void SessionStats::add(const SessionRecord& record) {
+  sessions_.push_back(record);
+  makespan_seconds_ = std::max(makespan_seconds_, record.end_seconds);
+  images_total_ += record.images;
+
+  if (record.shed) {
+    ++shed_;
+    return;  // never queued, never ran: nothing else to fold
   }
-  return xs;
+  ++admitted_;
+  if (record.deferred) ++deferred_;
+  if (record.degraded) ++degraded_;
+  const double queue = record.queue_seconds();
+  queue_sum_ += queue;
+  queue_max_ = std::max(queue_max_, queue);
+
+  if (!record.completed) return;  // aborted: admitted, but no response metrics
+  ++completed_;
+  const double response = record.response_seconds();
+  response_sum_ += response;
+  responses_.push_back(response);
+  const double x = record.throughput();
+  throughput_sum_ += x;
+  throughput_sum_sq_ += x * x;
 }
 
-}  // namespace
-
-int SessionStats::completed_count() const {
-  return static_cast<int>(
-      std::count_if(sessions.begin(), sessions.end(),
-                    [](const SessionRecord& s) { return s.completed; }));
+double SessionStats::shed_fraction() const {
+  if (sessions_.empty()) return 0.0;
+  return static_cast<double>(shed_) / static_cast<double>(sessions_.size());
 }
 
 double SessionStats::mean_response_seconds() const {
-  const std::vector<double> xs = completed_responses(*this);
-  return xs.empty() ? 0.0 : trace::mean_of(xs);
+  return completed_ > 0 ? response_sum_ / completed_ : 0.0;
 }
 
 double SessionStats::p95_response_seconds() const {
-  std::vector<double> xs = completed_responses(*this);
-  return xs.empty() ? 0.0 : trace::percentile_of(std::move(xs), 95.0);
+  if (responses_.empty()) return 0.0;
+  return trace::percentile_of(responses_, 95.0);
 }
 
 double SessionStats::mean_queue_seconds() const {
-  if (sessions.empty()) return 0.0;
-  std::vector<double> xs;
-  xs.reserve(sessions.size());
-  for (const SessionRecord& s : sessions) xs.push_back(s.queue_seconds());
-  return trace::mean_of(xs);
-}
-
-double SessionStats::max_queue_seconds() const {
-  double max = 0;
-  for (const SessionRecord& s : sessions) {
-    max = std::max(max, s.queue_seconds());
-  }
-  return max;
+  return admitted_ > 0 ? queue_sum_ / admitted_ : 0.0;
 }
 
 double SessionStats::jain_fairness() const {
-  double sum = 0;
-  double sum_sq = 0;
-  int n = 0;
-  for (const SessionRecord& s : sessions) {
-    if (!s.completed) continue;
-    const double x = s.throughput();
-    sum += x;
-    sum_sq += x * x;
-    ++n;
-  }
-  if (n == 0 || sum_sq == 0) return 1.0;
-  return (sum * sum) / (n * sum_sq);
+  if (completed_ == 0 || throughput_sum_sq_ <= 0) return 1.0;
+  return (throughput_sum_ * throughput_sum_) /
+         (completed_ * throughput_sum_sq_);
 }
 
 double SessionStats::aggregate_throughput() const {
-  if (makespan_seconds <= 0) return 0.0;
-  int images = 0;
-  for (const SessionRecord& s : sessions) images += s.images;
-  return images / makespan_seconds;
+  if (makespan_seconds_ <= 0) return 0.0;
+  return static_cast<double>(images_total_) / makespan_seconds_;
+}
+
+double SessionStats::goodput_per_hour() const {
+  if (makespan_seconds_ <= 0) return 0.0;
+  return completed_ * 3600.0 / makespan_seconds_;
 }
 
 }  // namespace wadc::session

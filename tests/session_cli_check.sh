@@ -42,6 +42,35 @@ expect_exit 2 "empty spec" \
 expect_exit 2 "missing spec file" \
   --sessions-spec="$TMP/does-not-exist.sessions" --servers=2 --iterations=4
 
+printf 'session 0 id=3\nsession 10 id=3\n' > "$TMP/dup-id.sessions"
+expect_exit 2 "duplicate session ids rejected" \
+  --sessions-spec="$TMP/dup-id.sessions" --servers=2 --iterations=4
+
+printf 'session 0 id=-2\n' > "$TMP/neg-id.sessions"
+expect_exit 2 "negative session id rejected" \
+  --sessions-spec="$TMP/neg-id.sessions" --servers=2 --iterations=4
+
+printf 'open 4 nan\n' > "$TMP/nan-rate.sessions"
+expect_exit 2 "nan arrival rate rejected" \
+  --sessions-spec="$TMP/nan-rate.sessions" --servers=2 --iterations=4
+
+printf 'closed 2 2 -5\n' > "$TMP/neg-think.sessions"
+expect_exit 2 "negative think time rejected" \
+  --sessions-spec="$TMP/neg-think.sessions" --servers=2 --iterations=4
+
+printf 'session 0\nadmission shed -1\n' > "$TMP/neg-shed.sessions"
+expect_exit 2 "negative shed cap rejected" \
+  --sessions-spec="$TMP/neg-shed.sessions" --servers=2 --iterations=4
+
+printf 'session 0\nadmission deadline inf\n' > "$TMP/inf-deadline.sessions"
+expect_exit 2 "infinite deadline rejected" \
+  --sessions-spec="$TMP/inf-deadline.sessions" --servers=2 --iterations=4
+
+printf 'session 0\nadmission bandwidth 5000\ndefer_cap 0\n' \
+  > "$TMP/zero-defer.sessions"
+expect_exit 2 "zero deferral cap rejected" \
+  --sessions-spec="$TMP/zero-defer.sessions" --servers=2 --iterations=4
+
 expect_exit 2 "--num-clients must be >= 1" --num-clients=0
 
 expect_exit 2 "--sessions-spec and --num-clients conflict" \
@@ -66,6 +95,31 @@ if ! grep -q '^config_seed,algorithm,policy,sessions,' "$TMP/out"; then
   head -3 "$TMP/out" >&2
   fail=1
 fi
+
+if ! grep -q 'shed,deferred,degraded,goodput_per_hour' "$TMP/out"; then
+  echo "FAIL: per-outcome columns missing from session CSV header:" >&2
+  head -3 "$TMP/out" >&2
+  fail=1
+fi
+
+# Overload policies run end to end from the CLI.
+printf 'session 0\nsession 1\nsession 2\nadmission shed 1 0\n' \
+  > "$TMP/shed.sessions"
+expect_exit 0 "shed-policy session run" \
+  --sessions-spec="$TMP/shed.sessions" --servers=2 --iterations=4 \
+  --configs=1 --seed=1000 --csv
+
+printf 'session 0\nsession 1 deadline=9000\nadmission deadline 4000\n' \
+  > "$TMP/deadline.sessions"
+expect_exit 0 "deadline-policy session run" \
+  --sessions-spec="$TMP/deadline.sessions" --servers=2 --iterations=4 \
+  --configs=1 --seed=1000 --csv
+
+printf 'session 0\nsession 1\nadmission degrade 1\n' \
+  > "$TMP/degrade.sessions"
+expect_exit 0 "degrade-policy session run" \
+  --sessions-spec="$TMP/degrade.sessions" --servers=2 --iterations=4 \
+  --configs=1 --seed=1000 --csv
 
 if [ "$fail" = 0 ]; then
   echo "session CLI contract OK"

@@ -56,6 +56,19 @@ for dir in src/*/; do
   done < <(grep -rn '#include "[a-z_]*/' "$dir" --include='*.h' --include='*.cc' -o 2>/dev/null)
 done
 
+# Finer-grained rule inside src/session: the overload-control module
+# (overload.* and admission.*) is pure policy — backpressure signals in,
+# decisions out. It must stay engine-free so controllers remain unit-testable
+# with hand-built signals; only the SessionManager wires policy to engines.
+for f in src/session/overload.h src/session/overload.cc \
+         src/session/admission.h src/session/admission.cc; do
+  [ -f "$f" ] || { echo "layering: missing $f"; status=1; continue; }
+  while IFS=: read -r line include; do
+    echo "layering violation: $f:$line includes \"${include#*\"}\" (the overload module must not depend on dataflow/)"
+    status=1
+  done < <(grep -n '#include "dataflow/' "$f" -o 2>/dev/null)
+done
+
 if [ "$status" -eq 0 ]; then
   echo "layering: OK"
 fi
