@@ -99,9 +99,10 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
         [this](const fault::FaultEvent& ev) { on_fault_event(ev); });
   }
   channel_.set_retry_listener(
-      [this](net::HostId from, net::HostId to, int attempt) {
-        note_retry(from, to, attempt);
-      });
+      {[](void* ctx, net::HostId from, net::HostId to, int attempt) {
+         static_cast<Engine*>(ctx)->note_retry(from, to, attempt);
+       },
+       this});
   if (params_.session_id >= 0) {
     channel_.set_session_tag(params_.session_id);
   }

@@ -60,6 +60,13 @@ struct RunStats {
   double completion_seconds = 0;       // time of the last delivered image
   std::vector<double> arrival_seconds; // client arrival time per image
 
+  // Transport backend the run executed on ("tcp", ...). Empty for the
+  // default simulated backend — and omitted from exports, so sim artifacts
+  // are bit-for-bit what they were before backends existed. Non-empty
+  // values mark the run's timestamps as scaled wall clock, which
+  // wadc_report inspect calls out when digesting the artifact.
+  std::string backend;
+
   int relocations = 0;
   int barriers_initiated = 0;
   int barriers_completed = 0;

@@ -17,6 +17,7 @@
 #include "exp/timeline_sampler.h"
 #include "fault/injector.h"
 #include "net/network.h"
+#include "net/realtime.h"
 #include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -26,6 +27,16 @@
 #include "sim/simulation.h"
 
 namespace wadc::exp {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
 
 dataflow::EngineParams ExperimentSpec::engine_params(
     std::uint64_t seed) const {
@@ -39,6 +50,19 @@ dataflow::EngineParams ExperimentSpec::engine_params(
 }
 
 namespace {
+
+// Builds and attaches the realtime (tcp) backend when the spec asks for
+// one. Returned handle must be destroyed before `sim` and `network` (it
+// detaches itself); callers declare it after both.
+std::unique_ptr<net::RealtimeBackend> make_backend(const ExperimentSpec& spec,
+                                                   sim::Simulation& sim,
+                                                   net::Network& network) {
+  if (spec.backend != Backend::kTcp) return nullptr;
+  auto backend = std::make_unique<net::RealtimeBackend>(spec.tcp_time_scale,
+                                                        spec.tcp_rate_limit);
+  backend->attach(sim, network);
+  return backend;
+}
 
 // The body shared by both run_experiment overloads: everything downstream
 // of the simulation/network pair, which the fresh-context overload builds
@@ -97,6 +121,9 @@ RunResult run_on(const ExperimentSpec& spec, sim::Simulation& sim,
 
   RunResult result;
   result.stats = engine.run();
+  if (spec.backend != Backend::kSim) {
+    result.stats.backend = backend_name(spec.backend);
+  }
   result.completion_seconds = result.stats.completion_seconds;
   result.mean_interarrival_seconds = result.stats.mean_interarrival_seconds();
   return result;
@@ -112,12 +139,18 @@ RunResult run_experiment(const trace::TraceLibrary& library,
   const net::LinkTable links = make_network_config(
       library, num_hosts, spec.config_seed, spec.config);
   net::Network network(sim, links, spec.network);
+  const auto backend = make_backend(spec, sim, network);
   return run_on(spec, sim, network);
 }
 
 RunResult run_experiment(const trace::TraceLibrary& library,
                          const ExperimentSpec& spec, RunContext& ctx) {
   WADC_ASSERT(spec.num_servers >= 2, "need at least two servers");
+  // Epoch reuse exists for deterministic sweeps; a tcp run is a single
+  // wall-clock execution and opens real sockets per run, so route it
+  // through the fresh-context path instead of threading socket lifetime
+  // through RunContext.
+  if (spec.backend != Backend::kSim) return run_experiment(library, spec);
   const int num_hosts = spec.num_servers + 1;
 
   // Everything allocated from here to the end of the run comes from the
@@ -162,6 +195,7 @@ session::SessionStats run_session_experiment(
   const net::LinkTable links = make_network_config(
       library, num_hosts, spec.config_seed, spec.config);
   net::Network network(sim, links, spec.network);
+  const auto backend = make_backend(spec, sim, network);
 
   const bool faults = !spec.fault.empty();
   std::unique_ptr<fault::FaultInjector> injector;
@@ -206,7 +240,11 @@ session::SessionStats run_session_experiment(
         [&manager] { return manager.all_finished(); });
     sampler->start();
   }
-  return manager.run();
+  session::SessionStats stats = manager.run();
+  if (spec.backend != Backend::kSim) {
+    stats.backend = backend_name(spec.backend);
+  }
+  return stats;
 }
 
 namespace {

@@ -27,6 +27,21 @@
 
 namespace wadc::exp {
 
+// Which byte-mover backs the run's net::Network (see net/transport.h and
+// docs/ARCHITECTURE.md, "Transport backends").
+enum class Backend {
+  // The simulated bandwidth-trace integrator: pure discrete-event,
+  // deterministic, byte-identical output (the default, and the only
+  // backend the golden harness accepts).
+  kSim,
+  // Real loopback TCP sockets paced to the configured bandwidths, with the
+  // event loop keyed to CLOCK_MONOTONIC (net/realtime.h). Timings depend
+  // on kernel scheduling: the documented non-deterministic exception.
+  kTcp,
+};
+
+const char* backend_name(Backend backend);
+
 // Everything needed to reproduce one simulated run.
 struct ExperimentSpec {
   core::AlgorithmKind algorithm = core::AlgorithmKind::kDownloadAll;
@@ -49,6 +64,17 @@ struct ExperimentSpec {
   // Seed identifying the network configuration (the trace→link assignment)
   // and the workload draw.
   std::uint64_t config_seed = 1;
+
+  // Transport backend. kSim is the paper's simulation; kTcp moves every
+  // transfer over real loopback sockets in (scaled) wall-clock time. The
+  // tcp knobs below are ignored under kSim.
+  Backend backend = Backend::kSim;
+  // kTcp: simulated seconds per wall second (a 3-hour simulated run at the
+  // default 600 takes ~18 wall seconds).
+  double tcp_time_scale = 600;
+  // kTcp: pace frames to the configured link bandwidths (off = as fast as
+  // loopback allows; timings then say nothing about the modeled network).
+  bool tcp_rate_limit = true;
 
   // Fault injection. Empty (the default) runs exactly the fault-free
   // simulation — same events, same RNG draws, byte-identical output. When

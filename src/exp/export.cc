@@ -40,6 +40,11 @@ std::ofstream open_or_throw(const std::string& path) {
 void write_run_json(const dataflow::RunStats& stats, std::ostream& out) {
   out.precision(17);
   out << "{\n";
+  if (!stats.backend.empty()) {
+    // Only non-default backends are labeled, so sim-backend output stays
+    // byte-identical to pre-backend builds (golden harness).
+    out << "  \"backend\": \"" << stats.backend << "\",\n";
+  }
   out << "  \"completed\": " << (stats.completed ? "true" : "false") << ",\n";
   out << "  \"completion_seconds\": " << stats.completion_seconds << ",\n";
   out << "  \"mean_interarrival_seconds\": "
@@ -122,6 +127,11 @@ void write_sessions_json(const session::SessionStats& stats,
                          std::ostream& out) {
   out.precision(17);
   out << "{\n";
+  if (!stats.backend.empty()) {
+    // Same contract as write_run_json: only non-default backends are
+    // labeled, so sim-mode session artifacts are unchanged.
+    out << "  \"backend\": \"" << stats.backend << "\",\n";
+  }
   out << "  \"makespan_seconds\": " << stats.makespan_seconds() << ",\n";
   out << "  \"completed\": " << stats.completed_count() << ",\n";
   out << "  \"admitted\": " << stats.admitted_count() << ",\n";

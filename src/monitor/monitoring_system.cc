@@ -28,8 +28,11 @@ MonitoringSystem::MonitoringSystem(net::Network& network,
         std::make_unique<BandwidthCache>(n, params_.t_thres_seconds));
   }
   if (params_.passive_enabled) {
-    network_.add_observer(
-        [this](const net::TransferRecord& rec) { on_transfer(rec); });
+    network_.add_observer({[](void* ctx, const net::TransferRecord& rec) {
+                             static_cast<MonitoringSystem*>(ctx)->on_transfer(
+                                 rec);
+                           },
+                           this});
   }
 }
 

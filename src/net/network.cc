@@ -51,6 +51,7 @@ void Network::reset(const LinkTable& links, const NetworkParams& params) {
   // them.
   pending_.clear();
   active_transfers_.clear();
+  transport_ = nullptr;  // backends are per-run; reattach after reset
   links_ = &links;
   params_ = params;
   const std::string problem = params_.validate();
@@ -73,7 +74,15 @@ void Network::reset(const LinkTable& links, const NetworkParams& params) {
 }
 
 void Network::add_observer(TransferObserver observer) {
-  observers_.push_back(std::move(observer));
+  WADC_ASSERT(observer.fn != nullptr, "null transfer observer");
+  observers_.push_back(observer);
+}
+
+void Network::set_transport(Transport* transport) {
+  transport_ = transport;
+  if (transport_ != nullptr) {
+    transport_->set_completion(&Network::transport_trampoline, this);
+  }
 }
 
 void Network::set_obs(const obs::Obs& obs) {
@@ -265,11 +274,6 @@ void Network::start(Pending p) {
   ++active_[static_cast<std::size_t>(p.dst)];
 
   const sim::SimTime now = sim_.now();
-  const sim::SimTime tx_begin = now + params_.startup_seconds;
-  const sim::SimTime end =
-      links_->finish_time(p.src, p.dst, tx_begin, p.bytes);
-  WADC_ASSERT(end >= tx_begin, "transfer finishes before it starts");
-
   p.record->started = now;
 
   // A dropped transfer occupies its endpoints for the full duration and
@@ -278,6 +282,41 @@ void Network::start(Pending p) {
                        drop_rng_->bernoulli(drop_probability_);
 
   const std::uint64_t seq = p.seq;
+
+  if (transport_ != nullptr) {
+    // Backend-delegated delivery: the transport ships real bytes and calls
+    // back (via the trampoline) when the last one lands; there is no
+    // analytically scheduled completion event to cancel.
+    active_transfers_.emplace(
+        seq, Active{p.src, p.dst, p.record, p.done, sim::kNoEventSeq,
+                    p.timeout_event, dropped});
+    // Charge the modeled per-message startup cost before bytes flow, like
+    // the integrator path does — the monitor's app-bandwidth estimates
+    // (bytes / (completed - started)) assume it. The launch is an ordinary
+    // event: under the realtime clock it fires startup_seconds of scaled
+    // wall time later. A fault or timeout may resolve the transfer first,
+    // in which case the launch finds its seq gone and does nothing.
+    const HostId src = p.src;
+    const HostId dst = p.dst;
+    const double bytes = p.bytes;
+    const int priority = p.priority;
+    const int session = p.record->session;
+    auto launch = [this, seq, src, dst, bytes, priority, session] {
+      if (transport_ == nullptr) return;
+      if (active_transfers_.find(seq) == active_transfers_.end()) return;
+      transport_->start_transfer(src, dst, bytes, priority, session, seq);
+    };
+    static_assert(sim::Callback::fits_inline<decltype(launch)>(),
+                  "transport launches must stay allocation-free");
+    sim_.schedule_at(now + params_.startup_seconds, launch);
+    return;
+  }
+
+  const sim::SimTime tx_begin = now + params_.startup_seconds;
+  const sim::SimTime end =
+      links_->finish_time(p.src, p.dst, tx_begin, p.bytes);
+  WADC_ASSERT(end >= tx_begin, "transfer finishes before it starts");
+
   auto complete = [this, seq] { on_complete(seq); };
   static_assert(sim::Callback::fits_inline<decltype(complete)>(),
                 "transfer completions must stay allocation-free");
@@ -299,6 +338,29 @@ void Network::on_complete(std::uint64_t seq) {
                 /*timeout_fired=*/false);
 }
 
+void Network::transport_trampoline(void* ctx, std::uint64_t seq,
+                                   bool delivered) {
+  auto* self = static_cast<Network*>(ctx);
+  auto resolve = [self, seq, delivered] {
+    self->on_transport_resolved(seq, delivered);
+  };
+  static_assert(sim::Callback::fits_inline<decltype(resolve)>(),
+                "transport completions must stay allocation-free");
+  self->sim_.schedule_at(self->sim_.external_now(), resolve);
+}
+
+void Network::on_transport_resolved(std::uint64_t seq, bool delivered) {
+  const auto it = active_transfers_.find(seq);
+  // A timeout or injected fault may have resolved the transfer between the
+  // wire delivery and this deferred event; the late completion is dropped.
+  if (it == active_transfers_.end()) return;
+  const TransferOutcome outcome =
+      !delivered || it->second.dropped ? TransferOutcome::kFailed
+                                       : TransferOutcome::kCompleted;
+  finish_active(it, outcome, /*completion_fired=*/true,
+                /*timeout_fired=*/false);
+}
+
 void Network::on_timeout(std::uint64_t seq) {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].seq == seq) {
@@ -315,9 +377,15 @@ void Network::on_timeout(std::uint64_t seq) {
 void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
                             TransferOutcome outcome, bool completion_fired,
                             bool timeout_fired) {
+  const std::uint64_t seq = it->first;
   const Active a = it->second;
   active_transfers_.erase(it);
-  if (!completion_fired) sim_.cancel_scheduled(a.completion_event);
+  if (!completion_fired) {
+    sim_.cancel_scheduled(a.completion_event);
+    // Backend-delegated transfers have bytes on the wire; abandon them so
+    // no completion arrives for a seq that no longer exists.
+    if (transport_ != nullptr) transport_->cancel_transfer(seq);
+  }
   if (!timeout_fired) sim_.cancel_scheduled(a.timeout_event);
 
   --active_[static_cast<std::size_t>(a.src)];
@@ -335,7 +403,7 @@ void Network::finish_active(std::map<std::uint64_t, Active>::iterator it,
   } else {
     note_failure(*a.record);
   }
-  for (const auto& observer : observers_) observer(*a.record);
+  for (const TransferObserver& o : observers_) o.fn(o.ctx, *a.record);
   a.done->set();
   try_start_transfers();
 }
@@ -350,7 +418,7 @@ void Network::fail_pending(std::size_t index, TransferOutcome outcome) {
   p.record->started = p.record->completed = sim_.now();
   p.record->outcome = outcome;
   note_failure(*p.record);
-  for (const auto& observer : observers_) observer(*p.record);
+  for (const TransferObserver& o : observers_) o.fn(o.ctx, *p.record);
   p.done->set();
 }
 

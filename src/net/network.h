@@ -29,7 +29,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -37,6 +36,7 @@
 
 #include "common/rng.h"
 #include "net/link_table.h"
+#include "net/transport.h"
 #include "net/types.h"
 #include "obs/obs.h"
 #include "sim/simulation.h"
@@ -111,7 +111,14 @@ struct TransferRecord {
 
 class Network {
  public:
-  using TransferObserver = std::function<void(const TransferRecord&)>;
+  // Completion observers run for every resolved transfer — one of the
+  // hottest fan-out points in the kernel — so they are a raw function
+  // pointer + context pair, not a std::function (same policy as the event
+  // queue's sim::Callback and ReliableChannel's retry listener).
+  struct TransferObserver {
+    void (*fn)(void* ctx, const TransferRecord& record) = nullptr;
+    void* ctx = nullptr;
+  };
 
   Network(sim::Simulation& sim, const LinkTable& links,
           const NetworkParams& params = {});
@@ -134,6 +141,14 @@ class Network {
                                      int session = kNoSession);
 
   void add_observer(TransferObserver observer);
+
+  // Attaches a byte-mover backend (see net/transport.h). Null (the default)
+  // keeps the simulated bandwidth-trace integrator. Admission, priorities,
+  // fault gating, timeouts, records, and observers stay in Network either
+  // way; the backend only decides *when the bytes actually arrive*. Call
+  // before traffic flows; reset() detaches.
+  void set_transport(Transport* transport);
+  Transport* transport() const { return transport_; }
 
   // Epoch boundary for sweep workers: rebinds the network to a new link
   // table and parameter set and rewinds every counter, queue, observer
@@ -229,6 +244,14 @@ class Network {
 
   // Delivery-time handler for the active transfer with the given seq.
   void on_complete(std::uint64_t seq);
+  // Transport-backend completion: invoked on the driving loop's thread
+  // context (inside Clock::wait_until), defers into the event queue at
+  // external_now() so the latch resume happens at a well-defined sim time.
+  static void transport_trampoline(void* ctx, std::uint64_t seq,
+                                   bool delivered);
+  // The deferred half: tolerant of already-resolved seqs (a timeout or
+  // fault may have raced the delivery).
+  void on_transport_resolved(std::uint64_t seq, bool delivered);
   // Deadline handler; the transfer may be pending or active.
   void on_timeout(std::uint64_t seq);
   // Resolves an active transfer. Exactly one of the bracketing events has
@@ -248,6 +271,7 @@ class Network {
   void note_failure(const TransferRecord& rec);
 
   sim::Simulation& sim_;
+  Transport* transport_ = nullptr;  // null = simulated integrator
   // Pointer, not reference: reset() rebinds it to the next run's table.
   // Never null; may dangle between a run's teardown and the next reset(),
   // during which nothing dereferences it.

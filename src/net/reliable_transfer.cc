@@ -37,7 +37,9 @@ sim::Task<bool> ReliableChannel::send(
       co_return true;
     }
     if (attempt >= policy_.max_retries || cancelled()) co_return false;
-    if (retry_listener_) retry_listener_(from, to, attempt);
+    if (retry_listener_.fn != nullptr) {
+      retry_listener_.fn(retry_listener_.ctx, from, to, attempt);
+    }
     co_await network_.simulation().delay(retry_backoff(attempt));
   }
 }

@@ -49,7 +49,17 @@ struct RetryPolicy {
 class ReliableChannel {
  public:
   // Observes each retry (for stats/tracing): (from, to, attempt index).
-  using RetryListener = std::function<void(HostId, HostId, int)>;
+  // A raw function-pointer + context pair, not a std::function: the
+  // listener sits on the retry hot path and the event-queue work (PR 2)
+  // set the policy that kernel-level callbacks never type-erase through a
+  // potentially allocating wrapper. (Audit note: the remaining
+  // std::function parameters on send() below are borrowed for the duration
+  // of one co_await at the call site — never stored, never copied — and
+  // every caller passes a small-capture lambda; see docs/PERFORMANCE.md.)
+  struct RetryListener {
+    void (*fn)(void* ctx, HostId from, HostId to, int attempt) = nullptr;
+    void* ctx = nullptr;
+  };
 
   ReliableChannel(Network& network, const RetryPolicy& policy, Rng jitter_rng)
       : network_(network), policy_(policy), jitter_rng_(jitter_rng) {}
@@ -88,7 +98,7 @@ class ReliableChannel {
                        const std::function<bool()>& cancelled);
 
   void set_retry_listener(RetryListener listener) {
-    retry_listener_ = std::move(listener);
+    retry_listener_ = listener;
   }
 
   // Tags every transfer this channel issues with a query-session id

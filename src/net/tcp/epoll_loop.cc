@@ -1,0 +1,175 @@
+#include "net/tcp/epoll_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wadc::net::tcp {
+
+double monotonic_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+namespace {
+
+// Sentinel ctx marking the loop's own timerfd in epoll event data.
+constexpr std::uintptr_t kTimerFdTag = 1;
+
+}  // namespace
+
+EpollLoop::EpollLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  WADC_ASSERT(epoll_fd_ >= 0, "epoll_create1 failed: ", strerror(errno));
+  timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  WADC_ASSERT(timer_fd_ >= 0, "timerfd_create failed: ", strerror(errno));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kTimerFdTag;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  WADC_ASSERT(rc == 0, "epoll_ctl(timerfd) failed: ", strerror(errno));
+}
+
+EpollLoop::~EpollLoop() {
+  if (timer_fd_ >= 0) close(timer_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void EpollLoop::add_fd(int fd, std::uint32_t events, IoFn fn, void* ctx) {
+  WADC_ASSERT(fn != nullptr, "null fd handler");
+  const auto [it, inserted] = fds_.emplace(fd, FdEntry{fn, ctx});
+  WADC_ASSERT(inserted, "fd registered twice: ", fd);
+  (void)it;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  WADC_ASSERT(rc == 0, "epoll_ctl(ADD) failed: ", strerror(errno));
+}
+
+void EpollLoop::mod_fd(int fd, std::uint32_t events) {
+  WADC_ASSERT(fds_.count(fd) != 0, "mod of unregistered fd: ", fd);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  WADC_ASSERT(rc == 0, "epoll_ctl(MOD) failed: ", strerror(errno));
+}
+
+void EpollLoop::del_fd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+  // EBADF/ENOENT are tolerated: the fd may already be closed.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::uint64_t EpollLoop::add_timer(double deadline_seconds, TimerFn fn,
+                                   void* ctx) {
+  WADC_ASSERT(fn != nullptr, "null timer handler");
+  WADC_ASSERT(std::isfinite(deadline_seconds), "non-finite timer deadline");
+  const std::uint64_t id = next_timer_id_++;
+  timers_.push_back(Timer{deadline_seconds, id, fn, ctx});
+  arm_timerfd();
+  return id;
+}
+
+void EpollLoop::cancel_timer(std::uint64_t id) {
+  for (std::size_t i = 0; i < timers_.size(); ++i) {
+    if (timers_[i].id == id) {
+      timers_[i] = timers_.back();
+      timers_.pop_back();
+      arm_timerfd();
+      return;
+    }
+  }
+}
+
+void EpollLoop::arm_timerfd() {
+  itimerspec spec{};  // zeroed = disarm
+  if (!timers_.empty()) {
+    double earliest = timers_[0].deadline;
+    for (const Timer& t : timers_) earliest = std::min(earliest, t.deadline);
+    // TFD_TIMER_ABSTIME with a deadline already in the past would disarm,
+    // so clamp to a minimal relative tick instead.
+    const double now = monotonic_seconds();
+    const double dt = std::max(earliest - now, 1e-9);
+    const double whole = std::floor(dt);
+    spec.it_value.tv_sec = static_cast<time_t>(whole);
+    spec.it_value.tv_nsec = static_cast<long>((dt - whole) * 1e9);
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+      spec.it_value.tv_nsec = 1;
+    }
+  }
+  const int rc = timerfd_settime(timer_fd_, 0, &spec, nullptr);
+  WADC_ASSERT(rc == 0, "timerfd_settime failed: ", strerror(errno));
+}
+
+int EpollLoop::fire_due_timers() {
+  const double now = monotonic_seconds();
+  int fired = 0;
+  // Collect-then-fire: handlers may add or cancel timers reentrantly.
+  std::vector<Timer> due;
+  for (std::size_t i = 0; i < timers_.size();) {
+    if (timers_[i].deadline <= now) {
+      due.push_back(timers_[i]);
+      timers_[i] = timers_.back();
+      timers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  // Deterministic order within a batch: by arming order.
+  std::sort(due.begin(), due.end(),
+            [](const Timer& a, const Timer& b) { return a.id < b.id; });
+  for (const Timer& t : due) {
+    t.fn(t.ctx, t.id);
+    ++fired;
+  }
+  if (fired > 0) arm_timerfd();
+  return fired;
+}
+
+int EpollLoop::poll(double max_wait_seconds) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  int timeout_ms = 0;
+  if (max_wait_seconds > 0) {
+    const double ms = std::ceil(max_wait_seconds * 1e3);
+    timeout_ms = ms > 1e9 ? 1000000000 : static_cast<int>(ms);
+  }
+  int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  if (n < 0) {
+    WADC_ASSERT(errno == EINTR, "epoll_wait failed: ", strerror(errno));
+    n = 0;
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kTimerFdTag) {
+      std::uint64_t expirations = 0;
+      // Drain the timerfd; due timers fire below regardless.
+      const ssize_t rd =
+          read(timer_fd_, &expirations, sizeof(expirations));
+      (void)rd;
+      continue;
+    }
+    const int fd = events[i].data.fd;
+    const auto it = fds_.find(fd);
+    // A handler earlier in this batch may have deregistered the fd.
+    if (it == fds_.end()) continue;
+    it->second.fn(it->second.ctx, events[i].events);
+    ++dispatched;
+  }
+  dispatched += fire_due_timers();
+  return dispatched;
+}
+
+}  // namespace wadc::net::tcp

@@ -1,0 +1,81 @@
+// A minimal epoll + timerfd event loop for the TCP transport backend.
+//
+// Deliberately simulator-free: this directory must not include sim/ or
+// dataflow/ headers (tools/check_layering.sh enforces it), so the loop
+// speaks raw fds, CLOCK_MONOTONIC seconds, and function-pointer callbacks.
+// The realtime bridge (net/realtime.cc) is the only place that connects it
+// to the discrete-event kernel.
+//
+// Shape follows the classic single-threaded reactor: register fds with a
+// handler, arm one-shot monotonic timers (multiplexed onto a single
+// timerfd armed at the earliest deadline), and call poll() to block for
+// readiness and dispatch. Everything runs on the calling thread; no locks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wadc::net::tcp {
+
+// CLOCK_MONOTONIC, in seconds.
+double monotonic_seconds();
+
+class EpollLoop {
+ public:
+  using IoFn = void (*)(void* ctx, std::uint32_t events);
+  using TimerFn = void (*)(void* ctx, std::uint64_t timer_id);
+
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  // Registers `fd` with an epoll interest set (EPOLLIN/EPOLLOUT/...).
+  // The handler runs inside poll() with the ready-event mask.
+  void add_fd(int fd, std::uint32_t events, IoFn fn, void* ctx);
+  void mod_fd(int fd, std::uint32_t events);
+  // Deregisters; safe to call with an fd already closed by the kernel side.
+  void del_fd(int fd);
+
+  // Arms a one-shot timer at absolute monotonic `deadline_seconds` (the
+  // timerfd is re-armed at the earliest outstanding deadline). Returns an
+  // id for cancel_timer; ids are never reused within a loop's lifetime.
+  std::uint64_t add_timer(double deadline_seconds, TimerFn fn, void* ctx);
+  void cancel_timer(std::uint64_t id);
+
+  // Blocks up to `max_wait_seconds` (0 returns immediately after a
+  // non-blocking check) for fd readiness or timer expiry, then dispatches
+  // every ready handler. Returns the number of handlers dispatched.
+  int poll(double max_wait_seconds);
+
+  std::size_t timer_count() const { return timers_.size(); }
+  std::size_t fd_count() const { return fds_.size(); }
+
+ private:
+  struct FdEntry {
+    IoFn fn;
+    void* ctx;
+  };
+  struct Timer {
+    double deadline;
+    std::uint64_t id;
+    TimerFn fn;
+    void* ctx;
+  };
+
+  // Points the timerfd at the earliest outstanding deadline (disarms it
+  // when no timers remain).
+  void arm_timerfd();
+  // Fires every timer whose deadline has passed. Returns the count fired.
+  int fire_due_timers();
+
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  std::uint64_t next_timer_id_ = 1;
+  std::unordered_map<int, FdEntry> fds_;
+  std::vector<Timer> timers_;  // unsorted; scanned on arm/fire (small N)
+};
+
+}  // namespace wadc::net::tcp

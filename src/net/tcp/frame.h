@@ -1,0 +1,43 @@
+// Length-prefixed wire format for the TCP loopback backend.
+//
+// Two frame kinds flow on a connection:
+//   - exactly one Hello immediately after connect, identifying which
+//     (src, dst) channel of the mesh the socket carries;
+//   - Data frames, one per logical transfer: a fixed header followed by
+//     `wire_len` payload bytes. Logical transfer sizes routinely exceed
+//     what is worth pushing through loopback (the simulation moves tens of
+//     megabytes per message), so the payload is capped and the header
+//     carries the logical size — pacing and bandwidth accounting use the
+//     logical size, the socket only proves real end-to-end delivery.
+//
+// All integers are host-endian: both ends are the same process on
+// localhost by construction (one listener per simulated host, distinct
+// loopback ports).
+#pragma once
+
+#include <cstdint>
+
+namespace wadc::net::tcp {
+
+inline constexpr std::uint32_t kHelloMagic = 0x57414448;  // "WADH"
+inline constexpr std::uint32_t kDataMagic = 0x57414444;   // "WADD"
+
+struct Hello {
+  std::uint32_t magic = kHelloMagic;
+  std::int32_t src = -1;  // sending host of this channel
+  std::int32_t dst = -1;  // receiving host (the listener's identity)
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kDataMagic;
+  std::uint32_t wire_len = 0;     // payload bytes following this header
+  std::uint64_t seq = 0;          // transfer id, echoed in the completion
+  double logical_bytes = 0;       // modeled message size
+  std::int32_t tag = -1;          // session id or -1 (debugging only)
+  std::int32_t priority = 0;
+};
+
+static_assert(sizeof(Hello) == 12, "Hello layout drifted");
+static_assert(sizeof(FrameHeader) == 32, "FrameHeader layout drifted");
+
+}  // namespace wadc::net::tcp

@@ -1,0 +1,58 @@
+// The byte-mover seam under net::Network.
+//
+// Network owns everything the paper's model says about *when a message may
+// start* — per-host single-interface capacity, priority queues with
+// control-message overtaking, fault gating — and everything the rest of the
+// stack consumes: TransferRecords, observers, obs emission, session byte
+// accounting. What sits below the seam is only "move `bytes` from src to
+// dst and tell me when the last byte arrived":
+//
+//   - the simulated backend (the default, Network's own bandwidth-trace
+//     integrator) computes the delivery time analytically and schedules it
+//     on the event queue — byte-identical to every build before this seam
+//     existed;
+//   - the TCP backend (net/realtime.h bridging to net/tcp/) ships real
+//     frames over loopback sockets and reports completion from an epoll
+//     loop, with sim time mapped onto CLOCK_MONOTONIC by a sim::Clock.
+//
+// This header is include-clean of sim/ and dataflow/ on purpose: the
+// net/tcp implementation includes it, and tools/check_layering.sh enforces
+// that net/tcp never sees simulator headers. Completions are a raw
+// function-pointer + context pair (not std::function, not sim::Callback)
+// for the same reason.
+#pragma once
+
+#include <cstdint>
+
+namespace wadc::net {
+
+class Transport {
+ public:
+  // Invoked exactly once per started transfer, from whatever loop drives
+  // the transport (the epoll loop for TCP), unless the transfer was
+  // cancelled first. `delivered` is false when the connection failed or the
+  // peer closed mid-transfer; the receiver never saw the message.
+  using CompletionFn = void (*)(void* ctx, std::uint64_t seq, bool delivered);
+
+  virtual ~Transport() = default;
+
+  // Registers the single completion sink. Must be called before the first
+  // start_transfer.
+  virtual void set_completion(CompletionFn fn, void* ctx) = 0;
+
+  // Begins moving `bytes` from host `src` to host `dst`. The caller has
+  // already serialized admission (both endpoints free); the transport only
+  // frames, paces, and ships. `seq` identifies the transfer in the
+  // completion callback; `tag` is carried in the frame header for
+  // wire-level debugging (the session id, or -1).
+  virtual void start_transfer(int src, int dst, double bytes, int priority,
+                              int tag, std::uint64_t seq) = 0;
+
+  // Abandons a transfer previously started. No completion is delivered for
+  // `seq` after this returns; unknown (already-completed) seqs are ignored.
+  virtual void cancel_transfer(std::uint64_t seq) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace wadc::net

@@ -14,6 +14,7 @@
 // single partial sort when asked.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "sim/types.h"
@@ -104,6 +105,11 @@ class SessionStats {
   // Completed (admitted, non-aborted) sessions per hour of makespan — the
   // capacity harness's goodput axis.
   double goodput_per_hour() const;
+
+  // Non-default transport backend the run executed on ("tcp"), empty for
+  // the simulated default. Exporters only label non-empty values, so
+  // sim-mode session artifacts are unchanged.
+  std::string backend;
 
  private:
   std::vector<SessionRecord> sessions_;

@@ -1,0 +1,51 @@
+// The time source driving a Simulation's event loop.
+//
+// The discrete-event kernel is time-source-agnostic: Simulation::run pops
+// the next (time, seq) event and dispatches it, and the *only* difference
+// between a pure simulation and a realtime run is whether the loop jumps
+// straight to that event's timestamp or waits for a wall clock to catch up
+// (servicing I/O while it waits). Clock is that seam. The default (no clock
+// installed) is the paper's discrete-event behavior, byte-identical to every
+// build before this interface existed; a realtime clock (net/realtime.h)
+// maps sim seconds onto CLOCK_MONOTONIC via an epoll/timerfd loop and feeds
+// socket completions back in as ordinary scheduled events.
+//
+// Determinism contract: with no clock installed, a run is a pure function
+// of its inputs. With a realtime clock, event *timestamps* depend on kernel
+// scheduling and socket timing — wall-clock runs are the documented
+// non-deterministic exception, like the profiler (docs/OBSERVABILITY.md).
+#pragma once
+
+#include "sim/types.h"
+
+namespace wadc::sim {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // What happened while waiting for the next event's timestamp.
+  enum class Wait {
+    kReady,      // the clock has reached `t`; dispatch the event
+    kRecheck,    // external activity may have scheduled earlier events;
+                 // re-read the queue before dispatching
+    kExhausted,  // `t` was kTimeInfinity (empty queue) and no external
+                 // source can produce further events: the run is over
+  };
+
+  // Blocks until the clock reaches sim-time `t`, or external activity
+  // (socket readiness, expired timers) injected new events via
+  // Simulation::schedule_at. Called with t == kTimeInfinity when the event
+  // queue is empty: the clock then waits for external work, or reports
+  // kExhausted if none can arrive.
+  virtual Wait wait_until(SimTime t) = 0;
+
+  // The clock's current reading, in sim seconds. `event_now` is the
+  // timestamp of the most recently dispatched event; the returned value
+  // must be >= event_now so externally injected events never schedule into
+  // the past. A pure simulation has no time between events, so the default
+  // returns event_now unchanged.
+  virtual SimTime now(SimTime event_now) { return event_now; }
+};
+
+}  // namespace wadc::sim

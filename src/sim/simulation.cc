@@ -57,11 +57,28 @@ std::uint64_t Simulation::spawn(Task<> process) {
 Simulation::RunStatus Simulation::run(SimTime until) {
   stop_requested_ = false;
   for (;;) {
-    if (queue_.empty()) return RunStatus::kIdle;
-    const SimTime t = queue_.next_time();
-    if (t > until) {
-      now_ = until;
-      return RunStatus::kTimeLimit;
+    if (clock_ != nullptr) {
+      // Realtime pacing: wait for the clock to reach the next event's
+      // timestamp (or for external activity to inject an earlier one)
+      // before dispatching. The queue may be empty while I/O is still in
+      // flight — only the clock knows whether more events can arrive.
+      const SimTime t = queue_.empty() ? kTimeInfinity : queue_.next_time();
+      const SimTime horizon = t < until ? t : until;
+      const Clock::Wait w = clock_->wait_until(horizon);
+      if (w == Clock::Wait::kRecheck) continue;
+      if (w == Clock::Wait::kExhausted && queue_.empty()) {
+        return RunStatus::kIdle;
+      }
+      if (queue_.empty() || queue_.next_time() > until) {
+        now_ = until;
+        return RunStatus::kTimeLimit;
+      }
+    } else {
+      if (queue_.empty()) return RunStatus::kIdle;
+      if (queue_.next_time() > until) {
+        now_ = until;
+        return RunStatus::kTimeLimit;
+      }
     }
     EventQueue::Entry entry = queue_.pop();
     now_ = entry.time;
@@ -94,6 +111,7 @@ void Simulation::terminate_all() {
 
 void Simulation::reset() {
   terminate_all();
+  clock_ = nullptr;  // reused contexts return to pure discrete-event time
   now_ = 0;
   next_seq_ = 0;
   stale_before_ = 0;

@@ -22,6 +22,7 @@
 
 #include "sim/arena.h"
 #include "sim/callback.h"
+#include "sim/clock.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
 #include "sim/types.h"
@@ -43,6 +44,24 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime now() const { return now_; }
+
+  // The clock's current reading: now() in a pure simulation, the wall-clock
+  // mapping when a realtime clock is installed. External event sources
+  // (socket completions arriving inside Clock::wait_until) schedule at this
+  // time so they never land in the past.
+  SimTime external_now() {
+    if (clock_ == nullptr) return now_;
+    const SimTime t = clock_->now(now_);
+    return t > now_ ? t : now_;
+  }
+
+  // Installs the time source driving run(). Null (the default) restores the
+  // pure discrete-event loop: events dispatch back-to-back with no waiting.
+  // A realtime clock makes run() wait for wall time to reach each event's
+  // timestamp, servicing I/O meanwhile (see sim/clock.h). Must not be
+  // called while run() is on the stack.
+  void set_clock(Clock* clock) { clock_ = clock; }
+  Clock* clock() const { return clock_; }
 
   // Schedules `action` to run at absolute time `t` (>= now). Actions are
   // move-only Callbacks; captures up to Callback::kInlineSize bytes are
@@ -153,6 +172,7 @@ class Simulation {
   static Driver drive(Task<> process);
 
   EventQueue queue_;
+  Clock* clock_ = nullptr;  // null = pure discrete-event time
   SimTime now_ = 0;
   EventSeq next_seq_ = 0;
   // Handles whose seq part is below this point at events dropped by the

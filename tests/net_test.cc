@@ -227,7 +227,10 @@ TEST(Network, ObserversSeeCompletedTransfers) {
   NetFixture f(1000);
   std::vector<TransferRecord> observed;
   f.network->add_observer(
-      [&](const TransferRecord& r) { observed.push_back(r); });
+      {[](void* ctx, const TransferRecord& r) {
+         static_cast<std::vector<TransferRecord>*>(ctx)->push_back(r);
+       },
+       &observed});
   f.sim.spawn([](Network& n) -> sim::Task<> {
     co_await n.transfer(0, 1, 500.0);
     co_await n.transfer(1, 2, 700.0);

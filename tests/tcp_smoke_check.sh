@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# TCP backend smoke: every paper algorithm completes a small 4-host run over
+# real loopback sockets, exporting metrics and a decision log, inside a hard
+# wall-clock budget. Wall-clock runs are non-deterministic by design, so
+# nothing here diffs against goldens — the assertions are "it completes",
+# "the artifacts exist", and "the run.json is labeled as a tcp run" (and the
+# inspector surfaces that label).
+#
+# Usage: tcp_smoke_check.sh <wadc_run binary> <wadc_report binary>
+set -u
+
+RUN=$1
+REPORT=$2
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+
+# Small problem (4 hosts, few iterations) at a high time scale keeps each
+# run to a couple of wall seconds; the ctest-level TIMEOUT is the backstop.
+for algo in download-all one-shot global local; do
+  if ! timeout 60 "$RUN" \
+      --backend=tcp --time-scale=3600 \
+      --algorithm="$algo" --servers=3 --iterations=6 --period=120 \
+      --no-baseline \
+      --dump-run="$TMP/$algo.run.json" \
+      --metrics-out="$TMP/$algo.metrics.json" \
+      --decisions-out="$TMP/$algo.decisions.jsonl" \
+      > "$TMP/$algo.out" 2> "$TMP/$algo.err"; then
+    echo "FAIL: --backend=tcp --algorithm=$algo did not exit 0" >&2
+    sed 's/^/  /' "$TMP/$algo.err" >&2
+    fail=1
+    continue
+  fi
+  for artifact in run.json metrics.json; do
+    if [ ! -s "$TMP/$algo.$artifact" ]; then
+      echo "FAIL: $algo: missing or empty $artifact" >&2
+      fail=1
+    fi
+  done
+  # The decision log is empty when a short run makes no adaptation
+  # decisions (e.g. download-all); only its existence is asserted.
+  if [ ! -f "$TMP/$algo.decisions.jsonl" ]; then
+    echo "FAIL: $algo: missing decisions.jsonl" >&2
+    fail=1
+  fi
+  if ! grep -q '"backend": "tcp"' "$TMP/$algo.run.json"; then
+    echo "FAIL: $algo: run.json is not labeled \"backend\": \"tcp\"" >&2
+    fail=1
+  fi
+  if ! grep -q '"completed": true' "$TMP/$algo.run.json"; then
+    echo "FAIL: $algo: run did not complete" >&2
+    sed 's/^/  /' "$TMP/$algo.run.json" >&2
+    fail=1
+  fi
+done
+
+# The inspector must flag the artifact as a wall-clock run, not present it
+# as deterministic simulated seconds.
+if ! "$REPORT" inspect --run="$TMP/global.run.json" > "$TMP/inspect.out" \
+    2> "$TMP/inspect.err"; then
+  echo "FAIL: wadc_report inspect --run failed on a tcp artifact" >&2
+  sed 's/^/  /' "$TMP/inspect.err" >&2
+  fail=1
+elif ! grep -q 'backend: tcp (wall-clock run' "$TMP/inspect.out"; then
+  echo "FAIL: inspect digest does not label the tcp backend" >&2
+  sed 's/^/  /' "$TMP/inspect.out" >&2
+  fail=1
+fi
+
+# --jobs must be forced down to 1 under tcp (with a note), not honored.
+if ! timeout 60 "$RUN" --backend=tcp --time-scale=3600 --algorithm=global \
+    --servers=3 --iterations=4 --no-baseline --jobs=4 \
+    > "$TMP/jobs.out" 2> "$TMP/jobs.err"; then
+  echo "FAIL: --backend=tcp --jobs=4 did not exit 0" >&2
+  sed 's/^/  /' "$TMP/jobs.err" >&2
+  fail=1
+elif ! grep -q 'forces --jobs=1' "$TMP/jobs.err"; then
+  echo "FAIL: no note about forcing --jobs=1 under tcp" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "tcp smoke: OK"
+fi
+exit "$fail"

@@ -69,6 +69,32 @@ for f in src/session/overload.h src/session/overload.cc \
   done < <(grep -n '#include "dataflow/' "$f" -o 2>/dev/null)
 done
 
+# Finer-grained rules around the transport seam (docs/ARCHITECTURE.md,
+# "Transport backends"):
+#   - src/net/tcp is the realtime socket layer. It must stay simulator-free
+#     (raw fds, monotonic seconds, function-pointer callbacks) so it can be
+#     tested and reasoned about without the discrete-event kernel; the
+#     realtime bridge (src/net/realtime.*) is the single translation point.
+#   - The tcp backend is an implementation detail of src/net. Production
+#     code outside it talks to net/transport.h and net/realtime.h, never to
+#     net/tcp/ directly. (Isolation tests under tests/ are exempt: testing
+#     the backend without the engine is the point.)
+for f in src/net/tcp/*.h src/net/tcp/*.cc; do
+  [ -f "$f" ] || { echo "layering: missing src/net/tcp sources"; status=1; continue; }
+  while IFS=: read -r line include; do
+    echo "layering violation: $f:$line includes \"${include#*\"}\" (src/net/tcp must not depend on sim/ or dataflow/)"
+    status=1
+  done < <(grep -n '#include "\(sim\|dataflow\)/' "$f" -o 2>/dev/null)
+done
+
+while IFS=: read -r file line include; do
+  case "$file" in
+    src/net/*) continue ;;
+  esac
+  echo "layering violation: $file:$line includes net/tcp/ (only src/net may include the tcp backend; use net/transport.h or net/realtime.h)"
+  status=1
+done < <(grep -rn '#include "net/tcp/' src tools --include='*.h' --include='*.cc' 2>/dev/null)
+
 if [ "$status" -eq 0 ]; then
   echo "layering: OK"
 fi

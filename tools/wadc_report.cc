@@ -11,12 +11,14 @@
 // Defaults: 60 configurations (the full paper scale of 300 takes a few
 // minutes; pass --configs=300), report to stdout.
 //
-// Inspect mode reads the observability artifacts a wadc_run invocation
-// exported (--timeline-out / --metrics-out / --decisions-out) and prints a
-// human-readable digest: per-host estimate-vs-truth staleness statistics,
-// per-session summaries, and the adaptation-decision audit trail.
+// Inspect mode reads the artifacts a wadc_run invocation exported
+// (--dump-run / --timeline-out / --metrics-out / --decisions-out) and
+// prints a human-readable digest: the run summary (labeling tcp-backend
+// runs, whose timestamps are scaled wall clock rather than simulated
+// seconds), per-host estimate-vs-truth staleness statistics, per-session
+// summaries, and the adaptation-decision audit trail.
 //
-//   wadc_report inspect [--timeline=FILE] [--metrics=FILE]
+//   wadc_report inspect [--run=FILE] [--timeline=FILE] [--metrics=FILE]
 //                       [--decisions=FILE] [--max-trail=N]
 #include <algorithm>
 #include <cctype>
@@ -421,11 +423,54 @@ std::vector<TimelineRow> load_timeline(const std::string& path) {
 }
 
 struct InspectOptions {
+  std::string run_path;  // run.json from wadc_run --dump-run
   std::string timeline_path;
   std::string metrics_path;
   std::string decisions_path;
   int max_trail = 200;  // decision records printed in full
 };
+
+// Digest of a --dump-run artifact. Runs executed on a non-default transport
+// backend carry a "backend" field; their timestamps are scaled wall clock,
+// not deterministic simulated seconds, and the digest says so instead of
+// presenting them as reproducible.
+void print_run_digest(const std::string& path) {
+  const JsonValue root = JsonParser(read_file(path)).parse();
+  const std::string backend = root.string_or("backend", "sim");
+  std::printf("## Run digest\n\n");
+  if (backend == "sim") {
+    std::printf("backend: sim (deterministic; timestamps are simulated "
+                "seconds)\n");
+  } else {
+    std::printf("backend: %s (wall-clock run; timestamps are scaled wall "
+                "clock and vary run to run — do not diff against sim "
+                "artifacts)\n",
+                backend.c_str());
+  }
+  const JsonValue* completed = root.find("completed");
+  std::printf("completed: %s\n",
+              completed != nullptr && completed->boolean ? "yes" : "NO");
+  std::printf("completion: %.1f %s\n",
+              root.number_or("completion_seconds", 0),
+              backend == "sim" ? "simulated seconds"
+                               : "scaled-wall-clock seconds");
+  std::printf("mean interarrival: %.2f s\n",
+              root.number_or("mean_interarrival_seconds", 0));
+  std::printf("replans: %lld\n",
+              static_cast<long long>(root.number_or("replans", 0)));
+  if (const JsonValue* relocations = root.find("relocations");
+      relocations != nullptr &&
+      relocations->kind == JsonValue::Kind::kArray) {
+    std::printf("relocations: %zu\n", relocations->array.size());
+  }
+  if (const JsonValue* fs = root.find("failure_summary"); fs != nullptr) {
+    std::printf("faults: %lld injected, %lld retries, %d repairs\n",
+                static_cast<long long>(fs->number_or("faults_injected", 0)),
+                static_cast<long long>(fs->number_or("transfer_retries", 0)),
+                static_cast<int>(fs->number_or("repair_relocations", 0)));
+  }
+  std::printf("\n");
+}
 
 void print_host_staleness(const std::vector<TimelineRow>& rows) {
   struct HostAgg {
@@ -632,6 +677,8 @@ int run_inspect(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (auto v = flag_value(argv[i], "--timeline")) {
       opt.timeline_path = *v;
+    } else if (auto vr = flag_value(argv[i], "--run")) {
+      opt.run_path = *vr;
     } else if (auto v2 = flag_value(argv[i], "--metrics")) {
       opt.metrics_path = *v2;
     } else if (auto v3 = flag_value(argv[i], "--decisions")) {
@@ -640,21 +687,23 @@ int run_inspect(int argc, char** argv) {
       opt.max_trail = std::atoi(v4->c_str());
     } else {
       std::fprintf(stderr,
-                   "usage: wadc_report inspect [--timeline=FILE] "
+                   "usage: wadc_report inspect [--run=FILE] "
+                   "[--timeline=FILE] "
                    "[--metrics=FILE] [--decisions=FILE] [--max-trail=N]\n");
       return 2;
     }
   }
-  if (opt.timeline_path.empty() && opt.metrics_path.empty() &&
-      opt.decisions_path.empty()) {
+  if (opt.run_path.empty() && opt.timeline_path.empty() &&
+      opt.metrics_path.empty() && opt.decisions_path.empty()) {
     std::fprintf(stderr,
                  "inspect: nothing to do — pass at least one of "
-                 "--timeline / --metrics / --decisions\n");
+                 "--run / --timeline / --metrics / --decisions\n");
     return 2;
   }
 
   std::printf("# wadc run inspection\n\n");
   try {
+    if (!opt.run_path.empty()) print_run_digest(opt.run_path);
     if (!opt.timeline_path.empty()) {
       const std::vector<TimelineRow> rows = load_timeline(opt.timeline_path);
       print_host_staleness(rows);
@@ -691,7 +740,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: wadc_report [--configs=N] [--out=FILE]\n"
-                   "       wadc_report inspect [--timeline=FILE] "
+                   "       wadc_report inspect [--run=FILE] "
+                   "[--timeline=FILE] "
                    "[--metrics=FILE] [--decisions=FILE] [--max-trail=N]\n");
       return 2;
     }

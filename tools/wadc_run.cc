@@ -53,6 +53,8 @@ using namespace wadc;
 
 struct Options {
   core::AlgorithmKind algorithm = core::AlgorithmKind::kGlobal;
+  exp::Backend backend = exp::Backend::kSim;
+  double time_scale = 600;  // tcp backend: simulated seconds per wall second
   int servers = 8;
   int iterations = 180;
   core::TreeShape shape = core::TreeShape::kCompleteBinary;
@@ -86,6 +88,13 @@ void usage() {
       "  --algorithm=download-all|one-shot|global|local|global-order|\n"
       "              reorder-only\n"
       "                         placement algorithm (default global)\n"
+      "  --backend=sim|tcp      transport backend (default sim). sim is the\n"
+      "                         deterministic discrete-event model; tcp moves\n"
+      "                         every transfer over real loopback sockets in\n"
+      "                         scaled wall-clock time (forces --jobs=1;\n"
+      "                         timings vary run to run)\n"
+      "  --time-scale=X         tcp backend: simulated seconds per wall\n"
+      "                         second (default 600)\n"
       "  --servers=N            number of data servers (default 8)\n"
       "  --iterations=N         partitions per server (default 180)\n"
       "  --shape=binary|left-deep|right-deep (default binary)\n"
@@ -190,6 +199,22 @@ bool parse(int argc, char** argv, Options& opt) {
         opt.algorithm = core::AlgorithmKind::kReorderOnly;
       } else {
         std::fprintf(stderr, "unknown algorithm '%s'\n", v->c_str());
+        return false;
+      }
+    } else if (auto vb = flag_value(arg, "--backend")) {
+      if (*vb == "sim") {
+        opt.backend = exp::Backend::kSim;
+      } else if (*vb == "tcp") {
+        opt.backend = exp::Backend::kTcp;
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (want sim or tcp)\n",
+                     vb->c_str());
+        return false;
+      }
+    } else if (auto vts = flag_value(arg, "--time-scale")) {
+      if (!to_double(*vts, "--time-scale", opt.time_scale)) return false;
+      if (opt.time_scale <= 0) {
+        std::fprintf(stderr, "--time-scale must be positive\n");
         return false;
       }
     } else if (auto v2 = flag_value(arg, "--servers")) {
@@ -315,11 +340,18 @@ bool parse(int argc, char** argv, Options& opt) {
                  "--sessions-spec and --num-clients are mutually exclusive\n");
     return false;
   }
+  if (opt.backend == exp::Backend::kTcp && opt.jobs > 1) {
+    // Every tcp run opens a full loopback socket mesh and paces against the
+    // one wall clock; concurrent runs would contend for both.
+    std::fprintf(stderr, "note: --backend=tcp forces --jobs=1\n");
+    opt.jobs = 1;
+  }
   return true;
 }
 
 // Worker-thread count for the configuration runs (shared by both modes).
 int resolve_run_jobs(const Options& opt) {
+  if (opt.backend == exp::Backend::kTcp) return 1;
   return opt.jobs < 0    ? exp::resolve_jobs(0)
          : opt.jobs == 0 ? static_cast<int>(std::max(
                                1u, std::thread::hardware_concurrency()))
@@ -537,6 +569,8 @@ int main(int argc, char** argv) {
   spec.tree_shape = opt.shape;
   spec.relocation_period_seconds = opt.period_seconds;
   spec.local_extra_candidates = opt.extras;
+  spec.backend = opt.backend;
+  spec.tcp_time_scale = opt.time_scale;
 
   // Reject unusable parameters with a message and exit code 2 (usage error)
   // instead of tripping an engine assertion deep inside the first run.
@@ -590,10 +624,13 @@ int main(int argc, char** argv) {
 
   if (!opt.csv) {
     std::printf("wadc_run: %s, %d servers, %d iterations, %s tree, period "
-                "%.0f s, %d configuration(s)\n\n",
+                "%.0f s, %d configuration(s)%s\n\n",
                 core::algorithm_name(opt.algorithm), opt.servers,
                 opt.iterations, core::tree_shape_name(opt.shape),
-                opt.period_seconds, opt.configs);
+                opt.period_seconds, opt.configs,
+                opt.backend == exp::Backend::kTcp
+                    ? ", tcp loopback backend"
+                    : "");
   }
 
   if (opt.csv) {
