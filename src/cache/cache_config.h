@@ -1,0 +1,51 @@
+// Configuration for the result-cache / data-diffusion fabric, plus the
+// strict `--cache-spec` parser.
+//
+// Spec format: comma-separated key=value pairs, e.g.
+//
+//   capacity=64m,policy=cost,diffusion=off
+//
+//   capacity=BYTES[k|m|g]   per-host capacity (required to enable; > 0)
+//   policy=lru|cost         eviction policy (default lru)
+//   diffusion=on|off        promote hot entries toward requesters (default on)
+//
+// Parse errors throw std::runtime_error with a description of the offending
+// pair; wadc_run turns that into exit code 2, like the fault-spec path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wadc::cache {
+
+// How a full per-host cache chooses a victim.
+enum class EvictionPolicy {
+  kLru,   // least-recently-used entry
+  kCost,  // cheapest-to-recreate entry first (keeps the results whose
+          // inputs would be slowest to re-ship over current bandwidth
+          // estimates — the "bandwidth-to-recreate" rule)
+};
+
+const char* eviction_policy_name(EvictionPolicy policy);
+std::optional<EvictionPolicy> parse_eviction_policy(std::string_view name);
+
+struct CacheConfig {
+  bool enabled = false;
+  std::uint64_t capacity_bytes = 0;  // per host; must be > 0 when enabled
+  EvictionPolicy policy = EvictionPolicy::kLru;
+  // Data diffusion: after a remote hit, a copy of the entry is inserted at
+  // the requester's host, and delivered root results are inserted at the
+  // client host — popular results migrate toward their consumers.
+  bool diffusion = true;
+
+  // Empty string if usable, else a description of the first problem found.
+  std::string validate() const;
+};
+
+// Parses the spec format above; the result always has enabled == true.
+// Throws std::runtime_error on malformed input.
+CacheConfig parse_cache_spec(const std::string& text);
+
+}  // namespace wadc::cache

@@ -1,0 +1,40 @@
+// Content-addressed keys for materialized sub-tree combination results.
+//
+// A key names "the output of combining this set of leaf images, in this
+// structure, at this iteration" — independent of which session computed it,
+// where its operators ran, or in which order the leaves were listed. Two
+// engines over the same workload that combine the same leaves the same way
+// therefore address the same cache entry, which is exactly the
+// cross-session reuse opportunity (docs/CACHING.md).
+//
+// The signature is a canonical FNV-1a hash over the *sorted* leaf image
+// ids plus the combination-operator tag. A structure digest (the
+// workload-lineage value the subtree is expected to produce) is folded in
+// as well: the order-adaptive algorithm can restructure a tree mid-run, and
+// while pixel-selection composition is value-commutative, the run
+// invariants track exact composition structure — folding the digest in
+// guarantees a hit can never serve a structurally different result.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace wadc::cache {
+
+struct CacheKey {
+  std::uint64_t signature = 0;
+  std::int32_t iteration = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+};
+
+// Canonical signature for a subtree result: hashes `op_tag`, then the leaf
+// ids in ascending order (the argument is sorted internally, so any
+// enumeration order yields the same signature), then `structure_digest`.
+std::uint64_t subtree_signature(std::vector<int> leaf_ids,
+                                std::uint64_t structure_digest,
+                                std::string_view op_tag);
+
+}  // namespace wadc::cache

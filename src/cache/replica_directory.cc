@@ -1,0 +1,51 @@
+#include "cache/replica_directory.h"
+
+#include <algorithm>
+
+namespace wadc::cache {
+
+void ReplicaDirectory::add(const CacheKey& key, net::HostId host) {
+  std::vector<net::HostId>& hosts = by_key_[key];
+  const auto it = std::lower_bound(hosts.begin(), hosts.end(), host);
+  if (it != hosts.end() && *it == host) return;
+  hosts.insert(it, host);
+  ++total_replicas_;
+}
+
+void ReplicaDirectory::remove(const CacheKey& key, net::HostId host) {
+  const auto kit = by_key_.find(key);
+  if (kit == by_key_.end()) return;
+  std::vector<net::HostId>& hosts = kit->second;
+  const auto it = std::lower_bound(hosts.begin(), hosts.end(), host);
+  if (it == hosts.end() || *it != host) return;
+  hosts.erase(it);
+  --total_replicas_;
+  if (hosts.empty()) by_key_.erase(kit);
+}
+
+std::vector<CacheKey> ReplicaDirectory::drop_host(net::HostId host) {
+  std::vector<CacheKey> dropped;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    std::vector<net::HostId>& hosts = it->second;
+    const auto hit = std::lower_bound(hosts.begin(), hosts.end(), host);
+    if (hit != hosts.end() && *hit == host) {
+      hosts.erase(hit);
+      --total_replicas_;
+      dropped.push_back(it->first);
+    }
+    if (hosts.empty()) {
+      it = by_key_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+const std::vector<net::HostId>* ReplicaDirectory::replicas(
+    const CacheKey& key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wadc::cache

@@ -1,0 +1,36 @@
+// Which hosts hold which materialized sub-results.
+//
+// The directory is the fabric's authoritative replica map: every insert
+// registers a replica, every eviction or host failure deregisters. Host
+// lists are kept sorted so iteration order (and therefore replica choice
+// under ties) is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "net/types.h"
+
+namespace wadc::cache {
+
+class ReplicaDirectory {
+ public:
+  void add(const CacheKey& key, net::HostId host);
+  void remove(const CacheKey& key, net::HostId host);
+  // Drops every replica on `host`; returns the keys that lost one there.
+  std::vector<CacheKey> drop_host(net::HostId host);
+
+  // Hosts holding `key`, ascending; null when none.
+  const std::vector<net::HostId>* replicas(const CacheKey& key) const;
+
+  std::size_t num_keys() const { return by_key_.size(); }
+  std::size_t total_replicas() const { return total_replicas_; }
+
+ private:
+  std::map<CacheKey, std::vector<net::HostId>> by_key_;
+  std::size_t total_replicas_ = 0;
+};
+
+}  // namespace wadc::cache

@@ -1,0 +1,86 @@
+#include "cache/result_cache.h"
+
+#include "common/assert.h"
+
+namespace wadc::cache {
+
+const ResultCache::Entry* ResultCache::find(const CacheKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ResultCache::touch(const CacheKey& key, std::uint64_t tick) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  it->second.last_use = tick;
+  ++it->second.hits;
+}
+
+CacheKey ResultCache::pick_victim() const {
+  WADC_ASSERT(!entries_.empty(), "pick_victim on an empty cache");
+  const std::pair<const CacheKey, Entry>* victim = nullptr;
+  for (const auto& kv : entries_) {
+    if (victim == nullptr) {
+      victim = &kv;
+      continue;
+    }
+    bool better = false;
+    if (policy_ == EvictionPolicy::kCost) {
+      // Cheapest to recreate goes first; recency breaks ties.
+      if (kv.second.recreate_seconds != victim->second.recreate_seconds) {
+        better = kv.second.recreate_seconds < victim->second.recreate_seconds;
+      } else {
+        better = kv.second.last_use < victim->second.last_use;
+      }
+    } else {
+      better = kv.second.last_use < victim->second.last_use;
+    }
+    if (better) victim = &kv;
+  }
+  return victim->first;
+}
+
+std::vector<CacheKey> ResultCache::insert(const CacheKey& key,
+                                          const workload::ImageSpec& image,
+                                          double recreate_seconds,
+                                          std::uint64_t tick) {
+  std::vector<CacheKey> evicted;
+  if (image.bytes > capacity_bytes_) return evicted;  // can never fit
+
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    // Refresh in place (same content by construction; sizes can only match).
+    it->second.recreate_seconds = recreate_seconds;
+    it->second.last_use = tick;
+    return evicted;
+  }
+
+  while (bytes_used_ + image.bytes > capacity_bytes_) {
+    const CacheKey victim = pick_victim();
+    evicted.push_back(victim);
+    erase(victim);
+  }
+
+  Entry entry;
+  entry.image = image;
+  entry.recreate_seconds = recreate_seconds;
+  entry.last_use = tick;
+  entries_.emplace(key, entry);
+  bytes_used_ += image.bytes;
+  return evicted;
+}
+
+bool ResultCache::erase(const CacheKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  bytes_used_ -= it->second.image.bytes;
+  if (bytes_used_ < 0) bytes_used_ = 0;  // float dust
+  entries_.erase(it);
+  return true;
+}
+
+void ResultCache::clear() {
+  entries_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace wadc::cache

@@ -1,0 +1,72 @@
+// One host's cache of materialized sub-tree combination results.
+//
+// Entries are addressed by CacheKey and bounded by a byte capacity; when an
+// insert would overflow, victims are chosen by the configured eviction
+// policy until the new entry fits. Recency is tracked with a logical tick
+// supplied by the caller (the fabric's monotonic use counter), never wall
+// or simulated time, so eviction order is exactly reproducible.
+//
+// This type is deliberately dumb storage: replica placement, diffusion,
+// observability and bandwidth-awareness all live a layer up in CacheFabric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cache/cache_config.h"
+#include "cache/cache_key.h"
+#include "workload/image_workload.h"
+
+namespace wadc::cache {
+
+class ResultCache {
+ public:
+  struct Entry {
+    workload::ImageSpec image;
+    // Estimated seconds to recreate this result from its inputs (transfer
+    // at the bandwidth estimates current at insert time, plus composition);
+    // the kCost policy evicts the cheapest-to-recreate entry first.
+    double recreate_seconds = 0;
+    std::uint64_t last_use = 0;  // logical tick of last insert/touch
+    std::uint64_t hits = 0;
+  };
+
+  ResultCache(std::uint64_t capacity_bytes, EvictionPolicy policy)
+      : capacity_bytes_(static_cast<double>(capacity_bytes)),
+        policy_(policy) {}
+
+  // Null if absent. The pointer is invalidated by any mutating call.
+  const Entry* find(const CacheKey& key) const;
+
+  // Marks a hit: bumps recency and the per-entry hit count.
+  void touch(const CacheKey& key, std::uint64_t tick);
+
+  // Inserts (or refreshes) an entry, evicting per policy until it fits;
+  // returns the evicted keys in eviction order. An image larger than the
+  // whole capacity is not admitted (the returned vector is empty and the
+  // cache is unchanged; admitted() reports false via find()).
+  std::vector<CacheKey> insert(const CacheKey& key,
+                               const workload::ImageSpec& image,
+                               double recreate_seconds, std::uint64_t tick);
+
+  // True if the entry existed.
+  bool erase(const CacheKey& key);
+  void clear();
+
+  std::size_t entries() const { return entries_.size(); }
+  double bytes_used() const { return bytes_used_; }
+  double capacity_bytes() const { return capacity_bytes_; }
+  EvictionPolicy policy() const { return policy_; }
+
+ private:
+  // The key the policy would evict next; entries_ must be non-empty.
+  CacheKey pick_victim() const;
+
+  double capacity_bytes_;
+  EvictionPolicy policy_;
+  double bytes_used_ = 0;
+  std::map<CacheKey, Entry> entries_;
+};
+
+}  // namespace wadc::cache

@@ -158,7 +158,8 @@ sim::Task<void> ChangeOverCoordinator::replanner_process(
     if (active_barrier_) continue;  // previous change-over still in flight
     if (too_late()) co_return;
 
-    WADC_DEBUGLOG("[t=%9.1f] replanner: planning (client at %d)", sim_.now(),
+    WADC_DEBUGLOG("[t=%9.1f] s%d replanner: planning (client at %d)",
+                  sim_.now(), services_.params().session_id,
                   services_.client_next_iteration());
     const sim::SimTime replan_begin = sim_.now();
     ReplanDecision decision = co_await policy.replan(services_);
@@ -179,7 +180,8 @@ sim::Task<void> ChangeOverCoordinator::replanner_process(
           {{"client_iteration", services_.client_next_iteration()},
            {"plan_s", sim_.now() - replan_begin}});
     }
-    WADC_DEBUGLOG("[t=%9.1f] replanner: %s", sim_.now(),
+    WADC_DEBUGLOG("[t=%9.1f] s%d replanner: %s", sim_.now(),
+                  services_.params().session_id,
                   decision.changed ? "CHANGED" : "unchanged");
     if (services_.finished()) co_return;
     if (services_.faults_active()) {
@@ -233,9 +235,9 @@ sim::Task<void> ChangeOverCoordinator::barrier_coordinator(int version) {
                             {"server", r.server},
                             {"iteration", r.iteration}});
     }
-    WADC_DEBUGLOG("[t=%9.1f] barrier v%d: report %d/%d (server %d @ iter %d)",
-                  sim_.now(), version, reports, servers, r.server,
-                  r.iteration);
+    WADC_DEBUGLOG("[t=%9.1f] s%d barrier v%d: report %d/%d (server %d @ iter %d)",
+                  sim_.now(), services_.params().session_id, version, reports,
+                  servers, r.server, r.iteration);
   }
   if (obs_.tracer) {
     obs_.tracer->complete("barrier", "barrier_collect", tree_.client_host(),
@@ -248,8 +250,8 @@ sim::Task<void> ChangeOverCoordinator::barrier_coordinator(int version) {
   WADC_ASSERT(active_barrier_ && active_barrier_->version == version,
               "barrier vanished mid-coordination");
   active_barrier_->switch_iteration = switch_iteration;
-  WADC_DEBUGLOG("[t=%9.1f] barrier v%d: switch at iteration %d", sim_.now(),
-                version, switch_iteration);
+  WADC_DEBUGLOG("[t=%9.1f] s%d barrier v%d: switch at iteration %d", sim_.now(),
+                services_.params().session_id, version, switch_iteration);
   epochs_.push_back(PlanEpoch{switch_iteration, active_barrier_->new_tree,
                               active_barrier_->new_placement});
   if (obs_.decisions) {
@@ -337,8 +339,8 @@ sim::Task<void> ChangeOverCoordinator::operator_window(core::OperatorId op,
          st.pending_version_forwarded >= active_barrier_->version &&
          release_state(actual_location_[static_cast<std::size_t>(op)])
                  .released_version < active_barrier_->version) {
-    WADC_DEBUGLOG("[t=%9.1f] operator %d (host %d) waiting for release",
-                  sim_.now(), op,
+    WADC_DEBUGLOG("[t=%9.1f] s%d operator %d (host %d) waiting for release",
+                  sim_.now(), services_.params().session_id, op,
                   actual_location_[static_cast<std::size_t>(op)]);
     co_await release_state(actual_location_[static_cast<std::size_t>(op)])
         .event->wait();

@@ -71,6 +71,7 @@ Engine::Engine(sim::Simulation& sim, net::Network& network,
       rng_(Rng(params.seed).fork(0xe1e1)),
       channel_(network, hop_retry_policy(params, cost_model_),
                Rng(params.seed).fork(0xfa17)),
+      cache_(params.cache_fabric),
       faults_active_(params.fault_injector != nullptr),
       obs_(params.obs),
       policy_(make_adaptation_policy(params.degraded_mode
@@ -308,6 +309,10 @@ void Engine::on_fault_event(const fault::FaultEvent& ev) {
       // Measurements through the corpse describe a network that no longer
       // exists; planning from them would steer operators into it.
       monitoring_.invalidate_host(ev.host);
+      // Likewise any cached sub-results: the bytes died with the host, and
+      // serving a phantom replica would hang the fetch. (The fabric is
+      // shared, so repeat notifications from sibling sessions are no-ops.)
+      if (cache_ != nullptr) cache_->invalidate_host(ev.host, sim_.now());
       if (!params_.fault_injector->host_restarts_after(ev.host, sim_.now())) {
         // Operators relocate around a dead host; the client and the servers
         // cannot. Losing one permanently makes completion impossible, so
@@ -342,6 +347,13 @@ void Engine::on_fault_event(const fault::FaultEvent& ev) {
       return;
     case fault::FaultEvent::Kind::kBlackoutBegin:
       ++fs.link_blackouts;
+      // Replicas behind a blacked-out link are unreachable for its whole
+      // duration; dropping them steers lookups to reachable copies (or to
+      // recompute) instead of burning retry budgets against a dark link.
+      if (cache_ != nullptr) {
+        if (ev.a >= 0) cache_->invalidate_host(ev.a, sim_.now());
+        if (ev.b >= 0) cache_->invalidate_host(ev.b, sim_.now());
+      }
       return;
     case fault::FaultEvent::Kind::kBlackoutEnd:
       ++fs.link_blackout_ends;
@@ -408,6 +420,20 @@ sim::Task<void> Engine::client_process() {
     d.consumer_on_critical_path = true;
     d.pending_version = coordinator_.pending_version();
 
+    // Result cache: when the whole-tree result for this iteration is
+    // already materialized somewhere, fetch it from the nearest replica
+    // and send the demand *pruned* — the tree still advances its iteration
+    // counters (and the barrier piggyback still flows) but produces
+    // nothing. Fetch-before-prune: a failed fetch falls back to the normal
+    // demand with nothing pruned yet.
+    std::optional<workload::ImageSpec> cached;
+    if (cache_ != nullptr) {
+      cached = co_await try_cache_fetch(
+          subtree_cache_key(tree_for(iter), core::Child::op(root), iter),
+          tree_.client_host());
+      if (cached) d.pruned = true;
+    }
+
     int round = 0;
     while (co_await route_to_operator(tree_.client_host(), root, iter,
                                       params_.demand_bytes,
@@ -420,13 +446,30 @@ sim::Task<void> Engine::client_process() {
     }
     op_state(root).demands->send(d);
 
-    DataMessage m = co_await client_data_->receive();
-    WADC_ASSERT(m.iteration == iter, "client received image out of order");
+    workload::ImageSpec image;
+    if (cached) {
+      image = *cached;
+    } else {
+      DataMessage m = co_await client_data_->receive();
+      WADC_ASSERT(m.iteration == iter, "client received image out of order");
+      image = m.image;
+      if (cache_ != nullptr && cache_->config().diffusion) {
+        // Data diffusion toward the client: the delivered result lands in
+        // the client host's cache, where overlapping sessions (which all
+        // demand from this host) serve it with zero network cost.
+        cache_->insert(
+            subtree_cache_key(tree_for(iter), core::Child::op(root), iter),
+            image, tree_.client_host(),
+            workload_.compose_seconds(image) +
+                2 * image.bytes / cost_model_.params().pessimistic_bandwidth,
+            sim_.now(), params_.session_id);
+      }
+    }
     if (params_.check_invariants) {
       const core::CombinationTree& t = tree_for(iter);
       const auto expected = expected_output(
           t, workload_, core::Child::op(t.root()), iter);
-      WADC_ASSERT(m.image.lineage == expected.lineage,
+      WADC_ASSERT(image.lineage == expected.lineage,
                   "composed image lineage mismatch at iteration ", iter);
     }
     stats_.arrival_seconds.push_back(sim_.now());
@@ -435,9 +478,9 @@ sim::Task<void> Engine::client_process() {
                            obs::kControlLane, sim_.now(),
                            {{"iteration", iter}});
     }
-    if (iter % 20 == 0) {
-      WADC_DEBUGLOG("[t=%9.1f] client received iteration %d", sim_.now(),
-                    iter);
+    if (iter % 20 == 0 || cached) {
+      WADC_DEBUGLOG("[t=%9.1f] s%d client got iteration %d%s", sim_.now(),
+                    params_.session_id, iter, cached ? " (cache)" : "");
     }
   }
   stats_.completion_seconds = sim_.now();
@@ -483,6 +526,11 @@ sim::Task<void> Engine::server_process(int server) {
       coordinator_.deliver_report(report);
       co_await coordinator_.await_release(host, d.pending_version);
     }
+
+    // Pruned demand (result cache): the consumer already has this
+    // iteration's output, so the server advances its counters and honors
+    // the barrier piggyback above, but skips the disk read and the send.
+    if (d.pruned) continue;
 
     // Copy what this demand needs from its epoch before suspending again.
     const core::CombinationTree& t = tree_for(d.iteration);
@@ -534,12 +582,35 @@ sim::Task<void> Engine::operator_process(core::OperatorId op) {
   std::optional<workload::ImageSpec> held;
   for (int iter = 0; iter < n; ++iter) {
     Demand d = co_await receive_demand_for(op, iter);
-    if (d.marked_later) ++st.critical.later_marks;
-    st.critical.consumer_on_critical_path = d.consumer_on_critical_path;
     coordinator_.note_pending_version(op, d.pending_version);
 
+    if (d.pruned) {
+      // The consumer satisfied this iteration from the result cache. If a
+      // prefetched result is held, discard it (the children already
+      // produced it); otherwise cascade the prune so the whole subtree
+      // advances without producing. Crucially, still prefetch the next
+      // iteration below: the §2.2 change-over barrier reaches the servers
+      // one level per demand wave, riding the pipeline's guarantee that
+      // every edge carries exactly one demand per iteration. Going idle
+      // here would strand a pending version above this subtree and
+      // deadlock the barrier. The prefetch consults the cache first, so a
+      // hit streak still cascades as prunes with zero transfers.
+      WADC_DEBUGLOG("[t=%9.1f] s%d op %d pruned iter %d (held=%d)",
+                    sim_.now(), params_.session_id, op, iter,
+                    held.has_value() ? 1 : 0);
+      if (!held) co_await send_prunes_to_children(op, iter);
+      held.reset();
+      co_await relocation_window(op, iter);
+      if (iter + 1 < n) {
+        held = co_await fetch_and_compose(op, iter + 1);
+      }
+      continue;
+    }
+    if (d.marked_later) ++st.critical.later_marks;
+    st.critical.consumer_on_critical_path = d.consumer_on_critical_path;
+
     if (!held) {
-      // Only possible on the first iteration: nothing prefetched yet.
+      // First iteration: nothing has been prefetched yet.
       held = co_await fetch_and_compose(op, iter);
     }
     co_await dispatch(op, iter, *held);
@@ -561,6 +632,20 @@ sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
   OperatorState& st = op_state(op);
   coordinator_.note_fetch(op, iteration);
   const core::CombinationTree& t = tree_for(iteration);
+
+  // Result cache: a hit short-circuits the whole subtree. Fetch first,
+  // prune only on success — a failed replica fetch leaves the children
+  // un-demanded, so the normal path below proceeds untouched.
+  if (cache_ != nullptr) {
+    const cache::CacheKey key =
+        subtree_cache_key(t, core::Child::op(op), iteration);
+    if (auto img =
+            co_await try_cache_fetch(key, coordinator_.operator_location(op))) {
+      co_await send_prunes_to_children(op, iteration);
+      co_return *img;
+    }
+  }
+
   const core::Child children[2] = {t.left_child(op), t.right_child(op)};
   for (int side = 0; side < 2; ++side) {
     Demand d;
@@ -589,7 +674,92 @@ sim::Task<workload::ImageSpec> Engine::fetch_and_compose(core::OperatorId op,
   const workload::ImageSpec out = workload::compose(left, right);
   co_await compute_at(coordinator_.operator_location(op),
                       workload_.compose_seconds(out));
+
+  if (cache_ != nullptr && !done_ && !aborted_) {
+    // Register the freshly materialized sub-result. The recreate cost —
+    // compose time plus shipping both inputs at the best bandwidth estimate
+    // we have — feeds the cost-aware eviction policy.
+    const net::HostId loc = coordinator_.operator_location(op);
+    double recreate = workload_.compose_seconds(out);
+    const workload::ImageSpec inputs[2] = {left, right};
+    for (int side = 0; side < 2; ++side) {
+      const core::Child& c = children[side];
+      const net::HostId child_host =
+          c.is_server() ? tree_.server_host(c.index)
+                        : coordinator_.operator_location(c.index);
+      const double bw =
+          monitoring_.cached_bandwidth(loc, loc, child_host)
+              .value_or(cost_model_.params().pessimistic_bandwidth);
+      recreate += inputs[side].bytes / bw;
+    }
+    cache_->insert(subtree_cache_key(t, core::Child::op(op), iteration), out,
+                   loc, recreate, sim_.now(), params_.session_id);
+  }
   co_return out;
+}
+
+cache::CacheKey Engine::subtree_cache_key(const core::CombinationTree& tree,
+                                          const core::Child& c,
+                                          int iteration) const {
+  // Canonical identity of a materialized sub-result: the set of source
+  // partitions it combines plus the order-sensitive lineage digest the
+  // workload itself computes. Folding the lineage in means a restructured
+  // tree (kGlobalOrder) can never serve a structurally different result.
+  std::vector<int> leaves;
+  std::uint64_t lineage = 0;
+  const auto collect = [&](const auto& self, const core::Child& node) -> std::uint64_t {
+    if (node.is_server()) {
+      leaves.push_back(node.index);
+      return workload::lineage_leaf(node.index, iteration);
+    }
+    const std::uint64_t l = self(self, tree.left_child(node.index));
+    const std::uint64_t r = self(self, tree.right_child(node.index));
+    return workload::lineage_combine(l, r);
+  };
+  lineage = collect(collect, c);
+  return cache::CacheKey{
+      cache::subtree_signature(std::move(leaves), lineage, "compose"),
+      iteration};
+}
+
+sim::Task<std::optional<workload::ImageSpec>> Engine::try_cache_fetch(
+    cache::CacheKey key, net::HostId requester) {
+  const auto hit = cache_->lookup(
+      key, requester, [this](net::HostId h) { return network_.host_alive(h); });
+  if (!hit) {
+    cache_->on_miss(requester);
+    co_return std::nullopt;
+  }
+  if (!hit->local && !co_await hop(hit->replica, requester, hit->image.bytes,
+                                   net::kDataPriority)) {
+    // Replica unreachable right now; treat as a miss and recompute.
+    cache_->on_miss(requester);
+    co_return std::nullopt;
+  }
+  // Without the cache, both subtree inputs (each at least as large as the
+  // output, since compose output = max of inputs) would have shipped; a
+  // remote hit still pays one output-sized transfer.
+  const double saved =
+      2 * hit->image.bytes - (hit->local ? 0.0 : hit->image.bytes);
+  cache_->on_hit(key, *hit, requester, saved, sim_.now(), params_.session_id);
+  co_return hit->image;
+}
+
+sim::Task<void> Engine::send_prunes_to_children(core::OperatorId op,
+                                                int iteration) {
+  const core::CombinationTree& t = tree_for(iteration);
+  const core::Child children[2] = {t.left_child(op), t.right_child(op)};
+  for (int side = 0; side < 2; ++side) {
+    Demand d;
+    d.iteration = iteration;
+    d.pruned = true;
+    d.pending_version = coordinator_.pending_version_seen(op);
+    int round = 0;
+    while (!co_await send_demand_to_child(op, children[side], d)) {
+      if (done_ || aborted_) co_return;
+      co_await sim_.delay(retry_backoff(std::min(round++, 5)));
+    }
+  }
 }
 
 sim::Task<void> Engine::dispatch(core::OperatorId op, int iteration,

@@ -35,6 +35,8 @@
 #include <optional>
 #include <vector>
 
+#include "cache/cache_key.h"
+#include "cache/fabric.h"
 #include "common/rng.h"
 #include "core/cost_model.h"
 #include "core/operator_directory.h"
@@ -139,6 +141,21 @@ class Engine : private EngineServices {
   sim::Task<void> dispatch(core::OperatorId op, int iteration,
                            const workload::ImageSpec& image);
   sim::Task<void> relocation_window(core::OperatorId op, int iteration);
+
+  // ---- result cache (active only when params_.cache_fabric is set) ------
+  // Content-addressed key for the result of subtree `c` at `iteration`
+  // (canonical hash over its sorted leaf ids + operator tag + the lineage
+  // digest the subtree must produce; see cache/cache_key.h).
+  cache::CacheKey subtree_cache_key(const core::CombinationTree& tree,
+                                    const core::Child& c, int iteration) const;
+  // Fetches a cached result toward `requester` from the nearest live
+  // replica (instant when local). nullopt on miss or failed fetch — the
+  // caller then takes the normal recompute path; nothing was pruned yet.
+  sim::Task<std::optional<workload::ImageSpec>> try_cache_fetch(
+      cache::CacheKey key, net::HostId requester);
+  // Tells both children of `op` to skip `iteration` (their consumer was
+  // served from the cache); carries the barrier piggyback like any demand.
+  sim::Task<void> send_prunes_to_children(core::OperatorId op, int iteration);
   // Receives the demand for exactly `iteration`, stashing any that arrive
   // out of order (possible only across order-changing change-overs).
   sim::Task<Demand> receive_demand_for(core::OperatorId op, int iteration);
@@ -240,6 +257,9 @@ class Engine : private EngineServices {
   // jitter draws from a separate stream so fault-free runs (which never
   // draw from it) keep identical rng_ sequences.
   net::ReliableChannel channel_;
+  // Shared result-cache fabric; null = caching disabled (byte-identical
+  // baseline). See engine_params.h.
+  cache::CacheFabric* cache_ = nullptr;
   bool faults_active_ = false;
   bool aborted_ = false;
 

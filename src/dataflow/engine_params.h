@@ -11,6 +11,10 @@
 #include "obs/obs.h"
 #include "sim/types.h"
 
+namespace wadc::cache {
+class CacheFabric;
+}  // namespace wadc::cache
+
 namespace wadc::fault {
 class FaultInjector;
 }  // namespace wadc::fault
@@ -88,6 +92,16 @@ struct EngineParams {
   // metrics can be attributed per session. -1 (the default) leaves
   // transfers untagged — single-session output stays byte-identical.
   int session_id = -1;
+
+  // Shared result-cache fabric (src/cache). When non-null the engine
+  // consults it before scheduling a sub-tree: a hit fetches the
+  // materialized result from the nearest replica and prunes the subtree
+  // for that iteration; every composed result is registered back. The
+  // session runtime hands every concurrent engine the same fabric, which
+  // is where cross-session reuse comes from. When null (the default) the
+  // engine behaves exactly as the cache-free original — same events, same
+  // RNG draws, byte-identical output (the goldens pin this).
+  cache::CacheFabric* cache_fabric = nullptr;
 
   // ---- failure recovery (active only when fault_injector is set) --------
   // When non-null, the engine runs fault-tolerant: transfers carry

@@ -23,6 +23,12 @@ struct Demand {
   // Pending placement version riding on demands toward the servers (§2.2's
   // barrier-based change-over); 0 means none.
   int pending_version = 0;
+
+  // Result-cache pruning (src/cache, docs/CACHING.md): the consumer already
+  // obtained this iteration's output from the cache fabric, so the receiver
+  // must advance its iteration counter (and honor the barrier piggyback)
+  // but produce and send nothing. Never set when the cache is disabled.
+  bool pruned = false;
 };
 
 // A data partition flowing from a producer to its consumer.

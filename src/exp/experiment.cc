@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "cache/fabric.h"
 #include "common/assert.h"
 #include "dataflow/engine.h"
 #include "exp/parallel.h"
@@ -105,8 +106,17 @@ RunResult run_on(const ExperimentSpec& spec, sim::Simulation& sim,
   const workload::ImageWorkload workload(wp, spec.num_servers,
                                          spec.config_seed);
 
+  std::unique_ptr<cache::CacheFabric> fabric;
+  if (spec.cache.enabled) {
+    const std::string problem = spec.cache.validate();
+    WADC_ASSERT(problem.empty(), "bad cache config: ", problem);
+    fabric = std::make_unique<cache::CacheFabric>(spec.cache, num_hosts,
+                                                  &monitoring, spec.obs);
+  }
+
   dataflow::EngineParams ep = spec.engine_params(spec.config_seed);
   ep.fault_injector = injector.get();
+  ep.cache_fabric = fabric.get();
   dataflow::Engine engine(sim, network, monitoring, tree, workload, ep);
   if (injector) injector->arm();
 
@@ -226,8 +236,19 @@ session::SessionStats run_session_experiment(
   const workload::ImageWorkload workload(wp, spec.num_servers,
                                          spec.config_seed);
 
+  // One cache fabric shared by every concurrent session's engine: this is
+  // where cross-session reuse comes from.
+  std::unique_ptr<cache::CacheFabric> fabric;
+  if (spec.cache.enabled) {
+    const std::string problem = spec.cache.validate();
+    WADC_ASSERT(problem.empty(), "bad cache config: ", problem);
+    fabric = std::make_unique<cache::CacheFabric>(spec.cache, num_hosts,
+                                                  &monitoring, spec.obs);
+  }
+
   dataflow::EngineParams ep = spec.engine_params(spec.config_seed);
   ep.fault_injector = injector.get();
+  ep.cache_fabric = fabric.get();
   session::SessionManager manager(sim, network, monitoring, tree, workload,
                                   ep, sessions, spec.config_seed);
   if (injector) injector->arm();
@@ -241,6 +262,7 @@ session::SessionStats run_session_experiment(
     sampler->start();
   }
   session::SessionStats stats = manager.run();
+  stats.network_bytes_delivered = network.bytes_delivered();
   if (spec.backend != Backend::kSim) {
     stats.backend = backend_name(spec.backend);
   }

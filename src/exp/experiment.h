@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "core/algorithm_kind.h"
 #include "core/combination_tree.h"
 #include "dataflow/engine_params.h"
@@ -75,6 +76,14 @@ struct ExperimentSpec {
   // kTcp: pace frames to the configured link bandwidths (off = as fast as
   // loopback allows; timings then say nothing about the modeled network).
   bool tcp_rate_limit = true;
+
+  // Result cache (src/cache, docs/CACHING.md). Disabled (the default) runs
+  // exactly the cache-free simulation — same events, same RNG draws,
+  // byte-identical output (the goldens pin this). When enabled, the run
+  // drivers build one CacheFabric per run and hand it to every engine; in
+  // session mode all concurrent sessions share it, which is where
+  // cross-session reuse comes from.
+  cache::CacheConfig cache;
 
   // Fault injection. Empty (the default) runs exactly the fault-free
   // simulation — same events, same RNG draws, byte-identical output. When

@@ -111,6 +111,11 @@ class SessionStats {
   // sim-mode session artifacts are unchanged.
   std::string backend;
 
+  // Total bytes the shared network delivered over the whole run — the
+  // bytes-shipped axis of the cache-reuse figure (a cache hit served from a
+  // nearby replica moves fewer bytes than recomputing the subtree).
+  double network_bytes_delivered = 0;
+
  private:
   std::vector<SessionRecord> sessions_;
   sim::SimTime makespan_seconds_ = 0;

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Result-cache CLI contract: malformed cache specs and conflicting flags
+# must exit 2 (usage error) without running anything; well-formed cache
+# runs exit 0, compose with session mode and fault injection, and produce
+# byte-identical CSV at --jobs=1 and --jobs=4.
+#
+# Usage: cache_cli_check.sh <wadc_run binary>
+set -u
+
+BIN=$1
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+
+expect_exit() {
+  local want=$1 name=$2
+  shift 2
+  "$BIN" "$@" > "$TMP/out" 2> "$TMP/err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $name: expected exit $want, got $got" >&2
+    sed 's/^/  /' "$TMP/err" >&2
+    fail=1
+  fi
+}
+
+# --- usage errors -----------------------------------------------------------
+
+expect_exit 2 "empty cache spec" --cache-spec= --servers=2 --iterations=4
+expect_exit 2 "spec without capacity" \
+  --cache-spec=policy=lru --servers=2 --iterations=4
+expect_exit 2 "zero capacity" --cache-capacity=0 --servers=2 --iterations=4
+expect_exit 2 "negative capacity" \
+  --cache-capacity=-4m --servers=2 --iterations=4
+expect_exit 2 "bad capacity suffix" \
+  --cache-capacity=64q --servers=2 --iterations=4
+expect_exit 2 "unknown spec key" \
+  --cache-spec=capacity=1m,flavor=mint --servers=2 --iterations=4
+expect_exit 2 "unknown eviction policy" \
+  --cache-spec=capacity=1m,policy=mru --servers=2 --iterations=4
+expect_exit 2 "bad diffusion value" \
+  --cache-spec=capacity=1m,diffusion=maybe --servers=2 --iterations=4
+expect_exit 2 "bad --cache-policy value" \
+  --cache-capacity=1m --cache-policy=fifo --servers=2 --iterations=4
+
+# Conflicting / incomplete flag combinations.
+expect_exit 2 "--cache-spec and --cache-capacity conflict" \
+  --cache-spec=capacity=1m --cache-capacity=1m --servers=2 --iterations=4
+expect_exit 2 "--cache-spec and --cache-policy conflict" \
+  --cache-spec=capacity=1m --cache-policy=lru --servers=2 --iterations=4
+expect_exit 2 "--cache-policy requires --cache-capacity" \
+  --cache-policy=lru --servers=2 --iterations=4
+expect_exit 2 "--dump-traces does not run the cache" \
+  --cache-capacity=1m --dump-traces="$TMP/pool.traces"
+
+# --- happy paths ------------------------------------------------------------
+
+expect_exit 0 "plain cached run" \
+  --cache-capacity=1m --servers=2 --iterations=4 --configs=1 --seed=1000 --csv
+
+expect_exit 0 "full cache spec with session mode" \
+  --cache-spec=capacity=8m,policy=cost,diffusion=off \
+  --num-clients=2 --servers=2 --iterations=4 --configs=1 --seed=1000 --csv
+
+# Cache mode composes with fault injection (transient crash + restart).
+printf 'crash 1 100 200\n' > "$TMP/ok.fault"
+expect_exit 0 "cached session run with transient fault schedule" \
+  --cache-capacity=8m --num-clients=2 --fault-spec="$TMP/ok.fault" \
+  --servers=2 --iterations=4 --configs=1 --seed=1000 --csv
+
+# Determinism across worker counts: the cache is driven only from
+# simulation events, so --jobs must not change a byte of output.
+expect_exit 0 "cache sweep at jobs=1" \
+  --cache-capacity=8m --num-clients=2 --servers=2 --iterations=6 \
+  --configs=3 --jobs=1 --seed=1000 --csv
+cp "$TMP/out" "$TMP/jobs1.csv"
+expect_exit 0 "cache sweep at jobs=4" \
+  --cache-capacity=8m --num-clients=2 --servers=2 --iterations=6 \
+  --configs=3 --jobs=4 --seed=1000 --csv
+if ! cmp -s "$TMP/jobs1.csv" "$TMP/out"; then
+  echo "FAIL: cache-on CSV differs between --jobs=1 and --jobs=4" >&2
+  diff "$TMP/jobs1.csv" "$TMP/out" | head -10 >&2
+  fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+  echo "cache CLI contract OK"
+fi
+exit "$fail"

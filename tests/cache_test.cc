@@ -1,0 +1,403 @@
+// Tests for the engine-free result-cache layer (src/cache): content-
+// addressed key canonicalization, the strict --cache-spec parser, both
+// eviction policies, the replica directory, and the fabric's replica
+// choice / diffusion / host-invalidation bookkeeping. Everything here runs
+// with hand-built keys and images — no engine, no simulator — which is the
+// point of the layering rule pinned by tools/check_layering.sh.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/cache_config.h"
+#include "cache/cache_key.h"
+#include "cache/fabric.h"
+#include "cache/replica_directory.h"
+#include "cache/result_cache.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "workload/image_workload.h"
+
+namespace wadc::cache {
+namespace {
+
+workload::ImageSpec image(double bytes, std::uint64_t lineage = 1) {
+  workload::ImageSpec img;
+  img.bytes = bytes;
+  img.lineage = lineage;
+  return img;
+}
+
+CacheKey key_of(std::uint64_t signature, int iteration = 0) {
+  CacheKey key;
+  key.signature = signature;
+  key.iteration = iteration;
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// cache keys
+
+TEST(CacheKey, SignatureIgnoresLeafEnumerationOrder) {
+  const std::uint64_t a = subtree_signature({3, 1, 2}, 99, "compose");
+  const std::uint64_t b = subtree_signature({1, 2, 3}, 99, "compose");
+  const std::uint64_t c = subtree_signature({2, 3, 1}, 99, "compose");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(CacheKey, SignatureSeparatesLeafSetsDigestsAndTags) {
+  const std::uint64_t base = subtree_signature({1, 2, 3}, 99, "compose");
+  EXPECT_NE(base, subtree_signature({1, 2, 4}, 99, "compose"));
+  EXPECT_NE(base, subtree_signature({1, 2}, 99, "compose"));
+  // Same leaves, different composition structure: the order-adaptive
+  // algorithm can rebuild the tree mid-run, and the structure digest must
+  // keep those results from aliasing.
+  EXPECT_NE(base, subtree_signature({1, 2, 3}, 98, "compose"));
+  EXPECT_NE(base, subtree_signature({1, 2, 3}, 99, "other"));
+}
+
+TEST(CacheKey, OrdersBySignatureThenIteration) {
+  EXPECT_EQ(key_of(7, 3), key_of(7, 3));
+  EXPECT_NE(key_of(7, 3), key_of(7, 4));
+  EXPECT_LT(key_of(7, 3), key_of(7, 4));
+  EXPECT_LT(key_of(7, 9), key_of(8, 0));
+}
+
+// ---------------------------------------------------------------------------
+// spec parsing
+
+TEST(CacheSpec, ParsesCapacityWithSuffixes) {
+  EXPECT_EQ(parse_cache_spec("capacity=4096").capacity_bytes, 4096u);
+  EXPECT_EQ(parse_cache_spec("capacity=64k").capacity_bytes, 64u << 10);
+  EXPECT_EQ(parse_cache_spec("capacity=64m").capacity_bytes, 64u << 20);
+  EXPECT_EQ(parse_cache_spec("capacity=2G").capacity_bytes, 2ull << 30);
+  const CacheConfig config = parse_cache_spec("capacity=1m");
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.policy, EvictionPolicy::kLru);  // default
+  EXPECT_TRUE(config.diffusion);                   // default
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(CacheSpec, ParsesPolicyAndDiffusion) {
+  const CacheConfig config =
+      parse_cache_spec("capacity=8m,policy=cost,diffusion=off");
+  EXPECT_EQ(config.capacity_bytes, 8u << 20);
+  EXPECT_EQ(config.policy, EvictionPolicy::kCost);
+  EXPECT_FALSE(config.diffusion);
+}
+
+TEST(CacheSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_cache_spec(""), std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("policy=lru"), std::runtime_error);  // no cap
+  EXPECT_THROW(parse_cache_spec("capacity=0"), std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=-4"), std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=64q"), std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=64mb"), std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=64m,"), std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=64m,policy=mru"),
+               std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=64m,diffusion=maybe"),
+               std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity=64m,flavor=mint"),
+               std::runtime_error);
+  EXPECT_THROW(parse_cache_spec("capacity"), std::runtime_error);
+}
+
+TEST(CacheSpec, PolicyNames) {
+  EXPECT_STREQ(eviction_policy_name(EvictionPolicy::kLru), "lru");
+  EXPECT_STREQ(eviction_policy_name(EvictionPolicy::kCost), "cost");
+  EXPECT_EQ(parse_eviction_policy("lru"), EvictionPolicy::kLru);
+  EXPECT_EQ(parse_eviction_policy("cost"), EvictionPolicy::kCost);
+  EXPECT_EQ(parse_eviction_policy("fifo"), std::nullopt);
+}
+
+TEST(CacheSpec, ValidateFlagsZeroCapacity) {
+  CacheConfig config;
+  config.enabled = true;
+  EXPECT_FALSE(config.validate().empty());
+  config.capacity_bytes = 1;
+  EXPECT_TRUE(config.validate().empty());
+  config.enabled = false;
+  config.capacity_bytes = 0;
+  EXPECT_TRUE(config.validate().empty());  // disabled is always fine
+}
+
+// ---------------------------------------------------------------------------
+// per-host result cache
+
+TEST(ResultCache, FindTouchEraseRoundTrip) {
+  ResultCache cache(1 << 20, EvictionPolicy::kLru);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  cache.insert(key_of(1), image(100), /*recreate_seconds=*/5, /*tick=*/1);
+  const ResultCache::Entry* entry = cache.find(key_of(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->image.bytes, 100);
+  EXPECT_EQ(entry->recreate_seconds, 5);
+  EXPECT_EQ(entry->last_use, 1u);
+  EXPECT_EQ(entry->hits, 0u);
+  cache.touch(key_of(1), 7);
+  entry = cache.find(key_of(1));
+  EXPECT_EQ(entry->last_use, 7u);
+  EXPECT_EQ(entry->hits, 1u);
+  EXPECT_EQ(cache.bytes_used(), 100);
+  EXPECT_TRUE(cache.erase(key_of(1)));
+  EXPECT_FALSE(cache.erase(key_of(1)));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0);
+}
+
+TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache(300, EvictionPolicy::kLru);
+  cache.insert(key_of(1), image(100), 1, /*tick=*/1);
+  cache.insert(key_of(2), image(100), 1, /*tick=*/2);
+  cache.insert(key_of(3), image(100), 1, /*tick=*/3);
+  cache.touch(key_of(1), /*tick=*/4);  // key 2 is now the coldest
+  const std::vector<CacheKey> evicted =
+      cache.insert(key_of(4), image(100), 1, /*tick=*/5);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key_of(2));
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  EXPECT_NE(cache.find(key_of(4)), nullptr);
+}
+
+TEST(ResultCache, CostPolicyEvictsCheapestToRecreate) {
+  ResultCache cache(300, EvictionPolicy::kCost);
+  cache.insert(key_of(1), image(100), /*recreate_seconds=*/30, 1);
+  cache.insert(key_of(2), image(100), /*recreate_seconds=*/5, 2);
+  cache.insert(key_of(3), image(100), /*recreate_seconds=*/90, 3);
+  // Key 2 is cheapest to rebuild, so it goes first even though key 1 is
+  // older — that's the bandwidth-to-recreate rule.
+  const std::vector<CacheKey> evicted = cache.insert(key_of(4), image(100), 50, 4);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key_of(2));
+}
+
+TEST(ResultCache, CostPolicyBreaksTiesByRecency) {
+  ResultCache cache(200, EvictionPolicy::kCost);
+  cache.insert(key_of(1), image(100), /*recreate_seconds=*/10, /*tick=*/1);
+  cache.insert(key_of(2), image(100), /*recreate_seconds=*/10, /*tick=*/2);
+  const std::vector<CacheKey> evicted = cache.insert(key_of(3), image(100), 10, 3);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key_of(1));  // equal cost: older entry goes
+}
+
+TEST(ResultCache, EvictsAsManyVictimsAsNeeded) {
+  ResultCache cache(300, EvictionPolicy::kLru);
+  cache.insert(key_of(1), image(100), 1, 1);
+  cache.insert(key_of(2), image(100), 1, 2);
+  cache.insert(key_of(3), image(100), 1, 3);
+  const std::vector<CacheKey> evicted = cache.insert(key_of(4), image(250), 1, 4);
+  ASSERT_EQ(evicted.size(), 3u);  // 250 bytes needs all three slots freed
+  EXPECT_EQ(evicted[0], key_of(1));
+  EXPECT_EQ(evicted[1], key_of(2));
+  EXPECT_EQ(evicted[2], key_of(3));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes_used(), 250);
+}
+
+TEST(ResultCache, OversizedImageIsNotAdmitted) {
+  ResultCache cache(100, EvictionPolicy::kLru);
+  cache.insert(key_of(1), image(60), 1, 1);
+  const std::vector<CacheKey> evicted = cache.insert(key_of(2), image(101), 1, 2);
+  // Nothing evicted, nothing admitted: the entry could never fit.
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.bytes_used(), 60);
+}
+
+TEST(ResultCache, ReinsertRefreshesInPlace) {
+  ResultCache cache(200, EvictionPolicy::kLru);
+  cache.insert(key_of(1), image(100), /*recreate_seconds=*/5, /*tick=*/1);
+  const std::vector<CacheKey> evicted =
+      cache.insert(key_of(1), image(100), /*recreate_seconds=*/9, /*tick=*/8);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes_used(), 100);
+  const ResultCache::Entry* entry = cache.find(key_of(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->recreate_seconds, 9);
+  EXPECT_EQ(entry->last_use, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// replica directory
+
+TEST(ReplicaDirectory, TracksSortedReplicaSets) {
+  ReplicaDirectory dir;
+  EXPECT_EQ(dir.replicas(key_of(1)), nullptr);
+  dir.add(key_of(1), 3);
+  dir.add(key_of(1), 1);
+  dir.add(key_of(1), 2);
+  dir.add(key_of(1), 2);  // duplicate add is a no-op
+  const std::vector<net::HostId>* hosts = dir.replicas(key_of(1));
+  ASSERT_NE(hosts, nullptr);
+  EXPECT_EQ(*hosts, (std::vector<net::HostId>{1, 2, 3}));
+  EXPECT_EQ(dir.num_keys(), 1u);
+  EXPECT_EQ(dir.total_replicas(), 3u);
+  dir.remove(key_of(1), 2);
+  EXPECT_EQ(*dir.replicas(key_of(1)), (std::vector<net::HostId>{1, 3}));
+  dir.remove(key_of(1), 1);
+  dir.remove(key_of(1), 3);
+  EXPECT_EQ(dir.replicas(key_of(1)), nullptr);  // empty sets are dropped
+  EXPECT_EQ(dir.num_keys(), 0u);
+}
+
+TEST(ReplicaDirectory, DropHostReportsAffectedKeys) {
+  ReplicaDirectory dir;
+  dir.add(key_of(1), 2);
+  dir.add(key_of(2), 2);
+  dir.add(key_of(2), 5);
+  dir.add(key_of(3), 5);
+  const std::vector<CacheKey> lost = dir.drop_host(2);
+  ASSERT_EQ(lost.size(), 2u);
+  EXPECT_EQ(lost[0], key_of(1));
+  EXPECT_EQ(lost[1], key_of(2));
+  EXPECT_EQ(dir.replicas(key_of(1)), nullptr);
+  EXPECT_EQ(*dir.replicas(key_of(2)), (std::vector<net::HostId>{5}));
+  EXPECT_EQ(dir.total_replicas(), 2u);
+  EXPECT_TRUE(dir.drop_host(2).empty());  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// fabric
+
+CacheConfig fabric_config(std::uint64_t capacity = 1 << 20,
+                          bool diffusion = true) {
+  CacheConfig config;
+  config.enabled = true;
+  config.capacity_bytes = capacity;
+  config.diffusion = diffusion;
+  return config;
+}
+
+const std::function<bool(net::HostId)> kAllAlive = [](net::HostId) {
+  return true;
+};
+
+TEST(CacheFabric, LocalReplicaAlwaysWins) {
+  CacheFabric fabric(fabric_config(), /*num_hosts=*/4, nullptr, obs::Obs{});
+  fabric.insert(key_of(1), image(100), /*host=*/2, 5, /*now=*/0, 0);
+  fabric.insert(key_of(1), image(100), /*host=*/3, 5, /*now=*/0, 0);
+  const auto hit = fabric.lookup(key_of(1), /*requester=*/3, kAllAlive);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->replica, 3);
+  EXPECT_TRUE(hit->local);
+}
+
+TEST(CacheFabric, RemoteChoiceIsDeterministicWithoutEstimates) {
+  CacheFabric fabric(fabric_config(), /*num_hosts=*/4, nullptr, obs::Obs{});
+  fabric.insert(key_of(1), image(100), /*host=*/3, 5, 0, 0);
+  fabric.insert(key_of(1), image(100), /*host=*/1, 5, 0, 0);
+  // No monitoring: every remote replica ranks equally slow, so the lowest
+  // host id wins the tie — the choice must still be deterministic.
+  const auto hit = fabric.lookup(key_of(1), /*requester=*/0, kAllAlive);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->replica, 1);
+  EXPECT_FALSE(hit->local);
+}
+
+TEST(CacheFabric, LookupSkipsDeadReplicas) {
+  CacheFabric fabric(fabric_config(), /*num_hosts=*/4, nullptr, obs::Obs{});
+  fabric.insert(key_of(1), image(100), /*host=*/1, 5, 0, 0);
+  fabric.insert(key_of(1), image(100), /*host=*/2, 5, 0, 0);
+  const auto alive = [](net::HostId h) { return h != 1; };
+  const auto hit = fabric.lookup(key_of(1), /*requester=*/0, alive);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->replica, 2);
+  const auto none =
+      fabric.lookup(key_of(1), /*requester=*/0, [](net::HostId) { return false; });
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(CacheFabric, RemoteHitDiffusesTowardRequester) {
+  obs::MetricsRegistry metrics;
+  obs::Obs obs;
+  obs.metrics = &metrics;
+  CacheFabric fabric(fabric_config(), /*num_hosts=*/3, nullptr, obs);
+  fabric.insert(key_of(1), image(100), /*host=*/2, 5, 0, 0);
+  const auto hit = fabric.lookup(key_of(1), /*requester=*/0, kAllAlive);
+  ASSERT_TRUE(hit.has_value());
+  fabric.on_hit(key_of(1), *hit, /*requester=*/0, /*bytes_saved=*/100,
+                /*now=*/10, /*session=*/0);
+  EXPECT_EQ(fabric.hits(), 1u);
+  EXPECT_EQ(fabric.diffusions(), 1u);
+  EXPECT_EQ(fabric.bytes_saved(), 100);
+  // The entry now lives at the requester too; the next lookup is local.
+  EXPECT_NE(fabric.host_cache(0).find(key_of(1)), nullptr);
+  const auto again = fabric.lookup(key_of(1), /*requester=*/0, kAllAlive);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->local);
+  // Counters mirror into the obs registry (run artifacts read these).
+  EXPECT_EQ(metrics.counter("cache.hits").value(), 1);
+  EXPECT_EQ(metrics.counter("cache.diffusions").value(), 1);
+  EXPECT_EQ(metrics.counter("cache.bytes_saved").value(), 100);
+  EXPECT_EQ(metrics.counter("cache.host0.hits").value(), 1);
+}
+
+TEST(CacheFabric, DiffusionOffKeepsSingleReplica) {
+  CacheFabric fabric(fabric_config(1 << 20, /*diffusion=*/false),
+                     /*num_hosts=*/3, nullptr, obs::Obs{});
+  fabric.insert(key_of(1), image(100), /*host=*/2, 5, 0, 0);
+  const auto hit = fabric.lookup(key_of(1), /*requester=*/0, kAllAlive);
+  ASSERT_TRUE(hit.has_value());
+  fabric.on_hit(key_of(1), *hit, /*requester=*/0, 100, 10, 0);
+  EXPECT_EQ(fabric.hits(), 1u);
+  EXPECT_EQ(fabric.diffusions(), 0u);
+  EXPECT_EQ(fabric.host_cache(0).find(key_of(1)), nullptr);
+  EXPECT_EQ(fabric.directory().total_replicas(), 1u);
+}
+
+TEST(CacheFabric, InvalidateHostDropsItsReplicasOnly) {
+  CacheFabric fabric(fabric_config(), /*num_hosts=*/3, nullptr, obs::Obs{});
+  fabric.insert(key_of(1), image(100), /*host=*/1, 5, 0, 0);
+  fabric.insert(key_of(1), image(100), /*host=*/2, 5, 0, 0);
+  fabric.insert(key_of(2), image(100), /*host=*/1, 5, 0, 0);
+  fabric.invalidate_host(1, /*now=*/50);
+  EXPECT_EQ(fabric.invalidated_replicas(), 2u);
+  EXPECT_EQ(fabric.host_cache(1).entries(), 0u);
+  // Key 1 survives at host 2; key 2 is gone entirely.
+  const auto hit = fabric.lookup(key_of(1), /*requester=*/0, kAllAlive);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->replica, 2);
+  EXPECT_FALSE(fabric.lookup(key_of(2), /*requester=*/0, kAllAlive));
+  // Repeat notifications (restart storms) are no-ops.
+  fabric.invalidate_host(1, 60);
+  EXPECT_EQ(fabric.invalidated_replicas(), 2u);
+}
+
+TEST(CacheFabric, EvictionsUpdateDirectoryAndCounters) {
+  obs::MetricsRegistry metrics;
+  obs::Obs obs;
+  obs.metrics = &metrics;
+  CacheFabric fabric(fabric_config(/*capacity=*/250), /*num_hosts=*/2,
+                     nullptr, obs);
+  fabric.insert(key_of(1), image(100), /*host=*/1, 5, 0, 0);
+  fabric.insert(key_of(2), image(100), /*host=*/1, 5, 0, 0);
+  fabric.insert(key_of(3), image(100), /*host=*/1, 5, 0, 0);  // evicts key 1
+  EXPECT_EQ(fabric.insertions(), 3u);
+  EXPECT_EQ(fabric.evictions(), 1u);
+  EXPECT_EQ(fabric.directory().replicas(key_of(1)), nullptr);
+  EXPECT_EQ(fabric.directory().total_replicas(), 2u);
+  EXPECT_EQ(metrics.counter("cache.evictions").value(), 1);
+  EXPECT_EQ(metrics.counter("cache.host1.evictions").value(), 1);
+  EXPECT_EQ(metrics.gauge("cache.replicas").value(), 2);
+}
+
+TEST(CacheFabric, MissCountsAgainstRequesterHost) {
+  obs::MetricsRegistry metrics;
+  obs::Obs obs;
+  obs.metrics = &metrics;
+  CacheFabric fabric(fabric_config(), /*num_hosts=*/2, nullptr, obs);
+  EXPECT_FALSE(fabric.lookup(key_of(9), /*requester=*/1, kAllAlive));
+  fabric.on_miss(/*requester=*/1);
+  EXPECT_EQ(fabric.misses(), 1u);
+  EXPECT_EQ(metrics.counter("cache.misses").value(), 1);
+  EXPECT_EQ(metrics.counter("cache.host1.misses").value(), 1);
+}
+
+}  // namespace
+}  // namespace wadc::cache

@@ -105,6 +105,51 @@ if [ $? -ne 2 ]; then
   fail=1
 fi
 
+# --- result-cache digest ----------------------------------------------------
+
+# The cache-off artifacts above must not grow a cache section...
+if grep -q '## Result cache' "$TMP/inspect.out"; then
+  echo "FAIL: cache-off inspect output contains a Result cache section" >&2
+  fail=1
+fi
+
+# ...and a cache-on session run must: with shared concurrent sessions the
+# fabric sees hits, and the digest surfaces the per-host table plus the
+# cache decision records in the audit trail.
+"$RUN" --num-clients=3 --cache-capacity=8m --servers=4 --iterations=10 \
+  --configs=1 --seed=1000 --csv --metrics-out="$TMP/cache-metrics.json" \
+  --decisions-out="$TMP/cache-decisions.jsonl" \
+  > /dev/null 2> "$TMP/cache.err"
+if [ $? -ne 0 ]; then
+  echo "FAIL: cache-on session run failed" >&2
+  sed 's/^/  /' "$TMP/cache.err" >&2
+  fail=1
+fi
+
+"$REPORT" inspect --metrics="$TMP/cache-metrics.json" \
+  --decisions="$TMP/cache-decisions.jsonl" --max-trail=0 \
+  > "$TMP/cache-inspect.out" 2> "$TMP/cache-inspect.err"
+if [ $? -ne 0 ]; then
+  echo "FAIL: cache-on inspect failed" >&2
+  sed 's/^/  /' "$TMP/cache-inspect.err" >&2
+  fail=1
+fi
+
+expect_cache_output() {
+  local what=$1 pattern=$2
+  if ! grep -q "$pattern" "$TMP/cache-inspect.out"; then
+    echo "FAIL: cache inspect output missing $what (pattern: $pattern)" >&2
+    fail=1
+  fi
+}
+
+expect_cache_output "cache digest section" '## Result cache'
+expect_cache_output "hit-ratio summary line" 'hit ratio'
+expect_cache_output "per-host table header" 'host  hits  misses'
+expect_cache_output "bytes-saved line" 'network bytes saved'
+expect_cache_output "insertion totals line" 'insertions:'
+expect_cache_output "cache hit decisions" 'cache/hit'
+
 if [ "$fail" = 0 ]; then
   echo "observability inspect contract OK"
 fi

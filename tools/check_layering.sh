@@ -26,9 +26,10 @@ allowed() {
     monitor)  echo "common sim obs trace net" ;;
     fault)    echo "common sim obs trace net" ;;
     core)     echo "common sim obs trace net monitor" ;;
-    dataflow) echo "common sim obs trace net monitor fault core workload" ;;
-    session)  echo "common sim obs trace net monitor core workload dataflow" ;;
-    exp)      echo "common sim obs trace net monitor fault core workload dataflow session" ;;
+    cache)    echo "common sim obs trace net monitor core workload" ;;
+    dataflow) echo "common sim obs trace net monitor fault core workload cache" ;;
+    session)  echo "common sim obs trace net monitor core workload cache dataflow" ;;
+    exp)      echo "common sim obs trace net monitor fault core workload cache dataflow session" ;;
     *)        echo "__unknown__" ;;
   esac
 }
@@ -68,6 +69,30 @@ for f in src/session/overload.h src/session/overload.cc \
     status=1
   done < <(grep -n '#include "dataflow/' "$f" -o 2>/dev/null)
 done
+
+# Finer-grained rules around the result cache (docs/CACHING.md):
+#   - src/cache is engine-free policy + bookkeeping. It must never include
+#     dataflow/ or session/ so the fabric stays unit-testable with
+#     hand-built keys and images (the coarse table above also enforces
+#     this; the explicit check keeps the intent greppable).
+#   - Only the engine/session/exp layers (plus tools, benches and tests)
+#     may consume cache/: layers at or below workload must not know the
+#     cache exists.
+for f in src/cache/*.h src/cache/*.cc; do
+  [ -f "$f" ] || { echo "layering: missing src/cache sources"; status=1; continue; }
+  while IFS=: read -r line include; do
+    echo "layering violation: $f:$line includes \"${include#*\"}\" (src/cache must not depend on dataflow/ or session/)"
+    status=1
+  done < <(grep -n '#include "\(dataflow\|session\)/' "$f" -o 2>/dev/null)
+done
+
+while IFS=: read -r file line include; do
+  case "$file" in
+    src/cache/*|src/dataflow/*|src/session/*|src/exp/*) continue ;;
+  esac
+  echo "layering violation: $file:$line includes cache/ (below the engine, only dataflow/session/exp may include the result cache)"
+  status=1
+done < <(grep -rn '#include "cache/' src --include='*.h' --include='*.cc' 2>/dev/null)
 
 # Finer-grained rules around the transport seam (docs/ARCHITECTURE.md,
 # "Transport backends"):

@@ -563,6 +563,79 @@ void print_session_summaries(const std::vector<TimelineRow>& rows) {
   std::printf("\n");
 }
 
+// Result-cache digest: per-host hit ratios, occupancy, and the fabric
+// totals (diffusions, invalidations, bytes saved). Printed only when the
+// artifact carries cache.* instruments, so cache-off runs inspect exactly
+// as before.
+void print_cache_digest(const JsonValue& root) {
+  const JsonValue* counters = root.find("counters");
+  if (counters == nullptr) return;
+  bool any = false;
+  for (const auto& [name, v] : counters->object) {
+    (void)v;
+    if (name.rfind("cache.", 0) == 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  const auto counter = [&](const std::string& name) {
+    const JsonValue* v = counters->find(name);
+    return v == nullptr ? 0.0 : v->number;
+  };
+  const JsonValue* gauges = root.find("gauges");
+  const auto gauge_last = [&](const std::string& name) {
+    if (gauges == nullptr) return 0.0;
+    const JsonValue* v = gauges->find(name);
+    return v == nullptr ? 0.0 : v->number_or("last", 0);
+  };
+
+  const double hits = counter("cache.hits");
+  const double misses = counter("cache.misses");
+  const double lookups = hits + misses;
+  std::printf("## Result cache\n\n");
+  std::printf("lookups: %.0f  (%.0f hits / %.0f misses, %.1f%% hit ratio)\n",
+              lookups, hits, misses,
+              lookups > 0 ? 100.0 * hits / lookups : 0.0);
+  std::printf("insertions: %.0f   evictions: %.0f   diffusions: %.0f\n",
+              counter("cache.insertions"), counter("cache.evictions"),
+              counter("cache.diffusions"));
+  std::printf("invalidated replicas: %.0f   live replicas: %.0f\n",
+              counter("cache.invalidated_replicas"),
+              gauge_last("cache.replicas"));
+  std::printf("network bytes saved: %.0f\n\n", counter("cache.bytes_saved"));
+
+  // Per-host rows, for every host that shows up in any cache.hostN.*
+  // instrument. std::map keys iterate sorted, so hosts print in order.
+  std::map<int, bool> host_ids;
+  const auto collect = [&](const JsonValue* section) {
+    if (section == nullptr) return;
+    for (const auto& [name, v] : section->object) {
+      (void)v;
+      if (name.rfind("cache.host", 0) != 0) continue;
+      const std::size_t digits = std::strlen("cache.host");
+      const int id = std::atoi(name.c_str() + digits);
+      host_ids[id] = true;
+    }
+  };
+  collect(counters);
+  collect(gauges);
+  if (host_ids.empty()) return;
+  std::printf("host  hits  misses  hit_ratio  evictions  entries  bytes\n");
+  for (const auto& [id, seen] : host_ids) {
+    (void)seen;
+    const std::string prefix = "cache.host" + std::to_string(id);
+    const double h = counter(prefix + ".hits");
+    const double m = counter(prefix + ".misses");
+    std::printf("%-4d  %4.0f  %6.0f  %8.1f%%  %9.0f  %7.0f  %5.0f\n", id, h,
+                m, h + m > 0 ? 100.0 * h / (h + m) : 0.0,
+                counter(prefix + ".evictions"),
+                gauge_last(prefix + ".entries"), gauge_last(prefix + ".bytes"));
+  }
+  std::printf("\n");
+}
+
 void print_metrics_digest(const std::string& path) {
   const JsonValue root = JsonParser(read_file(path)).parse();
   std::printf("## Metrics digest\n\n");
@@ -592,6 +665,7 @@ void print_metrics_digest(const std::string& path) {
     }
   }
   std::printf("\n");
+  print_cache_digest(root);
 }
 
 // Integral values print as integers, everything else with 3 decimals —

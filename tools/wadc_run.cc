@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "exp/bench_support.h"
 #include "exp/experiment.h"
 #include "exp/export.h"
@@ -67,6 +68,9 @@ struct Options {
   bool csv = false;
   bool with_baseline = true;
   std::string trace_set_path;
+  std::string cache_spec;      // --cache-spec=... (full grammar)
+  std::string cache_capacity;  // --cache-capacity=BYTES[k|m|g] shorthand
+  std::string cache_policy;    // --cache-policy=lru|cost (needs a capacity)
   std::string fault_spec_path;  // fault schedule (see docs/FAULTS.md)
   std::string sessions_spec_path;  // multi-client spec (docs/SESSIONS.md)
   int num_clients = 0;  // shorthand: N sessions at t=0, unbounded admission
@@ -108,6 +112,14 @@ void usage() {
       "  --seed=N               base configuration seed (default 1000)\n"
       "  --library-seed=N       trace pool seed (default 2026)\n"
       "  --trace-set=FILE       use traces from FILE instead of synthesizing\n"
+      "  --cache-spec=SPEC      enable the result cache from a spec string\n"
+      "                         (capacity=BYTES[k|m|g][,policy=lru|cost]\n"
+      "                         [,diffusion=on|off], see docs/CACHING.md)\n"
+      "  --cache-capacity=BYTES[k|m|g]\n"
+      "                         shorthand: enable the cache with this per-host\n"
+      "                         capacity and default policy (lru)\n"
+      "  --cache-policy=lru|cost\n"
+      "                         eviction policy (requires --cache-capacity)\n"
       "  --fault-spec=FILE      inject faults from FILE (crash/blackout/drop\n"
       "                         lines, see docs/FAULTS.md) and run the\n"
       "                         engine fault-tolerant\n"
@@ -251,6 +263,25 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!to_u64(*v9, "--library-seed", opt.library_seed)) return false;
     } else if (auto v10 = flag_value(arg, "--trace-set")) {
       opt.trace_set_path = *v10;
+    } else if (auto vcs = flag_value(arg, "--cache-spec")) {
+      if (vcs->empty()) {
+        std::fprintf(stderr, "--cache-spec requires a spec string\n");
+        return false;
+      }
+      opt.cache_spec = *vcs;
+    } else if (auto vcc = flag_value(arg, "--cache-capacity")) {
+      if (vcc->empty()) {
+        std::fprintf(stderr, "--cache-capacity requires a byte count\n");
+        return false;
+      }
+      opt.cache_capacity = *vcc;
+    } else if (auto vcp = flag_value(arg, "--cache-policy")) {
+      if (!cache::parse_eviction_policy(*vcp)) {
+        std::fprintf(stderr, "unknown cache policy '%s' (want lru or cost)\n",
+                     vcp->c_str());
+        return false;
+      }
+      opt.cache_policy = *vcp;
     } else if (auto vf = flag_value(arg, "--fault-spec")) {
       if (vf->empty()) {
         std::fprintf(stderr, "--fault-spec requires a file path\n");
@@ -338,6 +369,25 @@ bool parse(int argc, char** argv, Options& opt) {
   if (!opt.sessions_spec_path.empty() && opt.num_clients > 0) {
     std::fprintf(stderr,
                  "--sessions-spec and --num-clients are mutually exclusive\n");
+    return false;
+  }
+  if (!opt.cache_spec.empty() &&
+      (!opt.cache_capacity.empty() || !opt.cache_policy.empty())) {
+    std::fprintf(stderr, "--cache-spec already carries capacity and policy; "
+                 "it is mutually exclusive with --cache-capacity and "
+                 "--cache-policy\n");
+    return false;
+  }
+  if (!opt.cache_policy.empty() && opt.cache_capacity.empty()) {
+    std::fprintf(stderr,
+                 "--cache-policy requires --cache-capacity (or fold both "
+                 "into --cache-spec)\n");
+    return false;
+  }
+  if ((!opt.cache_spec.empty() || !opt.cache_capacity.empty()) &&
+      !opt.dump_traces_path.empty()) {
+    std::fprintf(stderr, "--dump-traces runs no simulation; the cache flags "
+                 "are meaningless with it\n");
     return false;
   }
   if (opt.backend == exp::Backend::kTcp && opt.jobs > 1) {
@@ -571,6 +621,24 @@ int main(int argc, char** argv) {
   spec.local_extra_candidates = opt.extras;
   spec.backend = opt.backend;
   spec.tcp_time_scale = opt.time_scale;
+
+  if (!opt.cache_spec.empty() || !opt.cache_capacity.empty()) {
+    std::string text = opt.cache_spec;
+    if (text.empty()) {
+      text = "capacity=" + opt.cache_capacity;
+      if (!opt.cache_policy.empty()) text += ",policy=" + opt.cache_policy;
+    }
+    try {
+      spec.cache = cache::parse_cache_spec(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    if (const std::string problem = spec.cache.validate(); !problem.empty()) {
+      std::fprintf(stderr, "bad cache config: %s\n", problem.c_str());
+      return 2;
+    }
+  }
 
   // Reject unusable parameters with a message and exit code 2 (usage error)
   // instead of tripping an engine assertion deep inside the first run.
